@@ -1,0 +1,58 @@
+"""Ablation benchmarks — partition strategies and transmission volume.
+
+Shapes under test (DESIGN.md §5):
+
+* the paper's uniform-random split is the friendly case; spatially
+  correlated sites must not *improve* quality;
+* the transmitted model volume stays far below the raw data volume for
+  both local model schemes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_partition_ablation,
+    run_transmission_ablation,
+)
+
+
+def test_partition_ablation(benchmark):
+    table = benchmark.pedantic(
+        run_partition_ablation,
+        kwargs={"cardinality": 2_000, "n_sites": 4, "seed": 42},
+        rounds=2,
+        iterations=1,
+    )
+    strategies = table.column("strategy")
+    p2 = dict(zip(strategies, table.column("P^II [%]")))
+    assert p2["uniform_random"] >= p2["spatial_blocks"] - 5.0
+
+
+def test_transmission_ablation(benchmark):
+    table = benchmark.pedantic(
+        run_transmission_ablation,
+        kwargs={"cardinality": 4_000, "n_sites": 4, "seed": 42},
+        rounds=2,
+        iterations=1,
+    )
+    for ratio in table.column("volume ratio [%]"):
+        assert ratio < 60.0
+
+
+@pytest.mark.parametrize("strategy", ["uniform_random", "spatial_blocks", "skewed_sizes"])
+def test_dbdc_by_partition_strategy(benchmark, strategy, bench_dataset_small):
+    from repro.core.dbdc import DBDCConfig, run_dbdc_partitioned
+    from repro.distributed.partition import partition
+
+    data = bench_dataset_small
+    assignment = partition(data.points, 4, strategy, seed=0)
+    config = DBDCConfig(eps_local=data.eps_local, min_pts_local=data.min_pts)
+    run = benchmark.pedantic(
+        run_dbdc_partitioned,
+        args=(data.points, assignment, config),
+        rounds=3,
+        iterations=1,
+    )
+    assert run.result.n_global_clusters > 0

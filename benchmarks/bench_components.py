@@ -1,0 +1,97 @@
+"""Component micro-benchmarks: local models, global merge, relabel, quality.
+
+These time the four DBDC protocol steps in isolation, plus the quality
+framework — useful to see where the pipeline's time goes (the paper only
+reports end-to-end numbers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.global_model import build_global_model
+from repro.core.local import build_rep_kmeans_model, build_rep_scor_model
+from repro.core.relabel import relabel_site
+from repro.quality.qdbdc import evaluate_quality
+
+
+@pytest.fixture(scope="module")
+def site_points(bench_dataset_medium):
+    """One simulated site: a quarter of data set A."""
+    rng = np.random.default_rng(1)
+    points = bench_dataset_medium.points
+    chosen = rng.choice(points.shape[0], size=points.shape[0] // 4, replace=False)
+    return points[chosen], bench_dataset_medium
+
+
+def test_local_model_rep_scor(benchmark, site_points):
+    points, data = site_points
+    outcome = benchmark.pedantic(
+        build_rep_scor_model,
+        args=(points, data.eps_local, data.min_pts),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(outcome.model) > 0
+
+
+def test_local_model_rep_kmeans(benchmark, site_points):
+    points, data = site_points
+    outcome = benchmark.pedantic(
+        build_rep_kmeans_model,
+        args=(points, data.eps_local, data.min_pts),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(outcome.model) > 0
+
+
+@pytest.fixture(scope="module")
+def models_and_site(site_points):
+    points, data = site_points
+    outcome = build_rep_scor_model(points, data.eps_local, data.min_pts)
+    return points, outcome, data
+
+
+def test_global_model_merge(benchmark, models_and_site):
+    __, outcome, __data = models_and_site
+    models = [outcome.model] * 4  # four identical sites' worth of reps
+    model, stats = benchmark(build_global_model, models)
+    assert stats.n_representatives == 4 * len(outcome.model)
+
+
+def test_relabel_step(benchmark, models_and_site):
+    points, outcome, __data = models_and_site
+    global_model, __ = build_global_model([outcome.model])
+    labels, stats = benchmark(
+        relabel_site,
+        points,
+        outcome.clustering.labels,
+        global_model,
+        site_id=0,
+    )
+    assert stats.n_objects == points.shape[0]
+
+
+def test_quality_evaluation(benchmark, bench_labels):
+    labels = bench_labels.labels
+    shuffled = labels.copy()
+    rng = np.random.default_rng(2)
+    flip = rng.choice(labels.size, size=labels.size // 20, replace=False)
+    shuffled[flip] = -1
+    report = benchmark(evaluate_quality, shuffled, labels, qp=6)
+    assert 0.0 < report.q_p2 < 1.0
+
+
+def test_serialization_roundtrip(benchmark, models_and_site):
+    __, outcome, __data = models_and_site
+    model = outcome.model
+
+    def roundtrip():
+        from repro.core.models import LocalModel
+
+        return LocalModel.from_bytes(model.to_bytes())
+
+    restored = benchmark(roundtrip)
+    assert len(restored) == len(model)

@@ -1,0 +1,72 @@
+"""Benchmarks for the extension systems: hierarchy, streaming, baselines.
+
+Shapes under test:
+
+* hierarchical DBDC sends less long-haul traffic than the flat topology
+  at comparable quality;
+* the streaming scenario's lazy retransmission uploads less than an eager
+  per-round policy;
+* the §4 baseline comparison keeps its claim matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import dataset_a
+from repro.distributed.hierarchy import run_hierarchical_dbdc
+from repro.distributed.partition import split, uniform_random
+from repro.distributed.scenario import StreamingScenario
+from repro.experiments.baselines import run_baseline_comparison
+
+
+@pytest.fixture(scope="module")
+def hierarchy_workload():
+    data = dataset_a(cardinality=4_000, seed=42)
+    assignment = uniform_random(data.n, 6, seed=0)
+    parts = split(data.points, assignment)
+    return data, [parts[:3], parts[3:]]
+
+
+def test_hierarchical_run(benchmark, hierarchy_workload):
+    data, regions = hierarchy_workload
+    report = benchmark.pedantic(
+        run_hierarchical_dbdc,
+        args=(regions,),
+        kwargs={"eps_local": data.eps_local, "min_pts_local": data.min_pts},
+        rounds=3,
+        iterations=1,
+    )
+    assert report.long_haul_bytes < report.flat_equivalent_bytes
+    assert report.global_model.n_global_clusters > 0
+
+
+def test_streaming_scenario_rounds(benchmark):
+    rng = np.random.default_rng(0)
+    hotspots = np.asarray([[10.0, 10.0], [40.0, 15.0]])
+
+    def run():
+        scenario = StreamingScenario(3, eps_local=1.8, min_pts_local=5)
+        for __ in range(5):
+            arrivals = [
+                np.concatenate(
+                    [hub + rng.normal(0, 1.2, size=(20, 2)) for hub in hotspots]
+                )
+                for __site in range(3)
+            ]
+            scenario.run_round(arrivals)
+        return scenario
+
+    scenario = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert scenario.total_bytes_up() < scenario.eager_bytes_up()
+    # Lazy policy: after the first round, stable rounds upload nothing.
+    assert sum(s.sites_transmitted for s in scenario.history[1:]) <= 3
+
+
+def test_baseline_comparison(benchmark):
+    table = benchmark.pedantic(
+        run_baseline_comparison, kwargs={"seed": 0}, rounds=2, iterations=1
+    )
+    scores = dict(zip(table.column("workload"), table.column("k-means")))
+    assert scores["concentric"] < 0.5  # the §4 claim matrix holds

@@ -1,0 +1,44 @@
+"""Figure 10 benchmark — quality vs number of client sites.
+
+Times the per-row trial and asserts the table's shape: quality stays high,
+with a mild ``P^II`` decline as the site count grows, and the
+representative share stays a small fraction of the data volume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig10 import run_fig10
+
+
+@pytest.fixture(scope="module")
+def fig10_table():
+    return run_fig10(sites=(2, 5, 10, 20), cardinality=4_000, seed=42)
+
+
+def test_fig10_sweep(benchmark):
+    table = benchmark.pedantic(
+        run_fig10,
+        kwargs={"sites": (2, 8), "cardinality": 2_000, "seed": 42},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(table.rows) == 2
+
+
+def test_fig10_shape_quality_high_and_declining(fig10_table):
+    p2 = fig10_table.column("P^II Scor")
+    assert p2[0] > 90.0
+    assert p2[0] >= p2[-1] - 1.0  # mild decline (never a big jump up)
+
+
+def test_fig10_shape_representative_share_small(fig10_table):
+    for share in fig10_table.column("local repr. [%]"):
+        assert 0.0 < share < 40.0
+
+
+def test_fig10_shape_p1_insensitive(fig10_table):
+    """The paper: P^I barely reacts to the site count (its weakness)."""
+    p1 = fig10_table.column("P^I Scor")
+    assert max(p1) - min(p1) < 10.0

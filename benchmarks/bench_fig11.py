@@ -1,0 +1,38 @@
+"""Figure 11 benchmark — quality across data sets A, B and C.
+
+Times the per-data-set trial and asserts the figure's shape: every
+data set scores high, and the very noisy B scores lowest under ``P^II``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig11 import run_fig11
+
+
+@pytest.fixture(scope="module")
+def fig11_table():
+    return run_fig11(n_sites=4, seed=0)
+
+
+def test_fig11_dataset_c(benchmark):
+    table = benchmark.pedantic(
+        run_fig11, kwargs={"names": ("C",), "n_sites": 4, "seed": 0},
+        rounds=2, iterations=1,
+    )
+    assert table.column("dataset") == ["C"]
+
+
+def test_fig11_shape_all_high(fig11_table):
+    for column in ("P^II kMeans", "P^II Scor", "P^I kMeans", "P^I Scor"):
+        for value in fig11_table.column(column):
+            assert value > 80.0
+
+
+def test_fig11_shape_noisy_b_lowest_p2(fig11_table):
+    names = fig11_table.column("dataset")
+    p2 = fig11_table.column("P^II Scor")
+    scores = dict(zip(names, p2))
+    assert scores["B"] <= scores["A"]
+    assert scores["B"] <= scores["C"]

@@ -1,0 +1,43 @@
+"""Figure 9 benchmark — quality vs Eps_global.
+
+Times one full quality evaluation (DBDC run + both quality functions) and
+asserts the figure's shape: ``P^II`` peaks at ``Eps_global = 2·Eps_local``
+while ``P^I`` stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig9 import run_fig9
+
+
+@pytest.fixture(scope="module")
+def fig9_table():
+    return run_fig9(
+        factors=(0.5, 1.0, 2.0, 4.0, 10.0), cardinality=3_000, n_sites=4, seed=42
+    )
+
+
+def test_fig9_sweep(benchmark):
+    table = benchmark.pedantic(
+        run_fig9,
+        kwargs={"factors": (1.0, 2.0), "cardinality": 2_000, "n_sites": 3, "seed": 42},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(table.rows) == 2
+
+
+def test_fig9_shape_p2_peaks_at_two(fig9_table):
+    p2 = fig9_table.column("P^II Scor [%]")
+    factors = fig9_table.column("Eps_global / Eps_local")
+    best = factors[p2.index(max(p2))]
+    assert best in (1.0, 2.0)  # the paper's default region
+    assert p2[factors.index(2.0)] > p2[factors.index(0.5)]
+    assert p2[factors.index(2.0)] > p2[factors.index(10.0)]
+
+
+def test_fig9_shape_p1_flat(fig9_table):
+    p1 = fig9_table.column("P^I Scor [%]")
+    assert max(p1) - min(p1) < 20.0

@@ -1,0 +1,73 @@
+"""Incremental DBSCAN benchmark — streaming maintenance vs re-clustering.
+
+The extension the paper motivates in §4/§6: inserting representatives one
+at a time into an incremental clustering should beat re-running DBSCAN from
+scratch per arrival by a wide margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.incremental import IncrementalDBSCAN
+
+N_STREAM = 400
+EPS, MIN_PTS = 1.2, 5
+
+
+@pytest.fixture(scope="module")
+def stream(bench_dataset_small):
+    rng = np.random.default_rng(3)
+    points = bench_dataset_small.points
+    chosen = rng.choice(points.shape[0], size=N_STREAM, replace=False)
+    return points[chosen]
+
+
+def test_incremental_insert_stream(benchmark, stream):
+    def run():
+        inc = IncrementalDBSCAN(EPS, MIN_PTS, 2)
+        for p in stream:
+            inc.insert(p)
+        return inc
+
+    inc = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert inc.cluster_count() > 0
+
+
+def test_repeated_batch_reclustering(benchmark, stream):
+    """The naive alternative: re-run DBSCAN after every tenth arrival."""
+
+    def run():
+        last = None
+        for end in range(10, N_STREAM + 1, 10):
+            last = dbscan(stream[:end], EPS, MIN_PTS)
+        return last
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.n_clusters > 0
+
+
+def test_incremental_mixed_workload(benchmark, stream):
+    def run():
+        inc = IncrementalDBSCAN(EPS, MIN_PTS, 2)
+        live = []
+        rng = np.random.default_rng(4)
+        for p in stream:
+            live.append(inc.insert(p))
+            if len(live) > 50 and rng.random() < 0.2:
+                inc.delete(live.pop(int(rng.integers(len(live)))))
+        return inc
+
+    inc = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(inc) > 0
+
+
+def test_incremental_final_state_matches_batch(stream):
+    """Correctness backstop: the streamed clustering equals a batch run."""
+    inc = IncrementalDBSCAN(EPS, MIN_PTS, 2)
+    for p in stream:
+        inc.insert(p)
+    batch = dbscan(stream, EPS, MIN_PTS)
+    assert inc.cluster_count() == batch.n_clusters

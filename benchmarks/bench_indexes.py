@@ -1,0 +1,74 @@
+"""Index ablation benchmark — region-query throughput per index kind.
+
+DESIGN.md's index ablation: the uniform grid should dominate for DBSCAN's
+fixed-radius workload, with kd-tree and R-tree in the middle and the brute
+scan last — while all four return identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import dbscan
+from repro.index import build_index
+
+N_POINTS = 5_000
+N_QUERIES = 200
+EPS = 2.4
+
+
+@pytest.fixture(scope="module")
+def query_workload(bench_dataset_medium):
+    points = bench_dataset_medium.points[:N_POINTS]
+    rng = np.random.default_rng(0)
+    queries = points[rng.choice(points.shape[0], size=N_QUERIES, replace=False)]
+    return points, queries
+
+
+@pytest.mark.parametrize("kind", ["grid", "kdtree", "rtree", "mtree", "brute"])
+def test_index_build(benchmark, kind, query_workload):
+    points, __ = query_workload
+    index = benchmark(build_index, points, kind, eps=EPS)
+    assert len(index) == N_POINTS
+
+
+@pytest.mark.parametrize("kind", ["grid", "kdtree", "rtree", "mtree", "brute"])
+def test_index_range_queries(benchmark, kind, query_workload):
+    points, queries = query_workload
+    index = build_index(points, kind, eps=EPS)
+
+    def run_queries():
+        total = 0
+        for q in queries:
+            total += index.range_query(q, EPS).size
+        return total
+
+    total = benchmark(run_queries)
+    assert total > 0
+
+
+@pytest.mark.parametrize("kind", ["grid", "kdtree", "rtree", "brute"])
+def test_dbscan_by_index(benchmark, kind, bench_dataset_small):
+    data = bench_dataset_small
+    result = benchmark.pedantic(
+        dbscan,
+        args=(data.points, data.eps_local, data.min_pts),
+        kwargs={"index_kind": kind},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_clusters > 0
+
+
+def test_indexes_agree_exactly(query_workload):
+    """Correctness backstop inside the benchmark suite."""
+    points, queries = query_workload
+    indexes = {kind: build_index(points, kind, eps=EPS) for kind in
+               ("grid", "kdtree", "rtree", "mtree", "brute")}
+    for q in queries[:20]:
+        reference = indexes["brute"].range_query(q, EPS)
+        for kind in ("grid", "kdtree", "rtree", "mtree"):
+            np.testing.assert_array_equal(
+                indexes[kind].range_query(q, EPS), reference
+            )

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks are sized to finish in minutes on a laptop while preserving the
+paper's shapes; the CLI (``python -m repro.cli``) runs the full-size
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import dataset_a
+
+
+@pytest.fixture(scope="session")
+def bench_dataset_small():
+    """Data set A at 2 000 points (micro benchmarks)."""
+    return dataset_a(cardinality=2_000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset_medium():
+    """Data set A at 8 700 points (the paper's original size)."""
+    return dataset_a(cardinality=8_700, seed=42)
+
+
+@pytest.fixture(scope="session")
+def bench_labels(bench_dataset_medium):
+    """A central clustering of the medium data set, reused across benches."""
+    from repro.clustering.dbscan import dbscan
+
+    data = bench_dataset_medium
+    return dbscan(data.points, data.eps_local, data.min_pts)

@@ -1,0 +1,82 @@
+"""Tuning ``Eps_global`` — the server's one free parameter.
+
+Section 6 of the paper: the merge radius should be user-tunable; the
+derived default (max ε_r over all representatives) lands near
+``2·Eps_local``.  The paper also sketches an OPTICS-based alternative that
+explores *all* radii with a single clustering run.  This example shows both:
+
+* a sweep of explicit ``Eps_global`` values with the quality they achieve,
+* one OPTICS run over the representatives, cut at several radii without
+  re-clustering.
+
+Usage::
+
+    python examples/eps_global_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.clustering.dbscan import dbscan
+from repro.core.dbdc import DBDCConfig, run_dbdc_partitioned
+from repro.core.global_model import build_global_model_via_optics, default_eps_global
+from repro.core.local import build_rep_scor_model
+from repro.data.datasets import dataset_a
+from repro.distributed.partition import split, uniform_random
+from repro.quality import evaluate_quality
+
+N_SITES = 4
+
+
+def main() -> None:
+    data = dataset_a(cardinality=4_000)
+    central = dbscan(data.points, data.eps_local, data.min_pts)
+    assignment = uniform_random(data.n, N_SITES, seed=0)
+
+    # --- Sweep explicit Eps_global values -----------------------------
+    print("Eps_global sweep (quality vs central clustering):")
+    print(f"{'factor':>7s} {'Eps_global':>11s} {'clusters':>9s} {'P^II':>7s}")
+    for factor in (0.5, 1.0, 2.0, 4.0, 8.0):
+        config = DBDCConfig(
+            eps_local=data.eps_local,
+            min_pts_local=data.min_pts,
+            eps_global=factor * data.eps_local,
+        )
+        run = run_dbdc_partitioned(data.points, assignment, config)
+        quality = evaluate_quality(
+            run.labels_in_original_order(), central.labels, qp=data.min_pts
+        )
+        print(
+            f"{factor:7.1f} {run.result.eps_global_used:11.2f} "
+            f"{run.result.n_global_clusters:9d} {quality.q_p2_percent:6.1f}%"
+        )
+
+    # --- The derived default ------------------------------------------
+    site_points = split(data.points, assignment)
+    models = [
+        build_rep_scor_model(
+            pts, data.eps_local, data.min_pts, site_id=sid
+        ).model
+        for sid, pts in enumerate(site_points)
+    ]
+    derived = default_eps_global(models)
+    print(
+        f"\nderived default Eps_global = max ε_r = {derived:.2f} "
+        f"(2·Eps_local = {2 * data.eps_local:.2f})"
+    )
+
+    # --- OPTICS alternative: many cuts from one clustering -------------
+    print("\nOPTICS-based global model (one run, many cuts):")
+    for cut_factor in (1.0, 2.0, 4.0):
+        cut = cut_factor * data.eps_local
+        model, stats = build_global_model_via_optics(
+            models, eps_max=8 * data.eps_local, eps_cut=cut
+        )
+        print(
+            f"  cut at {cut:5.2f}: {model.n_global_clusters:3d} global "
+            f"clusters ({stats.n_merged_clusters} merged, "
+            f"{stats.n_singletons} singleton)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Retail scenario: a supermarket chain with stores of very different size.
+
+The paper's introduction names "supermarket chains where check-out
+scanners, located at different stores, gather data unremittingly".  This
+example stresses two assumptions the paper's evaluation makes:
+
+* sites hold *equal* shares of the data → here the stores are heavily
+  skewed (a flagship store and small branches),
+* sites hold *random* shares → here we also try geographic stores, where
+  each store only sees its own region's customers.
+
+Customers are 2-D feature vectors (e.g. basket value vs visit frequency,
+rescaled); segments are the density clusters.  We run DBDC under three
+partitionings and compare the quality of each against a central run.
+
+Usage::
+
+    python examples/retail_chain.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.dbscan import dbscan
+from repro.core.dbdc import DBDCConfig, run_dbdc_partitioned
+from repro.data.generators import random_cluster_dataset
+from repro.distributed.partition import partition
+from repro.quality import evaluate_quality
+
+EPS, MIN_PTS = 2.2, 6
+N_CUSTOMERS = 6_000
+N_STORES = 6
+
+
+def main() -> None:
+    customers, __ = random_cluster_dataset(
+        N_CUSTOMERS,
+        n_clusters=8,
+        noise_fraction=0.06,
+        min_separation=20.0,
+        seed=11,
+    )
+    central = dbscan(customers, EPS, MIN_PTS)
+    print(
+        f"{N_CUSTOMERS} customers, central DBSCAN finds "
+        f"{central.n_clusters} segments ({central.n_noise} unsegmented)"
+    )
+
+    config = DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS, scheme="rep_kmeans")
+    print(f"\n{'partitioning':16s} {'P^I':>7s} {'P^II':>7s} {'repr.':>7s} "
+          f"{'store sizes'}")
+    for strategy in ("uniform_random", "skewed_sizes", "spatial_blocks"):
+        assignment = partition(customers, N_STORES, strategy, seed=3)
+        run = run_dbdc_partitioned(customers, assignment, config)
+        quality = evaluate_quality(
+            run.labels_in_original_order(), central.labels, qp=MIN_PTS
+        )
+        sizes = np.bincount(assignment, minlength=N_STORES)
+        print(
+            f"{strategy:16s} {quality.q_p1_percent:6.1f}% "
+            f"{quality.q_p2_percent:6.1f}% "
+            f"{100 * run.result.representative_fraction:6.1f}% "
+            f"{list(map(int, sizes))}"
+        )
+
+    print(
+        "\nTakeaway: DBDC is robust to how the chain's data is split. "
+        "Random splits (the paper's setting) dilute density evenly and "
+        "still score high; skewed and geographic stores can even score "
+        "higher, because each store then sees its local segments at full "
+        "density — segments straddling a store border are repaired by the "
+        "global merge of border representatives."
+    )
+
+
+if __name__ == "__main__":
+    main()

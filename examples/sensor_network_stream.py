@@ -1,0 +1,91 @@
+"""Sensor-network scenario: evolving readings, lazy model resynchronization.
+
+The paper's introduction names "distributed mobile networks, sensor
+networks" as motivating settings, and §4 argues for DBSCAN partly because
+its incremental version means a site only re-transmits its model when the
+local clustering "changes considerably".  This example runs that complete
+loop with :class:`repro.distributed.StreamingScenario`:
+
+* four sensor gateways receive readings round after round,
+* each gateway maintains its clustering incrementally (no re-clustering),
+* a gateway uploads a fresh local model only when it drifted past the
+  threshold, and the server refreshes the global model from the latest
+  models,
+* midway through, a new phenomenon appears in one region and old readings
+  expire — watch which rounds actually cause uploads.
+
+Usage::
+
+    python examples/sensor_network_stream.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import gaussian_blobs
+from repro.distributed import StreamingScenario
+
+N_SITES = 4
+ROUNDS = 8
+
+
+def readings_for_round(round_index: int, rng: np.random.Generator) -> list[np.ndarray]:
+    """Per-site arrivals: two stable hotspots; a third appears at round 4."""
+    arrivals = []
+    for __ in range(N_SITES):
+        hotspots = [[10.0, 10.0], [40.0, 15.0]]
+        if round_index >= 4:
+            hotspots.append([25.0, 45.0])  # new phenomenon
+        counts = [30] * len(hotspots)
+        points, __labels = gaussian_blobs(
+            counts, np.asarray(hotspots), 1.2, seed=rng
+        )
+        arrivals.append(points)
+    return arrivals
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    scenario = StreamingScenario(
+        N_SITES,
+        eps_local=1.8,
+        min_pts_local=5,
+        drift_threshold=0.25,
+    )
+    print(f"{'round':>5s} {'arrivals':>9s} {'uploads':>8s} {'bytes up':>9s} "
+          f"{'global clusters':>16s} {'representatives':>16s}")
+    expired: list[list[int]] = [[] for __ in range(N_SITES)]
+    first_round_ids: list[list[int]] = [[] for __ in range(N_SITES)]
+    for round_index in range(ROUNDS):
+        arrivals = readings_for_round(round_index, rng)
+        # Round 6: the oldest readings expire on every gateway.
+        departures = expired if round_index == 6 else None
+        stats = scenario.run_round(arrivals, departures)
+        if round_index == 0:
+            # Remember this round's ids so they can expire later.
+            for site_idx, site in enumerate(scenario.sites):
+                first_round_ids[site_idx] = list(range(arrivals[site_idx].shape[0]))
+            expired = first_round_ids
+        print(
+            f"{stats.round_index:5d} {stats.arrivals:9d} "
+            f"{stats.sites_transmitted:8d} {stats.bytes_up:9d} "
+            f"{stats.n_global_clusters:16d} {stats.n_representatives:16d}"
+        )
+
+    print(
+        f"\nlazy policy uploaded {scenario.total_bytes_up()} bytes across "
+        f"{ROUNDS} rounds; an eager per-round upload of every model would "
+        f"have cost ~{scenario.eager_bytes_up()} bytes "
+        f"({scenario.eager_bytes_up() / max(1, scenario.total_bytes_up()):.1f}x)"
+    )
+    print(
+        "note how uploads concentrate on round 0 (models are new) and "
+        "round 4 (a phenomenon appeared); steady-state rounds cost nothing "
+        "— even round 6's expiry of old readings, which thins the stable "
+        "hotspots without moving them, correctly triggers no upload."
+    )
+
+
+if __name__ == "__main__":
+    main()

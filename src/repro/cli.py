@@ -1,0 +1,219 @@
+"""Command-line interface: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.cli fig6            # data set statistics + sketches
+    python -m repro.cli fig7a fig7b     # runtime vs cardinality
+    python -m repro.cli fig8 --cardinality 203000
+    python -m repro.cli fig9 fig10 fig11
+    python -m repro.cli ablations
+    python -m repro.cli all             # everything (sized for a laptop)
+    python -m repro.cli run --dataset A --sites 4 --scheme rep_kmeans
+
+The figure commands print the same rows the paper reports;
+``EXPERIMENTS.md`` records a captured run side by side with the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    run_compression_tradeoff,
+    run_dimension_ablation,
+    run_fig6,
+    run_fig7a,
+    run_fig7b,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_index_ablation,
+    run_metric_ablation,
+    run_noise_ablation,
+    run_partition_ablation,
+    run_site_failure_ablation,
+    run_transmission_ablation,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="dbdc",
+        description="DBDC (EDBT 2004) reproduction — experiment harness",
+    )
+    parser.add_argument(
+        "commands",
+        nargs="+",
+        choices=[
+            "fig6",
+            "fig7a",
+            "fig7b",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablations",
+            "baselines",
+            "figures",
+            "all",
+            "run",
+        ],
+        help="experiments to regenerate",
+    )
+    parser.add_argument(
+        "--cardinality",
+        type=int,
+        default=None,
+        help="override the data set cardinality (fig7/8/9/10, run)",
+    )
+    parser.add_argument(
+        "--sites", type=int, default=4, help="number of client sites (run)"
+    )
+    parser.add_argument(
+        "--dataset", default="A", help="data set name for 'run' (A/B/C)"
+    )
+    parser.add_argument(
+        "--scheme",
+        default="rep_scor",
+        choices=["rep_scor", "rep_kmeans"],
+        help="local model scheme for 'run'",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="random seed")
+    parser.add_argument(
+        "--no-sketch", action="store_true", help="skip ASCII sketches in fig6"
+    )
+    parser.add_argument(
+        "--out", default="figures", help="output directory for 'figures'"
+    )
+    return parser
+
+
+def _run_single(args: argparse.Namespace) -> None:
+    """The 'run' command: one DBDC execution with a quality report."""
+    from repro.data.datasets import load_dataset
+    from repro.experiments.common import central_reference, dataset_trial
+
+    data = load_dataset(args.dataset, cardinality=args.cardinality)
+    central, central_seconds = central_reference(
+        data.points, data.eps_local, data.min_pts
+    )
+    trial = dataset_trial(
+        data,
+        n_sites=args.sites,
+        scheme=args.scheme,
+        seed=args.seed,
+        central=central,
+        central_seconds=central_seconds,
+    )
+    result = trial.run.result
+    print(f"data set {data.name}: {data.n} objects on {args.sites} sites")
+    print(
+        f"central DBSCAN: {central.n_clusters} clusters, "
+        f"{central.n_noise} noise, {central_seconds:.2f}s"
+    )
+    print(
+        f"DBDC({args.scheme}): {result.n_global_clusters} global clusters, "
+        f"{result.n_representatives} representatives "
+        f"({100 * result.representative_fraction:.1f}% of the data), "
+        f"Eps_global={result.eps_global_used:.2f}"
+    )
+    print(
+        f"runtime: max local {result.max_local_seconds:.2f}s + "
+        f"global {result.global_seconds:.2f}s = {result.overall_seconds:.2f}s "
+        f"(central: {central_seconds:.2f}s)"
+    )
+    print(
+        f"quality: P^I = {trial.quality.q_p1_percent:.1f}%  "
+        f"P^II = {trial.quality.q_p2_percent:.1f}%"
+    )
+    print(
+        f"transmission: {result.bytes_up} bytes up / "
+        f"{result.bytes_down} bytes down per site"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point.
+
+    Args:
+        argv: argument list (defaults to ``sys.argv[1:]``).
+
+    Returns:
+        Process exit code.
+    """
+    args = build_parser().parse_args(argv)
+    commands = list(args.commands)
+    if "all" in commands:
+        commands = [
+            "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11",
+            "ablations", "baselines",
+        ]
+
+    for command in commands:
+        if command == "fig6":
+            table, sketches = run_fig6(sketch=not args.no_sketch)
+            print(table.to_text())
+            for name, sketch in sketches.items():
+                print(f"\ndata set {name}:")
+                print(sketch)
+        elif command == "fig7a":
+            print(run_fig7a(seed=args.seed).to_text())
+        elif command == "fig7b":
+            print(run_fig7b(seed=args.seed).to_text())
+        elif command == "fig8":
+            kwargs = {"seed": args.seed}
+            if args.cardinality:
+                kwargs["cardinality"] = args.cardinality
+            print(run_fig8(**kwargs).to_text())
+        elif command == "fig9":
+            kwargs = {"seed": args.seed}
+            if args.cardinality:
+                kwargs["cardinality"] = args.cardinality
+            print(run_fig9(**kwargs).to_text())
+        elif command == "fig10":
+            kwargs = {"seed": args.seed}
+            if args.cardinality:
+                kwargs["cardinality"] = args.cardinality
+            print(run_fig10(**kwargs).to_text())
+        elif command == "fig11":
+            print(run_fig11(seed=args.seed).to_text())
+        elif command == "ablations":
+            print(run_index_ablation(seed=args.seed).to_text())
+            print()
+            print(run_partition_ablation(seed=args.seed).to_text())
+            print()
+            print(run_transmission_ablation(seed=args.seed).to_text())
+            print()
+            print(run_metric_ablation(seed=args.seed).to_text())
+            print()
+            print(run_dimension_ablation(seed=args.seed).to_text())
+            print()
+            print(run_noise_ablation(seed=args.seed).to_text())
+            print()
+            print(run_site_failure_ablation(seed=args.seed).to_text())
+            print()
+            print(run_compression_tradeoff(seed=args.seed).to_text())
+        elif command == "figures":
+            from repro.viz.figures import render_all_figures
+
+            paths = render_all_figures(args.out, seed=args.seed)
+            for path in paths:
+                print(f"wrote {path}")
+        elif command == "baselines":
+            from repro.experiments.baselines import run_baseline_comparison
+
+            print(run_baseline_comparison(seed=args.seed).to_text())
+        elif command == "run":
+            _run_single(args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Parameter selection for DBSCAN: the sorted k-distance heuristic.
+
+The DBDC paper inherits DBSCAN's two parameters and never says how its
+``Eps_local``/``MinPts`` were chosen.  The standard recipe (from the
+DBSCAN paper, §4.2) is the *sorted k-dist plot*: for ``k = MinPts - 1``,
+plot every object's distance to its k-th nearest neighbor in descending
+order; the "valley"/knee separates noise (high k-dist) from cluster points
+(low k-dist), and the k-dist at the knee is a good ``Eps``.
+
+This module computes the plot and offers two knee estimators:
+
+* :func:`suggest_eps_by_quantile` — the simple practitioner's rule: take
+  the k-dist at a noise-share quantile,
+* :func:`suggest_eps_by_knee` — the geometric rule: the point of the
+  sorted curve farthest from the straight line between its endpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.distance import Metric, get_metric
+from repro.index.kdtree import KDTreeIndex
+
+__all__ = [
+    "k_distances",
+    "sorted_k_distance_plot",
+    "suggest_eps_by_quantile",
+    "suggest_eps_by_knee",
+    "suggest_parameters",
+]
+
+
+def k_distances(
+    points: np.ndarray,
+    k: int,
+    *,
+    metric: str | Metric = "euclidean",
+) -> np.ndarray:
+    """Distance from every object to its k-th nearest *other* object.
+
+    Args:
+        points: array of shape ``(n, d)`` with ``n > k``.
+        k: neighbor rank (``k = MinPts - 1`` for the DBSCAN recipe, since
+            ``N_Eps`` includes the object itself).
+        metric: distance metric (must be kd-tree compatible, i.e. L_p).
+
+    Returns:
+        Array of length ``n``.
+
+    Raises:
+        ValueError: if ``k`` is out of range.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0] if points.ndim == 2 else 0
+    if not 1 <= k < n:
+        raise ValueError(f"k must be in [1, {n - 1}], got {k}")
+    resolved = get_metric(metric)
+    tree = KDTreeIndex(points, resolved, leaf_size=32)
+    out = np.empty(n)
+    for i in range(n):
+        # k+1 nearest including the object itself (distance 0).
+        __, dists = tree.knn_query(points[i], k + 1)
+        out[i] = dists[-1]
+    return out
+
+
+def sorted_k_distance_plot(
+    points: np.ndarray, k: int, *, metric: str | Metric = "euclidean"
+) -> np.ndarray:
+    """The sorted (descending) k-dist curve of the DBSCAN paper."""
+    return np.sort(k_distances(points, k, metric=metric))[::-1]
+
+
+def suggest_eps_by_quantile(
+    points: np.ndarray,
+    min_pts: int,
+    *,
+    noise_share: float = 0.05,
+    metric: str | Metric = "euclidean",
+) -> float:
+    """``Eps`` = the k-dist at the expected noise share.
+
+    Args:
+        points: data set.
+        min_pts: intended ``MinPts`` (``k = min_pts - 1``).
+        noise_share: expected fraction of noise objects; the k-dist curve
+            is cut there.
+        metric: distance metric.
+
+    Returns:
+        The suggested ``Eps``.
+
+    Raises:
+        ValueError: for a share outside ``[0, 1)``.
+    """
+    if not 0 <= noise_share < 1:
+        raise ValueError(f"noise_share must be in [0, 1), got {noise_share}")
+    curve = sorted_k_distance_plot(points, max(1, min_pts - 1), metric=metric)
+    cut = min(curve.size - 1, int(round(noise_share * curve.size)))
+    return float(curve[cut])
+
+
+def suggest_eps_by_knee(
+    points: np.ndarray,
+    min_pts: int,
+    *,
+    metric: str | Metric = "euclidean",
+) -> float:
+    """``Eps`` at the knee of the sorted k-dist curve.
+
+    The knee is the curve point with maximum distance from the chord
+    between the first and last points — a parameter-free stand-in for the
+    "first valley" the DBSCAN paper asks the user to eyeball.
+
+    Args:
+        points: data set.
+        min_pts: intended ``MinPts``.
+        metric: distance metric.
+
+    Returns:
+        The k-dist value at the knee.
+    """
+    curve = sorted_k_distance_plot(points, max(1, min_pts - 1), metric=metric)
+    n = curve.size
+    if n < 3:
+        return float(curve[-1])
+    x = np.arange(n, dtype=float)
+    # Normalize both axes so the chord distance is scale-free.
+    x_norm = x / (n - 1)
+    span = curve[0] - curve[-1]
+    y_norm = (curve - curve[-1]) / span if span > 0 else np.zeros(n)
+    # Distance from each point to the chord y = 1 - x (after normalization
+    # the curve runs from (0, 1) to (1, 0)).
+    chord_distance = np.abs(1.0 - x_norm - y_norm) / np.sqrt(2.0)
+    knee = int(np.argmax(chord_distance))
+    return float(curve[knee])
+
+
+def suggest_parameters(
+    points: np.ndarray,
+    *,
+    min_pts: int | None = None,
+    metric: str | Metric = "euclidean",
+) -> tuple[float, int]:
+    """One-call heuristic: ``(Eps, MinPts)`` for a data set.
+
+    ``MinPts`` defaults to ``2 * dim`` (the folklore rule the DBSCAN
+    authors' ``MinPts = 4`` for 2-D instantiates); ``Eps`` comes from the
+    knee of the sorted k-dist curve.
+
+    Args:
+        points: data set of shape ``(n, d)``.
+        min_pts: fixed ``MinPts`` (``None`` → ``2 * d``).
+        metric: distance metric.
+
+    Returns:
+        ``(eps, min_pts)``.
+    """
+    points = np.asarray(points, dtype=float)
+    if min_pts is None:
+        min_pts = max(3, 2 * points.shape[1])
+    eps = suggest_eps_by_knee(points, min_pts, metric=metric)
+    return eps, int(min_pts)

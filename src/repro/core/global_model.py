@@ -1,0 +1,194 @@
+"""Determination of the global model on the server site (Section 6).
+
+The server receives the local models — sets of ``(r, ε_r)`` pairs — and
+"reconstructs" a clustering over the representatives with DBSCAN:
+
+* ``MinPts_global = 2``: every representative already stands for a cluster
+  of its own, so two density-connected representatives suffice to merge;
+* ``Eps_global`` is tunable; the paper's default is the maximum ε_r over all
+  transmitted representatives, which is "generally close to 2·Eps_local".
+
+Representatives that DBSCAN leaves as noise are *not* noise in the global
+model — "each specific local representative forms a cluster on its own" —
+so they receive singleton global cluster ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.labels import NOISE
+from repro.clustering.optics import extract_dbscan_clustering, optics
+from repro.core.models import GlobalModel, LocalModel, Representative
+from repro.data.distance import Metric, get_metric
+
+__all__ = [
+    "default_eps_global",
+    "build_global_model",
+    "build_global_model_via_optics",
+    "GlobalClusteringStats",
+]
+
+MIN_PTS_GLOBAL = 2
+
+
+@dataclass(frozen=True)
+class GlobalClusteringStats:
+    """Reporting companion to a global model.
+
+    Attributes:
+        n_representatives: representatives clustered on the server.
+        n_merged_clusters: global clusters containing >= 2 representatives.
+        n_singletons: representatives left unmerged (own global cluster).
+        eps_global: radius used.
+    """
+
+    n_representatives: int
+    n_merged_clusters: int
+    n_singletons: int
+    eps_global: float
+
+
+def default_eps_global(local_models: list[LocalModel]) -> float:
+    """The paper's default ``Eps_global``: max ε_r over all representatives.
+
+    Args:
+        local_models: the collected local models.
+
+    Returns:
+        The maximum specific ε-range, or 0.0 when no representatives exist.
+    """
+    ranges = [model.max_eps_range for model in local_models if len(model)]
+    return max(ranges) if ranges else 0.0
+
+
+def _collect_representatives(local_models: list[LocalModel]) -> list[Representative]:
+    reps: list[Representative] = []
+    for model in local_models:
+        reps.extend(model.representatives)
+    return reps
+
+
+def _promote_singletons(labels: np.ndarray) -> np.ndarray:
+    """Give each DBSCAN-noise representative its own global cluster id."""
+    labels = labels.copy()
+    next_id = int(labels.max()) + 1 if (labels >= 0).any() else 0
+    for i, label in enumerate(labels):
+        if label == NOISE:
+            labels[i] = next_id
+            next_id += 1
+    return labels
+
+
+def build_global_model(
+    local_models: list[LocalModel],
+    *,
+    eps_global: float | None = None,
+    metric: str | Metric = "euclidean",
+    index_kind: str = "auto",
+) -> tuple[GlobalModel, GlobalClusteringStats]:
+    """Merge local models into the global model (Section 6).
+
+    Args:
+        local_models: local models from all sites (any order).
+        eps_global: merge radius; defaults to
+            :func:`default_eps_global` (≈ ``2·Eps_local``).
+        metric: distance metric (must match the sites').
+        index_kind: neighbor index kind for the server-side DBSCAN.
+
+    Returns:
+        ``(global_model, stats)``.
+    """
+    resolved = get_metric(metric)
+    representatives = _collect_representatives(local_models)
+    if eps_global is None:
+        eps_global = default_eps_global(local_models)
+    if not representatives:
+        model = GlobalModel(
+            representatives=[],
+            global_labels=np.empty(0, dtype=np.intp),
+            eps_global=float(eps_global),
+            min_pts_global=MIN_PTS_GLOBAL,
+        )
+        return model, GlobalClusteringStats(0, 0, 0, float(eps_global))
+    points = np.asarray([rep.point for rep in representatives])
+    if eps_global <= 0:
+        # Degenerate radius: nothing can merge; all singletons.
+        labels = np.arange(len(representatives), dtype=np.intp)
+        n_merged = 0
+        n_singletons = len(representatives)
+    else:
+        result = dbscan(
+            points,
+            eps_global,
+            MIN_PTS_GLOBAL,
+            metric=resolved,
+            index_kind=index_kind,
+        )
+        n_singletons = result.n_noise
+        n_merged = result.n_clusters
+        labels = _promote_singletons(result.labels)
+    model = GlobalModel(
+        representatives=representatives,
+        global_labels=labels,
+        eps_global=float(eps_global),
+        min_pts_global=MIN_PTS_GLOBAL,
+    )
+    stats = GlobalClusteringStats(
+        n_representatives=len(representatives),
+        n_merged_clusters=n_merged,
+        n_singletons=n_singletons,
+        eps_global=float(eps_global),
+    )
+    return model, stats
+
+
+def build_global_model_via_optics(
+    local_models: list[LocalModel],
+    *,
+    eps_max: float,
+    eps_cut: float,
+    metric: str | Metric = "euclidean",
+) -> tuple[GlobalModel, GlobalClusteringStats]:
+    """The OPTICS alternative the paper discusses (and sets aside) in §6.
+
+    One OPTICS run with generating radius ``eps_max`` lets the server cut
+    the reachability plot at any ``eps_cut <= eps_max`` without
+    re-clustering — useful to explore several ``Eps_global`` values.
+
+    Args:
+        local_models: local models from all sites.
+        eps_max: OPTICS generating radius (upper bound for cuts).
+        eps_cut: the cut that produces this global model.
+        metric: distance metric.
+
+    Returns:
+        ``(global_model, stats)`` equivalent to a DBSCAN-based model at
+        ``eps_cut`` up to border ambiguity.
+    """
+    resolved = get_metric(metric)
+    representatives = _collect_representatives(local_models)
+    if not representatives:
+        return build_global_model(local_models, eps_global=eps_cut, metric=resolved)
+    points = np.asarray([rep.point for rep in representatives])
+    ordering = optics(points, eps_max, MIN_PTS_GLOBAL, metric=resolved)
+    labels = extract_dbscan_clustering(ordering, eps_cut)
+    n_singletons = int(np.count_nonzero(labels == NOISE))
+    n_merged = int(np.unique(labels[labels >= 0]).size)
+    labels = _promote_singletons(labels)
+    model = GlobalModel(
+        representatives=representatives,
+        global_labels=labels,
+        eps_global=float(eps_cut),
+        min_pts_global=MIN_PTS_GLOBAL,
+    )
+    stats = GlobalClusteringStats(
+        n_representatives=len(representatives),
+        n_merged_clusters=n_merged,
+        n_singletons=n_singletons,
+        eps_global=float(eps_cut),
+    )
+    return model, stats

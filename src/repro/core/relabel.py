@@ -1,0 +1,171 @@
+"""Updating the local clustering based on the global model (Section 7).
+
+After the server broadcasts the global model, every site relabels its
+objects independently:
+
+* an object in the ``ε_r``-neighborhood of a global representative ``r``
+  joins ``r``'s global cluster (when several representatives cover an
+  object, the nearest one wins) — this is how former *local noise* becomes
+  part of a global cluster, as in the paper's Figure 5 example;
+* objects of a local cluster that no representative happens to cover still
+  inherit the global id of their own cluster's representatives (the local
+  cluster as a whole is part of that global cluster);
+* everything else stays noise.
+
+Two formerly independent local clusters end up with the same global id iff
+the server merged their representatives — the "merge two local clusters to
+one" effect of Section 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.labels import NOISE, validate_labels
+from repro.core.models import GlobalModel
+from repro.data.distance import Metric, get_metric
+
+__all__ = ["RelabelStats", "relabel_site"]
+
+
+@dataclass(frozen=True)
+class RelabelStats:
+    """Bookkeeping of one site's relabeling pass.
+
+    Attributes:
+        n_objects: objects on the site.
+        n_covered: objects covered by some representative's ε_r-range.
+        n_noise_promoted: former local-noise objects assigned to a global
+            cluster (Figure 5's A and B).
+        n_inherited: uncovered cluster members that inherited their local
+            cluster's global id.
+        n_still_noise: objects that remain noise after the update.
+        n_local_clusters_merged: local clusters that shared their global id
+            with another local cluster of the same site after the update.
+    """
+
+    n_objects: int
+    n_covered: int
+    n_noise_promoted: int
+    n_inherited: int
+    n_still_noise: int
+    n_local_clusters_merged: int
+
+
+def relabel_site(
+    points: np.ndarray,
+    local_labels: np.ndarray,
+    global_model: GlobalModel,
+    *,
+    site_id: int | None = None,
+    metric: str | Metric = "euclidean",
+) -> tuple[np.ndarray, RelabelStats]:
+    """Relabel one site's objects with global cluster ids.
+
+    Args:
+        points: the site's objects, shape ``(n, d)``.
+        local_labels: the site's local DBSCAN labels (noise = -1).
+        global_model: the broadcast global model.
+        site_id: this site's id — used for the inheritance fallback (maps
+            the site's local clusters to their representatives' global ids).
+            ``None`` disables inheritance by site (pure coverage relabel).
+        metric: distance metric.
+
+    Returns:
+        ``(global_labels, stats)`` where ``global_labels`` holds global
+        cluster ids (noise = -1).
+    """
+    resolved = get_metric(metric)
+    points = np.asarray(points, dtype=float)
+    local_labels = validate_labels(local_labels)
+    n = points.shape[0]
+    if local_labels.size != n:
+        raise ValueError(
+            f"{n} points but {local_labels.size} local labels"
+        )
+    out = np.full(n, NOISE, dtype=np.intp)
+    m = len(global_model)
+    if m == 0 or n == 0:
+        stats = RelabelStats(
+            n_objects=n,
+            n_covered=0,
+            n_noise_promoted=0,
+            n_inherited=0,
+            n_still_noise=int(np.count_nonzero(out == NOISE)),
+            n_local_clusters_merged=0,
+        )
+        return out, stats
+
+    rep_points = global_model.points()
+    rep_ranges = global_model.eps_ranges()
+    rep_labels = global_model.global_labels
+
+    # Nearest covering representative per object (vectorized per rep: the
+    # model is small by construction, the site's data may be large).
+    best_distance = np.full(n, np.inf)
+    for j in range(m):
+        distances = resolved.to_many(rep_points[j], points)
+        covered = (distances <= rep_ranges[j]) & (distances < best_distance)
+        if covered.any():
+            out[covered] = rep_labels[j]
+            best_distance[covered] = distances[covered]
+    n_covered = int(np.count_nonzero(np.isfinite(best_distance)))
+    was_noise = local_labels == NOISE
+    n_noise_promoted = int(np.count_nonzero(was_noise & (out != NOISE)))
+
+    # Inheritance fallback: members of a local cluster that no ε_r-range
+    # covers still belong to the global cluster their representatives
+    # joined.
+    n_inherited = 0
+    if site_id is not None:
+        own_global_by_local: dict[int, list[int]] = {}
+        for rep, label in zip(global_model.representatives, rep_labels):
+            if rep.site_id == site_id:
+                own_global_by_local.setdefault(rep.local_cluster_id, []).append(
+                    int(label)
+                )
+        uncovered_members = np.flatnonzero((out == NOISE) & ~was_noise)
+        for i in uncovered_members:
+            candidates = own_global_by_local.get(int(local_labels[i]))
+            if not candidates:
+                continue
+            if len(candidates) == 1:
+                out[i] = candidates[0]
+            else:
+                # The local cluster's representatives split across several
+                # global clusters: follow the nearest own representative.
+                own_reps = [
+                    (j, rep)
+                    for j, rep in enumerate(global_model.representatives)
+                    if rep.site_id == site_id
+                    and rep.local_cluster_id == int(local_labels[i])
+                ]
+                rep_coords = np.asarray([rep.point for __, rep in own_reps])
+                distances = resolved.to_many(points[i], rep_coords)
+                out[i] = rep_labels[own_reps[int(np.argmin(distances))][0]]
+            n_inherited += 1
+
+    # Merge accounting: how many of this site's local clusters now share a
+    # global id with another local cluster of the same site.
+    merged = 0
+    if site_id is not None:
+        global_of_local: dict[int, set[int]] = {}
+        for i in range(n):
+            if local_labels[i] >= 0 and out[i] != NOISE:
+                global_of_local.setdefault(int(out[i]), set()).add(
+                    int(local_labels[i])
+                )
+        merged = sum(
+            len(locals_) - 1 for locals_ in global_of_local.values() if len(locals_) > 1
+        )
+    stats = RelabelStats(
+        n_objects=n,
+        n_covered=n_covered,
+        n_noise_promoted=n_noise_promoted,
+        n_inherited=n_inherited,
+        n_still_noise=int(np.count_nonzero(out == NOISE)),
+        n_local_clusters_merged=merged,
+    )
+    return out, stats

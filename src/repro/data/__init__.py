@@ -1,0 +1,59 @@
+"""Metrics, synthetic generators and the paper's data sets A/B/C."""
+
+from repro.data.datasets import (
+    DATASET_NAMES,
+    Dataset,
+    dataset_a,
+    dataset_b,
+    dataset_c,
+    load_dataset,
+)
+from repro.data.distance import (
+    Metric,
+    available_metrics,
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    minkowski_metric,
+    pairwise_distances,
+    register_metric,
+    squared_euclidean,
+)
+# NOTE: repro.data.io is intentionally NOT re-exported here — it depends on
+# repro.core.models, and importing it at package-init time would create an
+# import cycle (core depends on data.distance).  Use ``from repro.data import
+# io`` / ``from repro.data.io import save_points`` directly.
+from repro.data.generators import (
+    as_rng,
+    gaussian_blobs,
+    random_cluster_dataset,
+    ring,
+    two_moons,
+    uniform_noise,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "dataset_a",
+    "dataset_b",
+    "dataset_c",
+    "load_dataset",
+    "Metric",
+    "available_metrics",
+    "chebyshev",
+    "euclidean",
+    "get_metric",
+    "manhattan",
+    "minkowski_metric",
+    "pairwise_distances",
+    "register_metric",
+    "squared_euclidean",
+    "as_rng",
+    "gaussian_blobs",
+    "random_cluster_dataset",
+    "ring",
+    "two_moons",
+    "uniform_noise",
+]

@@ -1,0 +1,231 @@
+"""Synthetic point-set generators.
+
+The paper evaluates on three 2-D point sets (Figure 6) that were never
+published; these generators produce seeded synthetic equivalents with the
+same cardinalities and described characteristics, plus generic shapes
+(blobs, rings, moons, uniform noise) used by the examples and tests.
+
+All generators take an explicit seed or ``numpy.random.Generator`` so every
+experiment in this repository is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_rng",
+    "gaussian_blobs",
+    "uniform_noise",
+    "ring",
+    "two_moons",
+    "random_cluster_dataset",
+]
+
+
+def as_rng(seed: int | np.random.Generator) -> np.random.Generator:
+    """Coerce a seed or generator into a ``numpy.random.Generator``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def gaussian_blobs(
+    counts: list[int],
+    centers: np.ndarray,
+    stds: list[float] | float,
+    seed: int | np.random.Generator = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample isotropic Gaussian clusters.
+
+    Args:
+        counts: points per cluster.
+        centers: cluster centers, shape ``(k, d)``.
+        stds: per-cluster standard deviation (scalar broadcasts).
+        seed: RNG seed or generator.
+
+    Returns:
+        ``(points, labels)`` with ground-truth labels ``0..k-1``.
+
+    Raises:
+        ValueError: on length mismatches.
+    """
+    rng = as_rng(seed)
+    centers = np.asarray(centers, dtype=float)
+    k = centers.shape[0]
+    if len(counts) != k:
+        raise ValueError(f"{k} centers but {len(counts)} counts")
+    if np.isscalar(stds):
+        stds = [float(stds)] * k
+    if len(stds) != k:
+        raise ValueError(f"{k} centers but {len(stds)} stds")
+    parts, labels = [], []
+    for cid, (count, center, std) in enumerate(zip(counts, centers, stds)):
+        parts.append(rng.normal(loc=center, scale=std, size=(count, centers.shape[1])))
+        labels.append(np.full(count, cid, dtype=np.intp))
+    points = np.concatenate(parts) if parts else np.empty((0, centers.shape[1]))
+    truth = np.concatenate(labels) if labels else np.empty(0, dtype=np.intp)
+    return points, truth
+
+
+def uniform_noise(
+    n: int,
+    bounds: tuple[float, float] | np.ndarray,
+    dim: int = 2,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Uniform background noise in an axis-aligned box.
+
+    Args:
+        n: number of points.
+        bounds: ``(low, high)`` applied to every axis, or a ``(d, 2)``
+            per-axis array.
+        dim: dimensionality when ``bounds`` is a scalar pair.
+        seed: RNG seed or generator.
+
+    Returns:
+        Array of shape ``(n, dim)``.
+    """
+    rng = as_rng(seed)
+    bounds = np.asarray(bounds, dtype=float)
+    if bounds.shape == (2,):
+        low = np.full(dim, bounds[0])
+        high = np.full(dim, bounds[1])
+    else:
+        low, high = bounds[:, 0], bounds[:, 1]
+        dim = low.size
+    return rng.uniform(low, high, size=(n, dim))
+
+
+def ring(
+    n: int,
+    center: tuple[float, float],
+    radius: float,
+    width: float,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """A 2-D annulus — the non-globular shape k-means famously fails on.
+
+    Args:
+        n: number of points.
+        center: ring center.
+        radius: mean radius.
+        width: radial Gaussian jitter (std).
+        seed: RNG seed or generator.
+
+    Returns:
+        Array of shape ``(n, 2)``.
+    """
+    rng = as_rng(seed)
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    radii = rng.normal(radius, width, size=n)
+    return np.column_stack(
+        [
+            center[0] + radii * np.cos(angles),
+            center[1] + radii * np.sin(angles),
+        ]
+    )
+
+
+def two_moons(
+    n: int,
+    *,
+    noise: float = 0.06,
+    scale: float = 1.0,
+    seed: int | np.random.Generator = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The classic interleaved half-moons, another non-globular workload.
+
+    Args:
+        n: total number of points (split evenly).
+        noise: isotropic Gaussian jitter (std, before scaling).
+        scale: scale factor applied to the unit-moon layout.
+        seed: RNG seed or generator.
+
+    Returns:
+        ``(points, labels)`` with labels 0/1 per moon.
+    """
+    rng = as_rng(seed)
+    n_upper = n // 2
+    n_lower = n - n_upper
+    theta_upper = rng.uniform(0.0, np.pi, size=n_upper)
+    theta_lower = rng.uniform(0.0, np.pi, size=n_lower)
+    upper = np.column_stack([np.cos(theta_upper), np.sin(theta_upper)])
+    lower = np.column_stack([1.0 - np.cos(theta_lower), 0.5 - np.sin(theta_lower)])
+    points = np.concatenate([upper, lower])
+    points += rng.normal(0.0, noise, size=points.shape)
+    labels = np.concatenate(
+        [np.zeros(n_upper, dtype=np.intp), np.ones(n_lower, dtype=np.intp)]
+    )
+    return points * scale, labels
+
+
+def random_cluster_dataset(
+    n: int,
+    n_clusters: int,
+    *,
+    noise_fraction: float = 0.05,
+    bounds: tuple[float, float] = (0.0, 100.0),
+    std_range: tuple[float, float] = (1.5, 3.0),
+    min_separation: float = 12.0,
+    seed: int | np.random.Generator = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Randomly placed Gaussian clusters plus uniform noise.
+
+    This is the template for the paper's data set A ("randomly generated
+    data/cluster"): cluster centers are drawn uniformly but rejected until
+    they keep ``min_separation`` distance, sizes are drawn from a Dirichlet
+    split, and a ``noise_fraction`` share of points is uniform background.
+
+    Args:
+        n: total number of points (clusters + noise).
+        n_clusters: number of Gaussian clusters.
+        noise_fraction: share of uniform background noise in ``[0, 1)``.
+        bounds: square domain ``(low, high)`` on both axes.
+        std_range: per-cluster std drawn uniformly from this interval.
+        min_separation: minimum pairwise center distance (falls back to the
+            best effort after 1000 rejected draws).
+        seed: RNG seed or generator.
+
+    Returns:
+        ``(points, labels)`` where noise carries label ``-1``.
+
+    Raises:
+        ValueError: for invalid fractions or counts.
+    """
+    if not 0 <= noise_fraction < 1:
+        raise ValueError(f"noise_fraction must be in [0, 1), got {noise_fraction}")
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    rng = as_rng(seed)
+    n_noise = int(round(n * noise_fraction))
+    n_clustered = n - n_noise
+    low, high = bounds
+    margin = 0.08 * (high - low)
+
+    centers: list[np.ndarray] = []
+    attempts = 0
+    while len(centers) < n_clusters:
+        candidate = rng.uniform(low + margin, high - margin, size=2)
+        attempts += 1
+        if attempts > 1000 or all(
+            np.linalg.norm(candidate - c) >= min_separation for c in centers
+        ):
+            centers.append(candidate)
+    weights = rng.dirichlet(np.full(n_clusters, 8.0))
+    counts = np.maximum(1, np.round(weights * n_clustered).astype(int))
+    # Fix rounding so the counts sum exactly to n_clustered.
+    while counts.sum() > n_clustered:
+        counts[int(np.argmax(counts))] -= 1
+    while counts.sum() < n_clustered:
+        counts[int(np.argmin(counts))] += 1
+    stds = rng.uniform(std_range[0], std_range[1], size=n_clusters)
+    points, labels = gaussian_blobs(
+        list(map(int, counts)), np.asarray(centers), list(map(float, stds)), rng
+    )
+    if n_noise:
+        noise_points = uniform_noise(n_noise, bounds, dim=2, seed=rng)
+        points = np.concatenate([points, noise_points])
+        labels = np.concatenate([labels, np.full(n_noise, -1, dtype=np.intp)])
+    order = rng.permutation(points.shape[0])
+    return points[order], labels[order]

@@ -1,0 +1,185 @@
+"""Data partitioners: how the database is spread over client sites.
+
+The paper's evaluation "equally distributed the data set onto the different
+client sites" — i.e. a uniform random split (:func:`uniform_random`).  The
+other partitioners probe that assumption in the ablation benchmarks:
+
+* :func:`round_robin` — deterministic equal split,
+* :func:`spatial_blocks` — geography-correlated sites (e.g. the paper's
+  DaimlerChrysler Europe/US motivation: each site sees one region),
+* :func:`skewed_sizes` — sites of very different cardinality (supermarket
+  chains with big and small stores).
+
+All partitioners return an *assignment array*: per object, the id of the
+site it is placed on.  ``split`` materializes the per-site point arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import as_rng
+
+__all__ = [
+    "uniform_random",
+    "round_robin",
+    "spatial_blocks",
+    "skewed_sizes",
+    "split",
+    "PARTITIONERS",
+    "partition",
+]
+
+
+def _check(n: int, n_sites: int) -> None:
+    if n_sites < 1:
+        raise ValueError(f"n_sites must be >= 1, got {n_sites}")
+    if n < n_sites:
+        raise ValueError(f"cannot spread {n} objects over {n_sites} sites")
+
+
+def uniform_random(
+    n: int, n_sites: int, seed: int | np.random.Generator = 0
+) -> np.ndarray:
+    """Equal-size random assignment (the paper's setting).
+
+    Sites receive ``n // n_sites`` objects each (the remainder spread one
+    by one), membership chosen by a random permutation.
+
+    Args:
+        n: number of objects.
+        n_sites: number of client sites.
+        seed: RNG seed or generator.
+
+    Returns:
+        Assignment array of length ``n``.
+    """
+    _check(n, n_sites)
+    rng = as_rng(seed)
+    assignment = np.arange(n, dtype=np.intp) % n_sites
+    return assignment[rng.permutation(n)]
+
+
+def round_robin(n: int, n_sites: int) -> np.ndarray:
+    """Deterministic equal split: object ``i`` goes to site ``i % n_sites``."""
+    _check(n, n_sites)
+    return np.arange(n, dtype=np.intp) % n_sites
+
+
+def spatial_blocks(points: np.ndarray, n_sites: int, axis: int = 0) -> np.ndarray:
+    """Geography-correlated split: contiguous slabs along one axis.
+
+    Every site sees one spatial region — the hardest case for DBDC, since
+    clusters that straddle slab borders exist on no site in full.
+
+    Args:
+        points: array of shape ``(n, d)``.
+        n_sites: number of sites.
+        axis: coordinate axis to slice along.
+
+    Returns:
+        Assignment array of length ``n``.
+    """
+    points = np.asarray(points, dtype=float)
+    _check(points.shape[0], n_sites)
+    order = np.argsort(points[:, axis], kind="stable")
+    assignment = np.empty(points.shape[0], dtype=np.intp)
+    chunks = np.array_split(order, n_sites)
+    for site, chunk in enumerate(chunks):
+        assignment[chunk] = site
+    return assignment
+
+
+def skewed_sizes(
+    n: int,
+    n_sites: int,
+    *,
+    ratio: float = 4.0,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Random assignment with geometrically skewed site sizes.
+
+    Site ``i`` receives a share proportional to ``ratio^(-i)``: with the
+    default ratio the largest site holds ~``ratio``× the next one.
+
+    Args:
+        n: number of objects.
+        n_sites: number of sites.
+        ratio: size ratio between consecutive sites (> 1).
+        seed: RNG seed or generator.
+
+    Returns:
+        Assignment array of length ``n`` (every site non-empty).
+
+    Raises:
+        ValueError: if ``ratio <= 1``.
+    """
+    if ratio <= 1:
+        raise ValueError(f"ratio must be > 1, got {ratio}")
+    _check(n, n_sites)
+    rng = as_rng(seed)
+    shares = np.power(ratio, -np.arange(n_sites, dtype=float))
+    shares /= shares.sum()
+    counts = np.maximum(1, np.floor(shares * n).astype(int))
+    while counts.sum() > n:
+        counts[int(np.argmax(counts))] -= 1
+    while counts.sum() < n:
+        counts[int(np.argmin(counts))] += 1
+    assignment = np.repeat(np.arange(n_sites, dtype=np.intp), counts)
+    return assignment[rng.permutation(n)]
+
+
+def split(points: np.ndarray, assignment: np.ndarray) -> list[np.ndarray]:
+    """Materialize per-site point arrays from an assignment.
+
+    Args:
+        points: array of shape ``(n, d)``.
+        assignment: per object, the site id.
+
+    Returns:
+        One array per site id ``0..max``.
+    """
+    points = np.asarray(points, dtype=float)
+    assignment = np.asarray(assignment, dtype=np.intp)
+    if assignment.size != points.shape[0]:
+        raise ValueError(
+            f"{points.shape[0]} points but {assignment.size} assignments"
+        )
+    n_sites = int(assignment.max()) + 1 if assignment.size else 0
+    return [points[assignment == site] for site in range(n_sites)]
+
+
+PARTITIONERS = ("uniform_random", "round_robin", "spatial_blocks", "skewed_sizes")
+
+
+def partition(
+    points: np.ndarray,
+    n_sites: int,
+    strategy: str = "uniform_random",
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Dispatch to a partitioner by name.
+
+    Args:
+        points: array of shape ``(n, d)``.
+        n_sites: number of client sites.
+        strategy: one of :data:`PARTITIONERS`.
+        seed: RNG seed (ignored by deterministic strategies).
+
+    Returns:
+        Assignment array of length ``n``.
+
+    Raises:
+        ValueError: for unknown strategies.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    if strategy == "uniform_random":
+        return uniform_random(n, n_sites, seed)
+    if strategy == "round_robin":
+        return round_robin(n, n_sites)
+    if strategy == "spatial_blocks":
+        return spatial_blocks(points, n_sites)
+    if strategy == "skewed_sizes":
+        return skewed_sizes(n, n_sites, seed=seed)
+    raise ValueError(f"unknown strategy {strategy!r}; known: {PARTITIONERS}")

@@ -1,0 +1,192 @@
+"""Distributed aggregate queries over a relabeled federation (§7).
+
+After the update step, "these updated local client clusterings help the
+clients to answer server questions efficiently, e.g. questions such as
+'give me all objects on your site which belong to the global cluster
+4711'".  This module implements the query layer that sentence implies:
+
+* per-cluster membership retrieval (the paper's literal example),
+* distributed aggregates computed from per-site partials — counts,
+  centroids, bounding boxes, spreads — without moving raw objects
+  (each site ships constant-size partial statistics per cluster),
+* a whole-federation summary (`cluster_summary`).
+
+The aggregation pattern is the classic one: sites compute
+``(count, sum, sum-of-squares, min, max)`` locally; the server combines
+partials associatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.labels import NOISE
+from repro.distributed.site import ClientSite
+
+__all__ = ["ClusterAggregate", "SitePartial", "FederationQueries"]
+
+
+@dataclass
+class SitePartial:
+    """One site's constant-size contribution to a cluster aggregate.
+
+    Attributes:
+        site_id: contributing site.
+        count: members of the cluster on this site.
+        coordinate_sum: per-dimension sum of member coordinates.
+        coordinate_sq_sum: per-dimension sum of squared coordinates.
+        lower: per-dimension minimum.
+        upper: per-dimension maximum.
+    """
+
+    site_id: int
+    count: int
+    coordinate_sum: np.ndarray
+    coordinate_sq_sum: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+
+    @classmethod
+    def from_points(cls, site_id: int, points: np.ndarray) -> "SitePartial":
+        """Compute the partial for one site's members of a cluster."""
+        points = np.asarray(points, dtype=float)
+        if points.shape[0] == 0:
+            raise ValueError("a partial needs at least one member")
+        return cls(
+            site_id=site_id,
+            count=points.shape[0],
+            coordinate_sum=points.sum(axis=0),
+            coordinate_sq_sum=(points * points).sum(axis=0),
+            lower=points.min(axis=0),
+            upper=points.max(axis=0),
+        )
+
+    @property
+    def n_bytes(self) -> int:
+        """Wire size of the partial (what actually travels)."""
+        dim = self.coordinate_sum.size
+        return 4 + 4 + 4 * dim * 8  # ids + count + four float64 vectors
+
+
+@dataclass
+class ClusterAggregate:
+    """Combined statistics of one global cluster across the federation.
+
+    Attributes:
+        global_id: the cluster.
+        count: total members.
+        centroid: federation-wide mean position.
+        std: per-dimension standard deviation.
+        lower: bounding-box minimum.
+        upper: bounding-box maximum.
+        per_site_counts: site id → member count.
+    """
+
+    global_id: int
+    count: int
+    centroid: np.ndarray
+    std: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    per_site_counts: dict[int, int]
+
+    @classmethod
+    def combine(cls, global_id: int, partials: list[SitePartial]) -> "ClusterAggregate":
+        """Associatively merge site partials into the aggregate.
+
+        Raises:
+            ValueError: with no partials.
+        """
+        if not partials:
+            raise ValueError(f"no partials for global cluster {global_id}")
+        count = sum(p.count for p in partials)
+        coordinate_sum = np.sum([p.coordinate_sum for p in partials], axis=0)
+        sq_sum = np.sum([p.coordinate_sq_sum for p in partials], axis=0)
+        centroid = coordinate_sum / count
+        variance = np.maximum(0.0, sq_sum / count - centroid**2)
+        return cls(
+            global_id=global_id,
+            count=count,
+            centroid=centroid,
+            std=np.sqrt(variance),
+            lower=np.min([p.lower for p in partials], axis=0),
+            upper=np.max([p.upper for p in partials], axis=0),
+            per_site_counts={p.site_id: p.count for p in partials},
+        )
+
+
+class FederationQueries:
+    """Server-side query interface over relabeled client sites.
+
+    Args:
+        sites: client sites that have completed the relabeling step.
+
+    Raises:
+        RuntimeError: if any site has not been relabeled yet (surfaced on
+            first query).
+    """
+
+    def __init__(self, sites: list[ClientSite]) -> None:
+        self._sites = sites
+
+    # ------------------------------------------------------------------
+    # membership (the paper's literal example)
+    # ------------------------------------------------------------------
+    def objects_of(self, global_id: int) -> dict[int, np.ndarray]:
+        """All members of a global cluster, keyed by site."""
+        return {
+            site.site_id: site.objects_of_global_cluster(global_id)
+            for site in self._sites
+        }
+
+    def global_cluster_ids(self) -> np.ndarray:
+        """Sorted ids of global clusters with at least one member."""
+        ids: set[int] = set()
+        for site in self._sites:
+            labels = site.global_labels
+            ids.update(int(v) for v in np.unique(labels[labels != NOISE]))
+        return np.asarray(sorted(ids), dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # aggregates from per-site partials
+    # ------------------------------------------------------------------
+    def _partials_of(self, global_id: int) -> tuple[list[SitePartial], int]:
+        partials = []
+        traffic = 0
+        for site in self._sites:
+            members = site.objects_of_global_cluster(global_id)
+            if members.shape[0] == 0:
+                continue
+            partial = SitePartial.from_points(site.site_id, members)
+            partials.append(partial)
+            traffic += partial.n_bytes
+        return partials, traffic
+
+    def aggregate(self, global_id: int) -> ClusterAggregate:
+        """Federation-wide statistics of one global cluster.
+
+        Raises:
+            KeyError: if no site holds members of ``global_id``.
+        """
+        partials, __ = self._partials_of(global_id)
+        if not partials:
+            raise KeyError(f"no members of global cluster {global_id}")
+        return ClusterAggregate.combine(global_id, partials)
+
+    def aggregate_traffic_bytes(self, global_id: int) -> int:
+        """Bytes of partials the aggregate moved (vs raw member bytes)."""
+        __, traffic = self._partials_of(global_id)
+        return traffic
+
+    def cluster_summary(self) -> list[ClusterAggregate]:
+        """Aggregates of every non-empty global cluster, by id."""
+        return [self.aggregate(int(gid)) for gid in self.global_cluster_ids()]
+
+    def noise_count(self) -> int:
+        """Objects that remain noise across the whole federation."""
+        return sum(
+            int(np.count_nonzero(site.global_labels == NOISE))
+            for site in self._sites
+        )

@@ -1,0 +1,161 @@
+"""The central server: collects local models, builds the global model.
+
+Two server flavors are provided:
+
+* :class:`CentralServer` — the paper's mainline: wait for all local models,
+  run DBSCAN(``Eps_global``, ``MinPts_global = 2``) over the union of
+  representatives once.
+* :class:`IncrementalServer` — the extension Section 6 motivates ("the
+  incremental version of DBSCAN allows us to start with the construction of
+  the global model after the first representatives of any local model come
+  in"): representatives are inserted into an incremental DBSCAN as they
+  arrive, so a consistent global model is available at any time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.clustering.incremental import IncrementalDBSCAN
+from repro.core.global_model import (
+    MIN_PTS_GLOBAL,
+    GlobalClusteringStats,
+    build_global_model,
+)
+from repro.core.models import GlobalModel, LocalModel, Representative
+from repro.data.distance import Metric, get_metric
+
+__all__ = ["CentralServer", "IncrementalServer"]
+
+
+class CentralServer:
+    """Batch server: one global clustering after all models arrived.
+
+    Args:
+        eps_global: merge radius; ``None`` → the paper's default (max ε_r).
+        metric: distance metric.
+        index_kind: neighbor index for the server-side DBSCAN.
+    """
+
+    def __init__(
+        self,
+        eps_global: float | None = None,
+        *,
+        metric: str | Metric = "euclidean",
+        index_kind: str = "auto",
+    ) -> None:
+        self.eps_global = eps_global
+        self.metric = get_metric(metric)
+        self.index_kind = index_kind
+        self.local_models: list[LocalModel] = []
+        self.global_seconds = 0.0
+        self._model: GlobalModel | None = None
+        self._stats: GlobalClusteringStats | None = None
+
+    def receive_local_model(self, model: LocalModel) -> None:
+        """Store a site's local model (any arrival order)."""
+        self.local_models.append(model)
+
+    def build(self) -> GlobalModel:
+        """Step 3: cluster all representatives into the global model.
+
+        Returns:
+            The :class:`~repro.core.models.GlobalModel` to broadcast.
+
+        Raises:
+            RuntimeError: when no local model has arrived.
+        """
+        if not self.local_models:
+            raise RuntimeError("no local models received")
+        start = time.perf_counter()
+        self._model, self._stats = build_global_model(
+            self.local_models,
+            eps_global=self.eps_global,
+            metric=self.metric,
+            index_kind=self.index_kind,
+        )
+        self.global_seconds = time.perf_counter() - start
+        return self._model
+
+    @property
+    def model(self) -> GlobalModel:
+        """The built global model (raises before :meth:`build`)."""
+        if self._model is None:
+            raise RuntimeError("global model has not been built yet")
+        return self._model
+
+    @property
+    def stats(self) -> GlobalClusteringStats:
+        """Server-side clustering statistics (raises before :meth:`build`)."""
+        if self._stats is None:
+            raise RuntimeError("global model has not been built yet")
+        return self._stats
+
+
+class IncrementalServer:
+    """Streaming server: the global clustering is maintained as
+    representatives arrive (incremental DBSCAN under the hood).
+
+    Unlike :class:`CentralServer`, the merge radius must be fixed up front —
+    the paper's ε_r-derived default needs all models, a streaming server
+    cannot wait for them.  Use ``2·Eps_local`` (the paper's observed
+    default) when in doubt.
+
+    Args:
+        eps_global: merge radius (required, positive).
+        dim: representative dimensionality.
+        metric: distance metric.
+    """
+
+    def __init__(
+        self,
+        eps_global: float,
+        dim: int,
+        *,
+        metric: str | Metric = "euclidean",
+    ) -> None:
+        if eps_global <= 0:
+            raise ValueError(f"eps_global must be positive, got {eps_global}")
+        self.eps_global = float(eps_global)
+        self.metric = get_metric(metric)
+        self._incremental = IncrementalDBSCAN(
+            eps_global, MIN_PTS_GLOBAL, dim, metric=self.metric
+        )
+        self._representatives: list[Representative] = []
+
+    def receive_representative(self, rep: Representative) -> None:
+        """Insert one representative into the evolving global clustering."""
+        self._incremental.insert(rep.point)
+        self._representatives.append(rep)
+
+    def receive_local_model(self, model: LocalModel) -> None:
+        """Insert all representatives of one local model."""
+        for rep in model.representatives:
+            self.receive_representative(rep)
+
+    @property
+    def n_representatives(self) -> int:
+        """Representatives inserted so far."""
+        return len(self._representatives)
+
+    def snapshot(self) -> GlobalModel:
+        """A consistent global model over everything received so far.
+
+        DBSCAN-noise representatives are promoted to singleton clusters,
+        exactly as in the batch server.
+
+        Returns:
+            A :class:`~repro.core.models.GlobalModel`.
+        """
+        labels = self._incremental.labels().copy()
+        next_id = int(labels.max()) + 1 if (labels >= 0).any() else 0
+        for i, label in enumerate(labels):
+            if label < 0:
+                labels[i] = next_id
+                next_id += 1
+        return GlobalModel(
+            representatives=list(self._representatives),
+            global_labels=labels,
+            eps_global=self.eps_global,
+            min_pts_global=MIN_PTS_GLOBAL,
+        )

@@ -1,0 +1,154 @@
+"""A client site: owns local data, clusters it, builds and ships its model.
+
+The site object is deliberately self-contained — it never reads another
+site's points, mirroring the paper's architecture where "we abstain from an
+additional communication between the various client sites as we assume that
+they are independent from each other" (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.labels import NOISE
+from repro.core.local import LocalClusteringOutcome, build_local_model
+from repro.core.models import GlobalModel, LocalModel
+from repro.core.relabel import RelabelStats, relabel_site
+from repro.data.distance import Metric, get_metric
+
+__all__ = ["ClientSite"]
+
+
+@dataclass
+class _SitePhaseTimes:
+    local_seconds: float = 0.0
+    relabel_seconds: float = 0.0
+
+
+class ClientSite:
+    """One client of the DBDC protocol.
+
+    Args:
+        site_id: unique site identifier.
+        points: the site's objects, shape ``(n, d)``.
+        eps_local: local DBSCAN ``Eps``.
+        min_pts_local: local DBSCAN ``MinPts``.
+        scheme: local model scheme (``"rep_scor"`` / ``"rep_kmeans"``).
+        metric: distance metric.
+        index_kind: neighbor index kind.
+    """
+
+    def __init__(
+        self,
+        site_id: int,
+        points: np.ndarray,
+        *,
+        eps_local: float,
+        min_pts_local: int,
+        scheme: str = "rep_scor",
+        metric: str | Metric = "euclidean",
+        index_kind: str = "auto",
+    ) -> None:
+        self.site_id = site_id
+        self.points = np.asarray(points, dtype=float)
+        self.eps_local = float(eps_local)
+        self.min_pts_local = int(min_pts_local)
+        self.scheme = scheme
+        self.metric = get_metric(metric)
+        self.index_kind = index_kind
+        self.times = _SitePhaseTimes()
+        self._outcome: LocalClusteringOutcome | None = None
+        self._global_labels: np.ndarray | None = None
+        self._relabel_stats: RelabelStats | None = None
+
+    # ------------------------------------------------------------------
+    # protocol steps
+    # ------------------------------------------------------------------
+    def run_local_clustering(self) -> LocalModel:
+        """Steps 1+2: cluster locally, derive the local model.
+
+        Returns:
+            The :class:`~repro.core.models.LocalModel` to transmit.
+        """
+        start = time.perf_counter()
+        self._outcome = build_local_model(
+            self.points,
+            self.eps_local,
+            self.min_pts_local,
+            scheme=self.scheme,
+            site_id=self.site_id,
+            metric=self.metric,
+            index_kind=self.index_kind,
+        )
+        self.times.local_seconds = time.perf_counter() - start
+        return self._outcome.model
+
+    def receive_global_model(self, model: GlobalModel) -> RelabelStats:
+        """Step 4: relabel local objects with global cluster ids.
+
+        Args:
+            model: the broadcast global model.
+
+        Returns:
+            The site's :class:`~repro.core.relabel.RelabelStats`.
+
+        Raises:
+            RuntimeError: when called before :meth:`run_local_clustering`.
+        """
+        if self._outcome is None:
+            raise RuntimeError("run_local_clustering must run before relabeling")
+        start = time.perf_counter()
+        self._global_labels, self._relabel_stats = relabel_site(
+            self.points,
+            self._outcome.clustering.labels,
+            model,
+            site_id=self.site_id,
+            metric=self.metric,
+        )
+        self.times.relabel_seconds = time.perf_counter() - start
+        return self._relabel_stats
+
+    # ------------------------------------------------------------------
+    # post-protocol queries (Section 7: "give me all objects on your site
+    # which belong to the global cluster 4711")
+    # ------------------------------------------------------------------
+    @property
+    def local_outcome(self) -> LocalClusteringOutcome:
+        """The site's local clustering (raises before step 1)."""
+        if self._outcome is None:
+            raise RuntimeError("local clustering has not run yet")
+        return self._outcome
+
+    @property
+    def global_labels(self) -> np.ndarray:
+        """Per-object global labels (raises before step 4)."""
+        if self._global_labels is None:
+            raise RuntimeError("global model has not been received yet")
+        return self._global_labels
+
+    @property
+    def relabel_stats(self) -> RelabelStats:
+        """Relabeling bookkeeping (raises before step 4)."""
+        if self._relabel_stats is None:
+            raise RuntimeError("global model has not been received yet")
+        return self._relabel_stats
+
+    def objects_of_global_cluster(self, global_id: int) -> np.ndarray:
+        """Answer the server's membership query for one global cluster.
+
+        Args:
+            global_id: a global cluster id.
+
+        Returns:
+            The site's objects belonging to that cluster, shape ``(m, d)``.
+        """
+        members = np.flatnonzero(self.global_labels == global_id)
+        return self.points[members]
+
+    def noise_objects(self) -> np.ndarray:
+        """The site's objects that remain noise after the global update."""
+        members = np.flatnonzero(self.global_labels == NOISE)
+        return self.points[members]

@@ -1,0 +1,468 @@
+"""Ablation studies beyond the paper's reported figures.
+
+These probe the design choices DESIGN.md calls out:
+
+* **index ablation** — DBSCAN runtime under each neighbor index (grid,
+  kd-tree, R-tree, brute force); the paper's complexity discussion
+  (Section 9.1) hinges on the index making region queries sub-linear.
+* **partition ablation** — DBDC quality under the paper's uniform-random
+  split versus spatially correlated and size-skewed splits; the paper
+  only evaluates the uniform case.
+* **transmission ablation** — model bytes versus shipping the raw data,
+  the quantified version of the paper's "low transmission cost" claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.dbscan import dbscan
+from repro.core.dbdc import DBDCConfig, run_dbdc_partitioned
+from repro.data.datasets import dataset_a
+from repro.distributed.network import LinkSpec
+from repro.distributed.partition import partition
+from repro.experiments.common import central_reference, timed
+from repro.experiments.reporting import ExperimentTable
+from repro.quality.qdbdc import evaluate_quality
+
+__all__ = [
+    "run_index_ablation",
+    "run_partition_ablation",
+    "run_transmission_ablation",
+    "run_metric_ablation",
+    "run_dimension_ablation",
+    "run_noise_ablation",
+    "run_site_failure_ablation",
+    "run_compression_tradeoff",
+]
+
+
+def run_index_ablation(
+    *, cardinality: int = 10_000, seed: int = 42
+) -> ExperimentTable:
+    """DBSCAN runtime and query counts under each neighbor index.
+
+    Args:
+        cardinality: data set A size.
+        seed: generation seed.
+
+    Returns:
+        Table over index kinds; all must produce the identical clustering.
+    """
+    data = dataset_a(cardinality=cardinality, seed=seed)
+    table = ExperimentTable(
+        f"Ablation — neighbor index inside DBSCAN ({cardinality} objects)",
+        ["index", "runtime [s]", "clusters", "noise", "region queries"],
+    )
+    reference_labels = None
+    for kind in ("grid", "kdtree", "rtree", "brute"):
+        result, seconds = timed(
+            dbscan, data.points, data.eps_local, data.min_pts, index_kind=kind
+        )
+        if reference_labels is None:
+            reference_labels = result.labels
+        elif not np.array_equal(result.labels, reference_labels):
+            raise AssertionError(f"index {kind!r} changed the DBSCAN output")
+        table.add_row(kind, seconds, result.n_clusters, result.n_noise, result.n_region_queries)
+    table.add_note("all indexes are exact: identical labels, different speed")
+    return table
+
+
+def run_partition_ablation(
+    *,
+    cardinality: int = 8_700,
+    n_sites: int = 4,
+    seed: int = 42,
+) -> ExperimentTable:
+    """DBDC quality under different data-to-site assignments.
+
+    The paper assumes an equal random split; spatially correlated sites
+    are the adversarial case (local clusters ≠ global clusters).
+
+    Args:
+        cardinality: data set A size.
+        n_sites: client sites.
+        seed: generation / partitioning seed.
+
+    Returns:
+        Table over partition strategies with ``P^I``/``P^II``.
+    """
+    data = dataset_a(cardinality=cardinality, seed=seed)
+    central, __ = central_reference(data.points, data.eps_local, data.min_pts)
+    table = ExperimentTable(
+        f"Ablation — partition strategy ({n_sites} sites, REP_Scor)",
+        ["strategy", "P^I [%]", "P^II [%]", "repr. [%]"],
+    )
+    for strategy in ("uniform_random", "round_robin", "spatial_blocks", "skewed_sizes"):
+        assignment = partition(data.points, n_sites, strategy, seed)
+        config = DBDCConfig(
+            eps_local=data.eps_local, min_pts_local=data.min_pts, scheme="rep_scor"
+        )
+        run = run_dbdc_partitioned(data.points, assignment, config)
+        quality = evaluate_quality(
+            run.labels_in_original_order(), central.labels, qp=data.min_pts
+        )
+        table.add_row(
+            strategy,
+            quality.q_p1_percent,
+            quality.q_p2_percent,
+            100.0 * run.result.representative_fraction,
+        )
+    table.add_note("the paper evaluates only the uniform_random setting")
+    return table
+
+
+def run_metric_ablation(
+    *,
+    cardinality: int = 4_000,
+    n_sites: int = 4,
+    seed: int = 42,
+) -> ExperimentTable:
+    """DBDC under different metrics (§4: DBSCAN works in any metric space).
+
+    The whole pipeline — local DBSCAN, specific ε-ranges, global merge,
+    relabeling — is metric-generic; this ablation runs it under three
+    ``L_p`` metrics and scores each against a central run *under the same
+    metric*.
+
+    Args:
+        cardinality: data set A size.
+        n_sites: client sites.
+        seed: generation / partitioning seed.
+
+    Returns:
+        Table over metrics with quality and cluster counts.
+    """
+    data = dataset_a(cardinality=cardinality, seed=seed)
+    table = ExperimentTable(
+        f"Ablation — metric-generic pipeline ({cardinality} objects, {n_sites} sites)",
+        ["metric", "central clusters", "DBDC clusters", "P^I [%]", "P^II [%]"],
+    )
+    for metric in ("euclidean", "manhattan", "chebyshev"):
+        central, __ = timed(
+            dbscan, data.points, data.eps_local, data.min_pts, metric=metric
+        )
+        assignment = partition(data.points, n_sites, "uniform_random", seed)
+        config = DBDCConfig(
+            eps_local=data.eps_local,
+            min_pts_local=data.min_pts,
+            scheme="rep_scor",
+            metric=metric,
+        )
+        run = run_dbdc_partitioned(data.points, assignment, config)
+        quality = evaluate_quality(
+            run.labels_in_original_order(), central.labels, qp=data.min_pts
+        )
+        table.add_row(
+            metric,
+            central.n_clusters,
+            run.result.n_global_clusters,
+            quality.q_p1_percent,
+            quality.q_p2_percent,
+        )
+    table.add_note(
+        "Eps is held constant across metrics; chebyshev balls are larger "
+        "and manhattan balls smaller than euclidean, so cluster counts may "
+        "differ — the distributed/central agreement is what is under test"
+    )
+    return table
+
+
+def run_dimension_ablation(
+    *,
+    n_per_cluster: int = 400,
+    n_clusters: int = 6,
+    n_sites: int = 4,
+    seed: int = 42,
+) -> ExperimentTable:
+    """DBDC beyond 2-D: quality and runtime as dimensionality grows.
+
+    The paper evaluates on 2-D point sets only; the algorithm itself is
+    dimension-agnostic.  Gaussian clusters are placed on a scaled simplex
+    in ``d`` dimensions; ``Eps`` is re-calibrated per dimension (ball
+    volume shrinks relative to the data spread as ``d`` grows).
+
+    Args:
+        n_per_cluster: objects per generated cluster.
+        n_clusters: number of clusters.
+        n_sites: client sites.
+        seed: generation / partitioning seed.
+
+    Returns:
+        Table over dimensions with quality and the DBDC/central runtimes.
+    """
+    import numpy as np
+
+    from repro.data.generators import gaussian_blobs
+
+    table = ExperimentTable(
+        f"Ablation — dimensionality ({n_clusters} clusters × {n_per_cluster} objects)",
+        ["dim", "Eps", "central [s]", "DBDC [s]", "P^I [%]", "P^II [%]"],
+    )
+    rng = np.random.default_rng(seed)
+    for dim, eps in ((2, 1.2), (3, 1.5), (5, 2.2), (8, 3.0)):
+        centers = rng.uniform(0, 40, size=(n_clusters, dim))
+        points, __truth = gaussian_blobs(
+            [n_per_cluster] * n_clusters, centers, 1.0, seed=rng
+        )
+        central, central_seconds = timed(dbscan, points, eps, 6)
+        assignment = partition(points, n_sites, "uniform_random", seed)
+        config = DBDCConfig(eps_local=eps, min_pts_local=6, scheme="rep_scor")
+        run, dbdc_wall = timed(run_dbdc_partitioned, points, assignment, config)
+        quality = evaluate_quality(
+            run.labels_in_original_order(), central.labels, qp=6
+        )
+        table.add_row(
+            dim,
+            eps,
+            central_seconds,
+            run.result.overall_seconds,
+            quality.q_p1_percent,
+            quality.q_p2_percent,
+        )
+    table.add_note("Eps grows with dim to keep the core-object rate comparable")
+    return table
+
+
+def run_compression_tradeoff(
+    *,
+    cardinality: int = 4_000,
+    n_sites: int = 4,
+    seed: int = 42,
+) -> ExperimentTable:
+    """The §5 trade-off made explicit: fewer representatives vs accuracy.
+
+    "We have to find an optimum trade-off between ... a small number of
+    representatives [and] an accurate description of a local cluster."
+    The number of specific core points is controlled by ``Eps_local``
+    (larger balls cover the cluster with fewer representatives), so this
+    ablation sweeps ``Eps_local`` and reports the representative share,
+    the transmitted bytes, and the quality each setting achieves — with
+    the central reference re-clustered at the same ``Eps`` so the
+    comparison stays apples-to-apples.
+
+    Args:
+        cardinality: data set A size.
+        n_sites: client sites.
+        seed: generation / partitioning seed.
+
+    Returns:
+        Table over ``Eps_local`` values; expected shape: representative
+        share falls monotonically with ``Eps_local`` while quality stays
+        high over a broad plateau.
+    """
+    from repro.data.datasets import dataset_a
+
+    data = dataset_a(cardinality=cardinality, seed=seed)
+    table = ExperimentTable(
+        f"Ablation — representatives vs accuracy (§5 trade-off, {n_sites} sites)",
+        ["Eps_local", "repr. [%]", "bytes up", "P^II Scor [%]", "central clusters"],
+    )
+    assignment = partition(data.points, n_sites, "uniform_random", seed)
+    for factor in (0.5, 0.75, 1.0, 1.5, 2.0):
+        eps = factor * data.eps_local
+        central, __ = timed(dbscan, data.points, eps, data.min_pts)
+        config = DBDCConfig(
+            eps_local=eps, min_pts_local=data.min_pts, scheme="rep_scor"
+        )
+        run = run_dbdc_partitioned(data.points, assignment, config)
+        quality = evaluate_quality(
+            run.labels_in_original_order(), central.labels, qp=data.min_pts
+        )
+        table.add_row(
+            eps,
+            100.0 * run.result.representative_fraction,
+            run.result.bytes_up,
+            quality.q_p2_percent,
+            central.n_clusters,
+        )
+    table.add_note(
+        "each row compares against a central DBSCAN run at the same Eps"
+    )
+    return table
+
+
+def run_noise_ablation(
+    *,
+    cardinality: int = 4_000,
+    n_sites: int = 4,
+    seed: int = 42,
+) -> ExperimentTable:
+    """DBDC quality as the noise share grows (generalizing data set B).
+
+    The paper shows one "very noisy" data set (B) scoring lowest under
+    ``P^II``; this ablation sweeps the noise fraction of the data set A
+    structure to trace the whole degradation curve for both local models.
+
+    Args:
+        cardinality: total objects.
+        n_sites: client sites.
+        seed: generation / partitioning seed.
+
+    Returns:
+        Table over noise fractions with ``P^I``/``P^II`` per scheme.
+    """
+    from repro.data.generators import random_cluster_dataset
+
+    eps, min_pts = 2.4, 6
+    table = ExperimentTable(
+        f"Ablation — noise share ({cardinality} objects, {n_sites} sites)",
+        ["noise [%]", "P^I Scor", "P^II Scor", "P^I kMeans", "P^II kMeans"],
+    )
+    for noise_fraction in (0.0, 0.05, 0.15, 0.30, 0.45):
+        points, __truth = random_cluster_dataset(
+            cardinality,
+            n_clusters=10,
+            noise_fraction=noise_fraction,
+            min_separation=20.0,
+            seed=seed,
+        )
+        central, __ = timed(dbscan, points, eps, min_pts)
+        assignment = partition(points, n_sites, "uniform_random", seed)
+        row = [100.0 * noise_fraction]
+        for scheme in ("rep_scor", "rep_kmeans"):
+            config = DBDCConfig(
+                eps_local=eps, min_pts_local=min_pts, scheme=scheme
+            )
+            run = run_dbdc_partitioned(points, assignment, config)
+            quality = evaluate_quality(
+                run.labels_in_original_order(), central.labels, qp=min_pts
+            )
+            row.extend([quality.q_p1_percent, quality.q_p2_percent])
+        table.add_row(*row)
+    table.add_note("same cluster layout per row; only the uniform background grows")
+    return table
+
+
+def run_site_failure_ablation(
+    *,
+    cardinality: int = 4_000,
+    n_sites: int = 8,
+    seed: int = 42,
+) -> ExperimentTable:
+    """Failure injection: some sites never deliver their local model.
+
+    The paper's server simply clusters whatever models arrived; this
+    ablation measures how gracefully the global clustering degrades when
+    1, 2 or 4 of 8 sites are unreachable.  Surviving sites still relabel
+    with the partial global model; the failed sites' objects count as
+    "noise" in the comparison (they got no labels at all).
+
+    Args:
+        cardinality: total objects.
+        n_sites: client sites.
+        seed: generation / partitioning seed.
+
+    Returns:
+        Table over failure counts; quality is measured twice — over the
+        surviving sites' objects only, and over all objects (failed sites'
+        objects scored as unlabeled noise).
+    """
+    import numpy as np
+
+    from repro.clustering.labels import NOISE
+    from repro.core.global_model import build_global_model
+    from repro.core.local import build_local_model
+    from repro.core.relabel import relabel_site
+    from repro.data.datasets import dataset_a
+    from repro.distributed.partition import split
+
+    data = dataset_a(cardinality=cardinality, seed=seed)
+    central, __ = timed(dbscan, data.points, data.eps_local, data.min_pts)
+    assignment = partition(data.points, n_sites, "uniform_random", seed)
+    parts = split(data.points, assignment)
+    outcomes = [
+        build_local_model(
+            parts[sid], data.eps_local, data.min_pts, scheme="rep_scor", site_id=sid
+        )
+        for sid in range(n_sites)
+    ]
+    table = ExperimentTable(
+        f"Ablation — site failures ({n_sites} sites, REP_Scor)",
+        [
+            "failed sites",
+            "global clusters",
+            "P^II surviving [%]",
+            "P^II overall [%]",
+        ],
+    )
+    for n_failed in (0, 1, 2, 4):
+        alive = list(range(n_failed, n_sites))
+        models = [outcomes[sid].model for sid in alive]
+        global_model, __stats = build_global_model(models)
+        labels = np.full(data.n, NOISE, dtype=np.intp)
+        surviving_mask = np.zeros(data.n, dtype=bool)
+        for sid in alive:
+            members = np.flatnonzero(assignment == sid)
+            site_labels, __r = relabel_site(
+                parts[sid],
+                outcomes[sid].clustering.labels,
+                global_model,
+                site_id=sid,
+            )
+            labels[members] = site_labels
+            surviving_mask[members] = True
+        surviving = evaluate_quality(
+            labels[surviving_mask], central.labels[surviving_mask], qp=data.min_pts
+        )
+        overall = evaluate_quality(labels, central.labels, qp=data.min_pts)
+        table.add_row(
+            n_failed,
+            int(np.unique(labels[labels >= 0]).size),
+            surviving.q_p2_percent,
+            overall.q_p2_percent,
+        )
+    table.add_note(
+        "surviving sites keep near-central quality — lost sites cost only "
+        "their own objects, never the others' clustering"
+    )
+    return table
+
+
+def run_transmission_ablation(
+    *,
+    cardinality: int = 8_700,
+    n_sites: int = 4,
+    seed: int = 42,
+) -> ExperimentTable:
+    """Model bytes vs raw-data bytes, per scheme (the §1 cost claim).
+
+    Args:
+        cardinality: data set A size.
+        n_sites: client sites.
+        seed: generation / partitioning seed.
+
+    Returns:
+        Table with upstream volume, raw baseline and simulated WAN times.
+    """
+    data = dataset_a(cardinality=cardinality, seed=seed)
+    link = LinkSpec()
+    table = ExperimentTable(
+        f"Ablation — transmission volume ({cardinality} objects, {n_sites} sites)",
+        [
+            "scheme",
+            "model bytes (up)",
+            "raw bytes",
+            "volume ratio [%]",
+            "model WAN [s]",
+            "raw WAN [s]",
+        ],
+    )
+    raw_bytes = data.n * data.points.shape[1] * 8
+    for scheme in ("rep_scor", "rep_kmeans"):
+        assignment = partition(data.points, n_sites, "uniform_random", seed)
+        config = DBDCConfig(
+            eps_local=data.eps_local, min_pts_local=data.min_pts, scheme=scheme
+        )
+        run = run_dbdc_partitioned(data.points, assignment, config)
+        up = run.result.bytes_up
+        table.add_row(
+            scheme,
+            up,
+            raw_bytes,
+            100.0 * up / raw_bytes,
+            link.transfer_seconds(up),
+            link.transfer_seconds(raw_bytes),
+        )
+    table.add_note("WAN times simulated at 10 Mbit/s, 50 ms latency")
+    return table

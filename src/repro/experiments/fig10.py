@@ -1,0 +1,85 @@
+"""Figure 10 (table) — quality vs number of client sites.
+
+The paper's only numeric table: data set A distributed over
+{2, 4, 5, 8, 10, 14, 20} sites with ``Eps_global = 2·Eps_local``, reporting
+the representative share of the data volume and ``Q_DBDC`` under ``P^I``
+and ``P^II`` for both local models.  Expected shape:
+
+* representative share roughly constant (~16-17 % in the paper),
+* ``P^I`` high and flat regardless of the site count (again: unsuitable),
+* ``P^II`` high with a mild decline at many sites (14-20).
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import dataset_a
+from repro.experiments.common import central_reference, dataset_trial
+from repro.experiments.reporting import ExperimentTable
+
+__all__ = ["run_fig10", "FIG10_SITES"]
+
+FIG10_SITES = (2, 4, 5, 8, 10, 14, 20)
+
+
+def run_fig10(
+    sites=FIG10_SITES,
+    *,
+    cardinality: int = 8_700,
+    seed: int = 42,
+) -> ExperimentTable:
+    """Regenerate the Figure 10 table.
+
+    Args:
+        sites: site counts to sweep (paper: 2, 4, 5, 8, 10, 14, 20).
+        cardinality: data set A size.
+        seed: data / partitioning seed.
+
+    Returns:
+        Table matching the paper's columns: representative share and
+        ``P^I``/``P^II`` for ``REP_kMeans`` and ``REP_Scor``.
+    """
+    data = dataset_a(cardinality=cardinality, seed=seed)
+    central, central_seconds = central_reference(
+        data.points, data.eps_local, data.min_pts
+    )
+    eps_global = 2.0 * data.eps_local
+    table = ExperimentTable(
+        "Fig. 10 — quality vs number of sites (data set A, Eps_global = 2·Eps_local)",
+        [
+            "sites",
+            "local repr. [%]",
+            "P^I kMeans",
+            "P^II kMeans",
+            "P^I Scor",
+            "P^II Scor",
+        ],
+    )
+    for n_sites in sites:
+        row: dict[str, float] = {}
+        repr_percent = 0.0
+        for scheme in ("rep_kmeans", "rep_scor"):
+            trial = dataset_trial(
+                data,
+                n_sites=n_sites,
+                scheme=scheme,
+                eps_global=eps_global,
+                seed=seed,
+                central=central,
+                central_seconds=central_seconds,
+            )
+            row[f"p1_{scheme}"] = trial.quality.q_p1_percent
+            row[f"p2_{scheme}"] = trial.quality.q_p2_percent
+            repr_percent = trial.representative_percent
+        table.add_row(
+            n_sites,
+            repr_percent,
+            row["p1_rep_kmeans"],
+            row["p2_rep_kmeans"],
+            row["p1_rep_scor"],
+            row["p2_rep_scor"],
+        )
+    table.add_note(
+        "both schemes transmit one representative per specific core point, "
+        "so the representative share column applies to both"
+    )
+    return table

@@ -1,0 +1,101 @@
+"""Figure 7 — overall runtime vs cardinality (central vs DBDC).
+
+The paper scales data set A to various cardinalities and compares a
+central DBSCAN run against DBDC with both local models on 4 sites:
+
+* **7a** (large cardinalities, up to 100 000): DBDC wins by more than an
+  order of magnitude at 100 000 points; ``REP_Scor``'s local model is
+  cheaper to compute than ``REP_kMeans``'s.
+* **7b** (small cardinalities): DBDC is slightly *slower* than central
+  clustering (distribution overhead), but the overhead is almost
+  negligible.
+
+DBDC's runtime uses the paper's accounting: max(local) + global.
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import dataset_a
+from repro.experiments.common import central_reference, run_trial
+from repro.experiments.reporting import ExperimentTable
+
+__all__ = ["run_fig7a", "run_fig7b", "FIG7A_CARDINALITIES", "FIG7B_CARDINALITIES"]
+
+FIG7A_CARDINALITIES = (10_000, 25_000, 50_000, 100_000)
+FIG7B_CARDINALITIES = (500, 1_000, 2_000, 5_000, 10_000)
+
+_N_SITES = 4
+
+
+def _sweep(cardinalities, *, n_sites: int, seed: int) -> ExperimentTable:
+    table = ExperimentTable(
+        "runtime vs cardinality (data set A structure)",
+        [
+            "objects",
+            "central DBSCAN [s]",
+            "DBDC(REP_Scor) [s]",
+            "DBDC(REP_kMeans) [s]",
+            "speed-up Scor",
+            "speed-up kMeans",
+        ],
+    )
+    for n in cardinalities:
+        data = dataset_a(cardinality=n, seed=seed)
+        central, central_seconds = central_reference(
+            data.points, data.eps_local, data.min_pts
+        )
+        times = {}
+        for scheme in ("rep_scor", "rep_kmeans"):
+            trial = run_trial(
+                data.points,
+                n_sites=n_sites,
+                eps_local=data.eps_local,
+                min_pts=data.min_pts,
+                scheme=scheme,
+                seed=seed,
+                evaluate=False,
+            )
+            times[scheme] = trial.overall_seconds
+        table.add_row(
+            n,
+            central_seconds,
+            times["rep_scor"],
+            times["rep_kmeans"],
+            central_seconds / times["rep_scor"] if times["rep_scor"] else float("inf"),
+            central_seconds / times["rep_kmeans"] if times["rep_kmeans"] else float("inf"),
+        )
+    table.add_note(f"{n_sites} sites, sequential simulation, overall = max(local) + global")
+    return table
+
+
+def run_fig7a(
+    cardinalities=FIG7A_CARDINALITIES, *, n_sites: int = _N_SITES, seed: int = 42
+) -> ExperimentTable:
+    """Regenerate Figure 7a (high cardinalities).
+
+    Args:
+        cardinalities: point counts to sweep.
+        n_sites: client sites for DBDC.
+        seed: data generation / partitioning seed.
+
+    Returns:
+        The runtime table; expected shape: DBDC ≫ central at the top end.
+    """
+    table = _sweep(cardinalities, n_sites=n_sites, seed=seed)
+    table.title = "Fig. 7a — " + table.title + " (high cardinalities)"
+    return table
+
+
+def run_fig7b(
+    cardinalities=FIG7B_CARDINALITIES, *, n_sites: int = _N_SITES, seed: int = 42
+) -> ExperimentTable:
+    """Regenerate Figure 7b (small cardinalities).
+
+    Args: as :func:`run_fig7a`.
+
+    Returns:
+        The runtime table; expected shape: small-n overhead for DBDC.
+    """
+    table = _sweep(cardinalities, n_sites=n_sites, seed=seed)
+    table.title = "Fig. 7b — " + table.title + " (small cardinalities)"
+    return table

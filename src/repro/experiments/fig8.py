@@ -1,0 +1,78 @@
+"""Figure 8 — overall runtime and speed-up vs number of sites.
+
+The paper fixes a 203 000-point data set (A's structure) and varies the
+number of client sites, comparing ``DBDC(REP_Scor)`` to one central DBSCAN
+run.  The observed speed-up grows with the number of sites, "somewhere
+between O(n) and O(n²)" in their flavor, because DBSCAN itself is
+super-linear in the input size.
+
+The default cardinality here is 50 000 so the harness stays laptop-fast;
+pass ``cardinality=203_000`` for the paper's full setting.
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import dataset_a
+from repro.experiments.common import central_reference, run_trial
+from repro.experiments.reporting import ExperimentTable
+
+__all__ = ["run_fig8", "FIG8_SITES"]
+
+FIG8_SITES = (1, 2, 4, 6, 8, 12, 16, 20)
+
+
+def run_fig8(
+    sites=FIG8_SITES,
+    *,
+    cardinality: int = 50_000,
+    seed: int = 42,
+    scheme: str = "rep_scor",
+    repeats: int = 2,
+) -> ExperimentTable:
+    """Regenerate Figure 8 (runtime + speed-up vs #sites).
+
+    Args:
+        sites: site counts to sweep.
+        cardinality: data set size (paper: 203 000).
+        seed: data / partitioning seed.
+        scheme: local model (paper uses ``REP_Scor`` here).
+        repeats: runs per site count; the fastest is reported (at many
+            sites the per-site times are tiny and scheduling jitter would
+            otherwise dominate the column).
+
+    Returns:
+        Table with DBDC runtime and the speed-up over central DBSCAN;
+        expected shape: speed-up grows monotonically with #sites.
+    """
+    data = dataset_a(cardinality=cardinality, seed=seed)
+    central, central_seconds = central_reference(
+        data.points, data.eps_local, data.min_pts
+    )
+    table = ExperimentTable(
+        f"Fig. 8 — runtime vs number of sites ({cardinality} objects, {scheme})",
+        ["sites", "central DBSCAN [s]", "DBDC [s]", "speed-up"],
+    )
+    for n_sites in sites:
+        dbdc_seconds = min(
+            run_trial(
+                data.points,
+                n_sites=n_sites,
+                eps_local=data.eps_local,
+                min_pts=data.min_pts,
+                scheme=scheme,
+                seed=seed + attempt,
+                evaluate=False,
+            ).overall_seconds
+            for attempt in range(max(1, repeats))
+        )
+        table.add_row(
+            n_sites,
+            central_seconds,
+            dbdc_seconds,
+            central_seconds / dbdc_seconds if dbdc_seconds else float("inf"),
+        )
+    table.add_note(
+        "overall DBDC runtime = max(local clustering) + global clustering; "
+        f"fastest of {repeats} runs per row"
+    )
+    return table

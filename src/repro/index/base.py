@@ -1,0 +1,84 @@
+"""The neighbor-index abstraction used by DBSCAN and OPTICS.
+
+The original DBDC/DBSCAN implementations perform their region queries through
+a spatial access method (the paper uses R*-trees for vector data and mentions
+M-trees for metric data).  Everything in this reproduction that needs an
+``Eps``-range query goes through the small :class:`NeighborIndex` protocol
+defined here, so the index can be swapped (brute force, uniform grid,
+kd-tree, R-tree) without touching the clustering code.
+
+An index is built once over an immutable point set and answers:
+
+* ``region_query(i, eps)`` — indices of all points within distance ``eps``
+  of the *indexed* point ``i`` (including ``i`` itself, matching the
+  definition of ``N_Eps(q)`` in the paper),
+* ``range_query(q, eps)`` — same for an arbitrary query point ``q``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.distance import Metric, get_metric
+
+__all__ = ["NeighborIndex"]
+
+
+class NeighborIndex(abc.ABC):
+    """Abstract exact ``Eps``-neighborhood index over a fixed point set.
+
+    Subclasses index ``points`` (shape ``(n, d)``) under ``metric`` at
+    construction time.  All queries are *exact*: approximate indexes would
+    change DBSCAN's output and are out of scope for the reproduction.
+    """
+
+    def __init__(self, points: np.ndarray, metric: str | Metric = "euclidean") -> None:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError(f"points must be a 2-D array, got shape {points.shape}")
+        self._points = points
+        self._metric = get_metric(metric)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point set (read-only view)."""
+        return self._points
+
+    @property
+    def metric(self) -> Metric:
+        """Metric the index was built under."""
+        return self._metric
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    def region_query(self, index: int, eps: float) -> np.ndarray:
+        """``N_Eps`` of an indexed point.
+
+        Args:
+            index: row index of the query point in the indexed set.
+            eps: neighborhood radius (inclusive).
+
+        Returns:
+            Sorted integer array of neighbor indices; always contains
+            ``index`` itself (a point is in its own ``Eps``-neighborhood).
+        """
+        return self.range_query(self._points[index], eps)
+
+    @abc.abstractmethod
+    def range_query(self, query: np.ndarray, eps: float) -> np.ndarray:
+        """Indices of all indexed points within ``eps`` of ``query``.
+
+        Args:
+            query: point of shape ``(d,)``; need not be part of the index.
+            eps: neighborhood radius (inclusive).
+
+        Returns:
+            Sorted integer array of matching indices.
+        """
+
+    def count_in_range(self, query: np.ndarray, eps: float) -> int:
+        """Number of indexed points within ``eps`` of ``query``."""
+        return int(self.range_query(query, eps).size)

@@ -1,0 +1,44 @@
+"""Quality measures for distributed clusterings (Section 8) and classical
+external measures used as cross-checks.
+"""
+
+from repro.quality.breakdown import (
+    ClusterMatch,
+    QualityBreakdown,
+    quality_breakdown,
+)
+from repro.quality.external import (
+    adjusted_rand_index,
+    jaccard_index,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+)
+from repro.quality.pfunctions import (
+    OverlapTables,
+    object_quality_p1,
+    object_quality_p2,
+    per_object_p1,
+    per_object_p2,
+)
+from repro.quality.qdbdc import QualityReport, evaluate_quality, q_dbdc_p1, q_dbdc_p2
+
+__all__ = [
+    "ClusterMatch",
+    "QualityBreakdown",
+    "quality_breakdown",
+    "OverlapTables",
+    "object_quality_p1",
+    "object_quality_p2",
+    "per_object_p1",
+    "per_object_p2",
+    "QualityReport",
+    "evaluate_quality",
+    "q_dbdc_p1",
+    "q_dbdc_p2",
+    "rand_index",
+    "adjusted_rand_index",
+    "jaccard_index",
+    "normalized_mutual_information",
+    "purity",
+]

@@ -1,0 +1,146 @@
+"""Per-cluster quality breakdown: *where* a distributed clustering loses.
+
+``Q_DBDC`` is a single number; when it drops, the first question is which
+clusters are responsible — a split, a merge, noise promotion?  This module
+matches distributed clusters to central clusters by best Jaccard overlap
+and reports the loss per cluster, which is exactly the diagnostic loop the
+calibration of this reproduction went through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.labels import NOISE
+from repro.quality.pfunctions import OverlapTables
+
+__all__ = ["ClusterMatch", "QualityBreakdown", "quality_breakdown"]
+
+
+@dataclass(frozen=True)
+class ClusterMatch:
+    """One distributed cluster matched to its best central counterpart.
+
+    Attributes:
+        distributed_id: the distributed cluster.
+        central_id: best-overlap central cluster (``-1`` when the cluster
+            consists solely of centrally-noise objects).
+        jaccard: overlap quality ``|∩| / |∪|`` of the matched pair.
+        size_distributed: members of the distributed cluster.
+        size_central: members of the matched central cluster (0 for -1).
+        intersection: members shared by the pair.
+    """
+
+    distributed_id: int
+    central_id: int
+    jaccard: float
+    size_distributed: int
+    size_central: int
+    intersection: int
+
+    @property
+    def is_split_or_merge(self) -> bool:
+        """Heuristic flag: a poor match signals a split/merge artifact.
+
+        A clean two-way split/merge scores exactly 0.5, hence the
+        inclusive threshold.
+        """
+        return self.jaccard <= 0.5
+
+
+@dataclass
+class QualityBreakdown:
+    """Full decomposition of a distributed-vs-central comparison.
+
+    Attributes:
+        matches: per distributed cluster, its best central match (sorted
+            by ascending Jaccard — worst offenders first).
+        unmatched_central: central cluster ids that are no distributed
+            cluster's best match (typically split victims).
+        n_noise_agree: objects that are noise in both clusterings.
+        n_noise_promoted: central-noise objects inside distributed
+            clusters (over-eager ε-ranges).
+        n_noise_lost: centrally-clustered objects that the distributed
+            run left as noise (under-coverage).
+    """
+
+    matches: list[ClusterMatch]
+    unmatched_central: list[int]
+    n_noise_agree: int
+    n_noise_promoted: int
+    n_noise_lost: int
+
+    def worst(self, k: int = 5) -> list[ClusterMatch]:
+        """The ``k`` lowest-Jaccard matches."""
+        return self.matches[:k]
+
+    def to_text(self) -> str:
+        """Human-readable report."""
+        lines = ["per-cluster quality breakdown", "=" * 30]
+        for match in self.matches:
+            flag = "  <-- split/merge" if match.is_split_or_merge else ""
+            lines.append(
+                f"distributed {match.distributed_id:>4d} -> central "
+                f"{match.central_id:>4d}: J={match.jaccard:.3f} "
+                f"(|d|={match.size_distributed}, |c|={match.size_central}, "
+                f"∩={match.intersection}){flag}"
+            )
+        if self.unmatched_central:
+            lines.append(f"central clusters without a counterpart: {self.unmatched_central}")
+        lines.append(
+            f"noise: {self.n_noise_agree} agree, "
+            f"{self.n_noise_promoted} promoted (central noise in a "
+            f"distributed cluster), {self.n_noise_lost} lost (centrally "
+            f"clustered but distributed noise)"
+        )
+        return "\n".join(lines)
+
+
+def quality_breakdown(
+    distributed: np.ndarray, central: np.ndarray
+) -> QualityBreakdown:
+    """Decompose the quality comparison cluster by cluster.
+
+    Args:
+        distributed: distributed labels (noise = -1).
+        central: central reference labels, same length.
+
+    Returns:
+        A :class:`QualityBreakdown` (matches sorted worst-first).
+    """
+    tables = OverlapTables(distributed, central)
+    matches: list[ClusterMatch] = []
+    matched_central: set[int] = set()
+    for d_id, d_size in sorted(tables.size_d.items()):
+        best_c, best_j, best_inter = -1, 0.0, 0
+        for (d, c), inter in tables.intersection.items():
+            if d != d_id:
+                continue
+            j = tables.jaccard(d, c)
+            if j > best_j:
+                best_c, best_j, best_inter = c, j, inter
+        matches.append(
+            ClusterMatch(
+                distributed_id=d_id,
+                central_id=best_c,
+                jaccard=best_j,
+                size_distributed=d_size,
+                size_central=tables.size_c.get(best_c, 0),
+                intersection=best_inter,
+            )
+        )
+        if best_c != -1:
+            matched_central.add(best_c)
+    matches.sort(key=lambda m: m.jaccard)
+    unmatched = sorted(set(tables.size_c) - matched_central)
+    dist = tables.distributed
+    cent = tables.central
+    return QualityBreakdown(
+        matches=matches,
+        unmatched_central=unmatched,
+        n_noise_agree=int(np.count_nonzero((dist == NOISE) & (cent == NOISE))),
+        n_noise_promoted=int(np.count_nonzero((dist != NOISE) & (cent == NOISE))),
+        n_noise_lost=int(np.count_nonzero((dist == NOISE) & (cent != NOISE))),
+    )

@@ -1,0 +1,147 @@
+"""Standard external clustering-comparison measures, built from scratch.
+
+The paper argues that no established quality measure existed for
+*distributed* clusterings and introduces ``P^I``/``P^II``.  To put those on
+solid ground, this module provides the classical external measures as
+cross-checks (used by the ablation benchmarks and the test suite):
+
+* Rand index and adjusted Rand index (ARI),
+* Jaccard index over co-clustered pairs,
+* normalized mutual information (NMI),
+* purity.
+
+Noise handling follows the common convention for density-based results:
+each noise object is treated as its own singleton cluster, so two
+clusterings that agree on noise agree on those singletons.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.clustering.labels import NOISE, validate_labels
+
+__all__ = [
+    "rand_index",
+    "adjusted_rand_index",
+    "jaccard_index",
+    "normalized_mutual_information",
+    "purity",
+]
+
+
+def _noise_as_singletons(labels: np.ndarray) -> np.ndarray:
+    """Replace every noise label with a fresh singleton cluster id."""
+    labels = validate_labels(labels).copy()
+    next_id = int(labels.max()) + 1 if (labels >= 0).any() else 0
+    for i, label in enumerate(labels):
+        if label == NOISE:
+            labels[i] = next_id
+            next_id += 1
+    return labels
+
+
+def _contingency(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Dense contingency matrix of two noise-free label arrays."""
+    left_ids, left_inv = np.unique(left, return_inverse=True)
+    right_ids, right_inv = np.unique(right, return_inverse=True)
+    table = np.zeros((left_ids.size, right_ids.size), dtype=np.int64)
+    np.add.at(table, (left_inv, right_inv), 1)
+    return table
+
+
+def _pair_counts(left: np.ndarray, right: np.ndarray) -> tuple[int, int, int, int]:
+    """(a, b, c, d) pair counts: together/together, together/apart, ..."""
+    table = _contingency(left, right)
+    n = int(table.sum())
+
+    def comb2(values: np.ndarray) -> int:
+        values = values.astype(np.int64)
+        return int((values * (values - 1) // 2).sum())
+
+    together_both = comb2(table.ravel())
+    together_left = comb2(table.sum(axis=1))
+    together_right = comb2(table.sum(axis=0))
+    total_pairs = n * (n - 1) // 2
+    a = together_both
+    b = together_left - together_both
+    c = together_right - together_both
+    d = total_pairs - a - b - c
+    return a, b, c, d
+
+
+def _prepare(left: np.ndarray, right: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    left = validate_labels(left)
+    right = validate_labels(right)
+    if left.shape != right.shape:
+        raise ValueError(f"label arrays must align, got {left.shape} vs {right.shape}")
+    return _noise_as_singletons(left), _noise_as_singletons(right)
+
+
+def rand_index(left: np.ndarray, right: np.ndarray) -> float:
+    """Rand index in ``[0, 1]`` (1.0 for identical partitions)."""
+    left, right = _prepare(left, right)
+    if left.size < 2:
+        return 1.0
+    a, b, c, d = _pair_counts(left, right)
+    return (a + d) / (a + b + c + d)
+
+
+def adjusted_rand_index(left: np.ndarray, right: np.ndarray) -> float:
+    """Adjusted Rand index (chance-corrected; 1.0 for identical partitions)."""
+    left, right = _prepare(left, right)
+    if left.size < 2:
+        return 1.0
+    a, b, c, d = _pair_counts(left, right)
+    total = a + b + c + d
+    expected = (a + b) * (a + c) / total if total else 0.0
+    maximum = ((a + b) + (a + c)) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (a - expected) / (maximum - expected)
+
+
+def jaccard_index(left: np.ndarray, right: np.ndarray) -> float:
+    """Jaccard index over co-clustered pairs (1.0 for identical partitions)."""
+    left, right = _prepare(left, right)
+    if left.size < 2:
+        return 1.0
+    a, b, c, __ = _pair_counts(left, right)
+    denominator = a + b + c
+    return a / denominator if denominator else 1.0
+
+
+def normalized_mutual_information(left: np.ndarray, right: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalization (1.0 for identical partitions)."""
+    left, right = _prepare(left, right)
+    n = left.size
+    if n == 0:
+        return 1.0
+    table = _contingency(left, right).astype(float)
+    joint = table / n
+    p_left = joint.sum(axis=1)
+    p_right = joint.sum(axis=0)
+    mutual = 0.0
+    for i in range(joint.shape[0]):
+        for j in range(joint.shape[1]):
+            p = joint[i, j]
+            if p > 0:
+                mutual += p * math.log(p / (p_left[i] * p_right[j]))
+    h_left = -sum(p * math.log(p) for p in p_left if p > 0)
+    h_right = -sum(p * math.log(p) for p in p_right if p > 0)
+    normalizer = (h_left + h_right) / 2.0
+    if normalizer == 0.0:
+        return 1.0
+    # Clamp tiny negative rounding residue (mutual information is >= 0).
+    return min(1.0, max(0.0, mutual / normalizer))
+
+
+def purity(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Purity of ``predicted`` against ``reference`` (asymmetric, in [0,1])."""
+    predicted, reference = _prepare(predicted, reference)
+    if predicted.size == 0:
+        return 1.0
+    table = _contingency(predicted, reference)
+    return float(table.max(axis=1).sum()) / predicted.size

@@ -1,0 +1,190 @@
+"""Object quality functions ``P^I`` and ``P^II`` (Definitions 10 and 11).
+
+Both functions score a single object ``x`` by comparing the cluster it ended
+up in under the *distributed* clustering against the cluster it belongs to
+under the *central* reference clustering:
+
+* ``P^I`` (discrete): 1 when ``x`` is noise in both clusterings; 0 when it
+  is noise in exactly one; for clustered/clustered, 1 iff the two clusters
+  share at least ``qp`` objects (default ``qp = MinPts`` — "asking for less
+  than MinPts elements in both clusters would weaken the quality criterion
+  unnecessarily"), else 0.
+* ``P^II`` (continuous): 1 when noise in both, 0 when noise in exactly one,
+  otherwise the Jaccard coefficient ``|C_d ∩ C_c| / |C_d ∪ C_c|``.
+
+Note on the printed paper: the case tables of Definitions 10/11 are garbled
+(guards contradict their own cases).  The implementation follows the only
+self-consistent reading, which matches the prose around the definitions and
+the sanity requirement that comparing a clustering to itself yields 100 %.
+The property tests pin this down (``tests/test_quality_properties.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.labels import NOISE, validate_labels
+
+__all__ = [
+    "object_quality_p1",
+    "object_quality_p2",
+    "per_object_p1",
+    "per_object_p2",
+    "OverlapTables",
+]
+
+
+class OverlapTables:
+    """Precomputed cluster-overlap statistics for a pair of clusterings.
+
+    Evaluating ``P`` for every object naively intersects its two clusters
+    per object; this helper computes, once, for every pair of co-occurring
+    cluster ids ``(d, c)``:
+
+    * ``intersection[(d, c)]`` = ``|C_d ∩ C_c|``,
+    * the cluster sizes, from which ``|C_d ∪ C_c|`` follows by
+      inclusion-exclusion.
+
+    Args:
+        distributed: label array of the distributed clustering.
+        central: label array of the central reference clustering.
+
+    Raises:
+        ValueError: on length mismatch.
+    """
+
+    def __init__(self, distributed: np.ndarray, central: np.ndarray) -> None:
+        distributed = validate_labels(distributed)
+        central = validate_labels(central)
+        if distributed.shape != central.shape:
+            raise ValueError(
+                f"label arrays must align, got {distributed.shape} vs {central.shape}"
+            )
+        self.distributed = distributed
+        self.central = central
+        self.size_d: dict[int, int] = {}
+        self.size_c: dict[int, int] = {}
+        self.intersection: dict[tuple[int, int], int] = {}
+        for d, c in zip(distributed, central):
+            d, c = int(d), int(c)
+            if d != NOISE:
+                self.size_d[d] = self.size_d.get(d, 0) + 1
+            if c != NOISE:
+                self.size_c[c] = self.size_c.get(c, 0) + 1
+            if d != NOISE and c != NOISE:
+                self.intersection[(d, c)] = self.intersection.get((d, c), 0) + 1
+
+    def jaccard(self, d: int, c: int) -> float:
+        """``|C_d ∩ C_c| / |C_d ∪ C_c|`` for a pair of cluster ids."""
+        inter = self.intersection.get((d, c), 0)
+        union = self.size_d[d] + self.size_c[c] - inter
+        return inter / union if union else 0.0
+
+
+def object_quality_p1(
+    in_noise_distr: bool,
+    in_noise_central: bool,
+    overlap: int,
+    qp: int,
+) -> int:
+    """Scalar ``P^I`` for one object (Definition 10).
+
+    Args:
+        in_noise_distr: object is noise in the distributed clustering.
+        in_noise_central: object is noise in the central clustering.
+        overlap: ``|C_d ∩ C_c|`` (ignored when either side is noise).
+        qp: quality parameter (the paper recommends ``MinPts``).
+
+    Returns:
+        0 or 1.
+    """
+    if in_noise_distr and in_noise_central:
+        return 1
+    if in_noise_distr or in_noise_central:
+        return 0
+    return 1 if overlap >= qp else 0
+
+
+def object_quality_p2(
+    in_noise_distr: bool,
+    in_noise_central: bool,
+    jaccard: float,
+) -> float:
+    """Scalar ``P^II`` for one object (Definition 11).
+
+    Args:
+        in_noise_distr: object is noise in the distributed clustering.
+        in_noise_central: object is noise in the central clustering.
+        jaccard: ``|C_d ∩ C_c| / |C_d ∪ C_c|`` (ignored when either side
+            is noise).
+
+    Returns:
+        A value in ``[0, 1]``.
+    """
+    if in_noise_distr and in_noise_central:
+        return 1.0
+    if in_noise_distr or in_noise_central:
+        return 0.0
+    return float(jaccard)
+
+
+def per_object_p1(
+    distributed: np.ndarray,
+    central: np.ndarray,
+    qp: int,
+    *,
+    tables: OverlapTables | None = None,
+) -> np.ndarray:
+    """Vector of ``P^I(x)`` over all objects.
+
+    Args:
+        distributed: distributed labels.
+        central: central reference labels.
+        qp: quality parameter (paper default: the clustering's ``MinPts``).
+        tables: optional precomputed :class:`OverlapTables`.
+
+    Returns:
+        Integer array of 0/1 scores.
+    """
+    if qp < 1:
+        raise ValueError(f"qp must be >= 1, got {qp}")
+    if tables is None:
+        tables = OverlapTables(distributed, central)
+    out = np.empty(tables.distributed.size, dtype=np.intp)
+    for i, (d, c) in enumerate(zip(tables.distributed, tables.central)):
+        d, c = int(d), int(c)
+        overlap = tables.intersection.get((d, c), 0) if d != NOISE and c != NOISE else 0
+        out[i] = object_quality_p1(d == NOISE, c == NOISE, overlap, qp)
+    return out
+
+
+def per_object_p2(
+    distributed: np.ndarray,
+    central: np.ndarray,
+    *,
+    tables: OverlapTables | None = None,
+) -> np.ndarray:
+    """Vector of ``P^II(x)`` over all objects.
+
+    Args:
+        distributed: distributed labels.
+        central: central reference labels.
+        tables: optional precomputed :class:`OverlapTables`.
+
+    Returns:
+        Float array of scores in ``[0, 1]``.
+    """
+    if tables is None:
+        tables = OverlapTables(distributed, central)
+    out = np.empty(tables.distributed.size, dtype=float)
+    jaccard_cache: dict[tuple[int, int], float] = {}
+    for i, (d, c) in enumerate(zip(tables.distributed, tables.central)):
+        d, c = int(d), int(c)
+        if d == NOISE or c == NOISE:
+            out[i] = object_quality_p2(d == NOISE, c == NOISE, 0.0)
+            continue
+        key = (d, c)
+        if key not in jaccard_cache:
+            jaccard_cache[key] = tables.jaccard(d, c)
+        out[i] = jaccard_cache[key]
+    return out

@@ -1,0 +1,107 @@
+"""The distributed clustering quality ``Q_DBDC`` (Definition 9).
+
+``Q_DBDC`` is the mean object quality over the database:
+
+    ``Q_DBDC = (1/n) * Σ P(x_i)``
+
+with ``P`` one of the object quality functions of
+:mod:`repro.quality.pfunctions`.  The paper reports both variants side by
+side (Figures 9-11) to argue that the continuous ``P^II`` is the more
+suitable criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quality.pfunctions import OverlapTables, per_object_p1, per_object_p2
+
+__all__ = ["QualityReport", "q_dbdc_p1", "q_dbdc_p2", "evaluate_quality"]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Both quality criteria for one distributed-vs-central comparison.
+
+    Attributes:
+        q_p1: ``Q_DBDC`` under the discrete ``P^I`` (in ``[0, 1]``).
+        q_p2: ``Q_DBDC`` under the continuous ``P^II`` (in ``[0, 1]``).
+        qp: quality parameter used by ``P^I``.
+        n_objects: number of objects compared.
+    """
+
+    q_p1: float
+    q_p2: float
+    qp: int
+    n_objects: int
+
+    @property
+    def q_p1_percent(self) -> float:
+        """``P^I`` quality in percent, as the paper's tables print it."""
+        return 100.0 * self.q_p1
+
+    @property
+    def q_p2_percent(self) -> float:
+        """``P^II`` quality in percent, as the paper's tables print it."""
+        return 100.0 * self.q_p2
+
+
+def q_dbdc_p1(
+    distributed: np.ndarray, central: np.ndarray, qp: int
+) -> float:
+    """``Q_DBDC`` under ``P^I``.
+
+    Args:
+        distributed: distributed labels.
+        central: central reference labels.
+        qp: quality parameter (paper default: ``MinPts``).
+
+    Returns:
+        Mean score in ``[0, 1]`` (1.0 for empty inputs by convention).
+    """
+    scores = per_object_p1(distributed, central, qp)
+    return float(scores.mean()) if scores.size else 1.0
+
+
+def q_dbdc_p2(distributed: np.ndarray, central: np.ndarray) -> float:
+    """``Q_DBDC`` under ``P^II``.
+
+    Args:
+        distributed: distributed labels.
+        central: central reference labels.
+
+    Returns:
+        Mean score in ``[0, 1]`` (1.0 for empty inputs by convention).
+    """
+    scores = per_object_p2(distributed, central)
+    return float(scores.mean()) if scores.size else 1.0
+
+
+def evaluate_quality(
+    distributed: np.ndarray,
+    central: np.ndarray,
+    *,
+    qp: int,
+) -> QualityReport:
+    """Compute both quality criteria in one pass.
+
+    Args:
+        distributed: distributed labels (aligned with ``central``).
+        central: central reference labels.
+        qp: quality parameter for ``P^I``.
+
+    Returns:
+        A :class:`QualityReport`.
+    """
+    tables = OverlapTables(distributed, central)
+    p1 = per_object_p1(distributed, central, qp, tables=tables)
+    p2 = per_object_p2(distributed, central, tables=tables)
+    n = tables.distributed.size
+    return QualityReport(
+        q_p1=float(p1.mean()) if n else 1.0,
+        q_p2=float(p2.mean()) if n else 1.0,
+        qp=qp,
+        n_objects=n,
+    )

@@ -1,0 +1,22 @@
+"""Self-contained SVG visualization: scatter/line/reachability charts and
+paper-figure rendering (no third-party plotting dependency)."""
+
+from repro.viz.charts import (
+    CLUSTER_COLORS,
+    line_chart,
+    reachability_plot,
+    save_svg,
+    scatter_plot,
+)
+from repro.viz.figures import render_all_figures
+from repro.viz.svg import SVGCanvas
+
+__all__ = [
+    "CLUSTER_COLORS",
+    "line_chart",
+    "reachability_plot",
+    "save_svg",
+    "scatter_plot",
+    "render_all_figures",
+    "SVGCanvas",
+]

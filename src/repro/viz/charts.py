@@ -1,0 +1,274 @@
+"""Chart builders on top of the SVG canvas: scatter, line, reachability.
+
+Every builder returns the SVG document as a string; callers save it with
+:meth:`repro.viz.svg.SVGCanvas.save` semantics via :func:`save_svg` or the
+figure helpers in :mod:`repro.viz.figures`.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.clustering.labels import NOISE
+from repro.viz.svg import SVGCanvas
+
+__all__ = ["CLUSTER_COLORS", "scatter_plot", "line_chart", "reachability_plot", "save_svg"]
+
+# A qualitative palette (clusters cycle through it; noise is light gray).
+CLUSTER_COLORS = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+    "#393b79", "#637939", "#8c6d31", "#843c39", "#7b4173",
+]
+NOISE_COLOR = "#c8c8c8"
+
+_MARGIN = 55.0
+
+
+def _nice_ticks(low: float, high: float, target: int = 5) -> list[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        return [low]
+    raw_step = (high - low) / max(1, target)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    first = math.ceil(low / step) * step
+    ticks = []
+    tick = first
+    while tick <= high + 1e-9 * step:
+        ticks.append(round(tick, 10))
+        tick += step
+    return ticks or [low]
+
+
+class _Frame:
+    """Maps data coordinates into the canvas' plotting area."""
+
+    def __init__(
+        self,
+        canvas: SVGCanvas,
+        x_range: tuple[float, float],
+        y_range: tuple[float, float],
+        *,
+        log_y: bool = False,
+    ) -> None:
+        self.canvas = canvas
+        self.log_y = log_y
+        self.x0, self.x1 = x_range
+        y0, y1 = y_range
+        if log_y:
+            y0, y1 = math.log10(max(y0, 1e-12)), math.log10(max(y1, 1e-12))
+        self.y0, self.y1 = y0, y1
+        if self.x1 == self.x0:
+            self.x1 = self.x0 + 1.0
+        if self.y1 == self.y0:
+            self.y1 = self.y0 + 1.0
+        self.left = _MARGIN
+        self.right = canvas.width - 20.0
+        self.top = 40.0
+        self.bottom = canvas.height - _MARGIN
+
+    def x(self, value: float) -> float:
+        return self.left + (value - self.x0) / (self.x1 - self.x0) * (self.right - self.left)
+
+    def y(self, value: float) -> float:
+        if self.log_y:
+            value = math.log10(max(value, 1e-12))
+        return self.bottom - (value - self.y0) / (self.y1 - self.y0) * (self.bottom - self.top)
+
+    def draw_axes(self, xlabel: str, ylabel: str, title: str) -> None:
+        canvas = self.canvas
+        canvas.line(self.left, self.bottom, self.right, self.bottom)
+        canvas.line(self.left, self.top, self.left, self.bottom)
+        canvas.text(canvas.width / 2, 20, title, size=14, anchor="middle")
+        canvas.text(
+            (self.left + self.right) / 2, canvas.height - 12, xlabel, anchor="middle"
+        )
+        canvas.text(
+            16, (self.top + self.bottom) / 2, ylabel, anchor="middle", rotate=-90.0
+        )
+        for tick in _nice_ticks(self.x0, self.x1):
+            px = self.x(tick)
+            canvas.line(px, self.bottom, px, self.bottom + 4)
+            canvas.text(px, self.bottom + 17, f"{tick:g}", size=10, anchor="middle")
+        y_ticks = (
+            [10 ** t for t in _nice_ticks(self.y0, self.y1)]
+            if self.log_y
+            else _nice_ticks(self.y0, self.y1)
+        )
+        for tick in y_ticks:
+            py = self.y(tick)
+            canvas.line(self.left - 4, py, self.left, py)
+            canvas.text(self.left - 7, py + 3, f"{tick:g}", size=10, anchor="end")
+            canvas.line(self.left, py, self.right, py, stroke="#eeeeee")
+
+
+def scatter_plot(
+    points: np.ndarray,
+    labels: np.ndarray | None = None,
+    *,
+    title: str = "",
+    width: int = 520,
+    height: int = 440,
+    point_radius: float = 1.6,
+) -> str:
+    """Scatter of a 2-D point set, colored by cluster label.
+
+    Args:
+        points: array of shape ``(n, 2)``.
+        labels: optional label array (noise = -1 renders gray).
+        title: chart title.
+        width: canvas width.
+        height: canvas height.
+        point_radius: marker radius.
+
+    Returns:
+        The SVG document.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"need (n, 2) points, got shape {points.shape}")
+    canvas = SVGCanvas(width, height)
+    if points.shape[0] == 0:
+        canvas.text(width / 2, height / 2, "(empty)", anchor="middle")
+        return canvas.to_string()
+    low = points.min(axis=0)
+    high = points.max(axis=0)
+    frame = _Frame(canvas, (low[0], high[0]), (low[1], high[1]))
+    frame.draw_axes("x", "y", title)
+    if labels is None:
+        labels = np.zeros(points.shape[0], dtype=np.intp)
+    labels = np.asarray(labels)
+    color_of: dict[int, str] = {}
+    for (x, y), label in zip(points, labels):
+        label = int(label)
+        if label == NOISE:
+            color = NOISE_COLOR
+        else:
+            if label not in color_of:
+                color_of[label] = CLUSTER_COLORS[len(color_of) % len(CLUSTER_COLORS)]
+            color = color_of[label]
+        canvas.circle(frame.x(x), frame.y(y), point_radius, fill=color, opacity=0.8)
+    return canvas.to_string()
+
+
+def line_chart(
+    x_values: list[float],
+    series: dict[str, list[float]],
+    *,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 560,
+    height: int = 400,
+    log_y: bool = False,
+) -> str:
+    """Multi-series line chart with a legend.
+
+    Args:
+        x_values: shared x coordinates.
+        series: name → y values (must align with ``x_values``).
+        title: chart title.
+        xlabel: x axis label.
+        ylabel: y axis label.
+        width: canvas width.
+        height: canvas height.
+        log_y: log-scale the y axis (runtime charts).
+
+    Returns:
+        The SVG document.
+
+    Raises:
+        ValueError: on empty or misaligned inputs.
+    """
+    if not x_values or not series:
+        raise ValueError("x_values and series must be non-empty")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} values for {len(x_values)} x"
+            )
+    canvas = SVGCanvas(width, height)
+    all_y = [y for ys in series.values() for y in ys]
+    frame = _Frame(
+        canvas,
+        (min(x_values), max(x_values)),
+        (min(all_y), max(all_y)),
+        log_y=log_y,
+    )
+    frame.draw_axes(xlabel, ylabel, title)
+    for i, (name, ys) in enumerate(series.items()):
+        color = CLUSTER_COLORS[i % len(CLUSTER_COLORS)]
+        coords = [(frame.x(x), frame.y(y)) for x, y in zip(x_values, ys)]
+        canvas.polyline(coords, stroke=color, stroke_width=2.0)
+        for cx, cy in coords:
+            canvas.circle(cx, cy, 2.6, fill=color)
+        # Legend entry.
+        ly = 34 + 16 * i
+        canvas.line(frame.right - 130, ly, frame.right - 110, ly, stroke=color, stroke_width=2.5)
+        canvas.text(frame.right - 104, ly + 4, name, size=11)
+    return canvas.to_string()
+
+
+def reachability_plot(
+    reachability_in_order: np.ndarray,
+    *,
+    eps_cut: float | None = None,
+    title: str = "OPTICS reachability plot",
+    width: int = 640,
+    height: int = 300,
+) -> str:
+    """The classic OPTICS bar plot (reachability per visit position).
+
+    Args:
+        reachability_in_order: reachability values in visit order
+            (``OPTICSResult.reachability_plot()``); infinities are drawn
+            at the finite maximum.
+        eps_cut: optional horizontal cut line.
+        title: chart title.
+        width: canvas width.
+        height: canvas height.
+
+    Returns:
+        The SVG document.
+    """
+    values = np.asarray(reachability_in_order, dtype=float)
+    if values.size == 0:
+        raise ValueError("reachability array is empty")
+    finite = values[np.isfinite(values)]
+    ceiling = float(finite.max()) * 1.05 if finite.size else 1.0
+    drawn = np.where(np.isfinite(values), values, ceiling)
+    canvas = SVGCanvas(width, height)
+    frame = _Frame(canvas, (0, values.size), (0, ceiling))
+    frame.draw_axes("visit order", "reachability", title)
+    bar_width = max(0.5, (frame.right - frame.left) / values.size)
+    for i, value in enumerate(drawn):
+        x = frame.x(i)
+        canvas.rect(
+            x,
+            frame.y(value),
+            bar_width,
+            frame.bottom - frame.y(value),
+            fill="#1f77b4",
+            stroke="none",
+            opacity=0.9,
+        )
+    if eps_cut is not None:
+        y = frame.y(eps_cut)
+        canvas.line(frame.left, y, frame.right, y, stroke="#d62728", dash="5,3")
+        canvas.text(frame.right - 4, y - 5, f"cut = {eps_cut:g}", size=10, anchor="end", fill="#d62728")
+    return canvas.to_string()
+
+
+def save_svg(document: str, path: str | Path) -> Path:
+    """Write an SVG string to disk (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(document)
+    return path

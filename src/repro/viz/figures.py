@@ -1,0 +1,159 @@
+"""Render the paper's figures as SVG files.
+
+``python -m repro.cli figures --out figures/`` (or
+:func:`render_all_figures`) regenerates graphical versions of the
+evaluation figures from the same experiment code the text tables use:
+
+* ``fig6_<A|B|C>.svg`` — the data sets, colored by a central DBSCAN run
+  (the scatter plots of the paper's Figure 6),
+* ``fig7a.svg`` / ``fig7b.svg`` — runtime vs cardinality,
+* ``fig8.svg`` — speed-up vs number of sites,
+* ``fig9.svg`` — quality vs ``Eps_global`` (both P functions),
+* ``fig10.svg`` — quality vs number of sites,
+* ``optics_reachability.svg`` — the §6 OPTICS alternative illustrated.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.optics import optics
+from repro.data.datasets import DATASET_NAMES, load_dataset
+from repro.viz.charts import line_chart, reachability_plot, save_svg, scatter_plot
+
+__all__ = [
+    "render_fig6",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+    "render_reachability",
+    "render_all_figures",
+]
+
+
+def render_fig6(out_dir: str | Path) -> list[Path]:
+    """Scatter plots of data sets A, B, C colored by central DBSCAN."""
+    paths = []
+    for name in DATASET_NAMES:
+        data = load_dataset(name)
+        result = dbscan(data.points, data.eps_local, data.min_pts)
+        document = scatter_plot(
+            data.points,
+            result.labels,
+            title=(
+                f"data set {name}: {data.n} objects, "
+                f"{result.n_clusters} clusters, {result.n_noise} noise"
+            ),
+        )
+        paths.append(save_svg(document, Path(out_dir) / f"fig6_{name}.svg"))
+    return paths
+
+
+def render_fig7(out_dir: str | Path, *, seed: int = 42) -> list[Path]:
+    """Runtime-vs-cardinality charts (Figures 7a/7b), log-scaled."""
+    from repro.experiments.fig7 import run_fig7a, run_fig7b
+
+    paths = []
+    for run, name in ((run_fig7a, "fig7a"), (run_fig7b, "fig7b")):
+        table = run(seed=seed)
+        document = line_chart(
+            [float(v) for v in table.column("objects")],
+            {
+                "central DBSCAN": table.column("central DBSCAN [s]"),
+                "DBDC(REP_Scor)": table.column("DBDC(REP_Scor) [s]"),
+                "DBDC(REP_kMeans)": table.column("DBDC(REP_kMeans) [s]"),
+            },
+            title=table.title.split(" — ")[0] + " — runtime vs cardinality",
+            xlabel="objects",
+            ylabel="seconds",
+            log_y=True,
+        )
+        paths.append(save_svg(document, Path(out_dir) / f"{name}.svg"))
+    return paths
+
+
+def render_fig8(out_dir: str | Path, *, cardinality: int = 20_000, seed: int = 42) -> Path:
+    """Speed-up vs number of sites (Figure 8b)."""
+    from repro.experiments.fig8 import run_fig8
+
+    table = run_fig8(cardinality=cardinality, seed=seed)
+    document = line_chart(
+        [float(v) for v in table.column("sites")],
+        {"speed-up vs central": table.column("speed-up")},
+        title=f"Fig. 8 — DBDC speed-up vs number of sites ({cardinality} objects)",
+        xlabel="sites",
+        ylabel="speed-up",
+    )
+    return save_svg(document, Path(out_dir) / "fig8.svg")
+
+
+def render_fig9(
+    out_dir: str | Path, *, cardinality: int = 8_700, seed: int = 42
+) -> Path:
+    """Quality vs Eps_global (Figures 9a + 9b in one chart)."""
+    from repro.experiments.fig9 import run_fig9
+
+    table = run_fig9(cardinality=cardinality, seed=seed)
+    document = line_chart(
+        [float(v) for v in table.column("Eps_global / Eps_local")],
+        {
+            "P^I kMeans": table.column("P^I kMeans [%]"),
+            "P^I Scor": table.column("P^I Scor [%]"),
+            "P^II kMeans": table.column("P^II kMeans [%]"),
+            "P^II Scor": table.column("P^II Scor [%]"),
+        },
+        title="Fig. 9 — quality vs Eps_global (data set A)",
+        xlabel="Eps_global / Eps_local",
+        ylabel="Q_DBDC [%]",
+    )
+    return save_svg(document, Path(out_dir) / "fig9.svg")
+
+
+def render_fig10(
+    out_dir: str | Path, *, cardinality: int = 8_700, seed: int = 42
+) -> Path:
+    """Quality vs number of sites (the Figure 10 table as curves)."""
+    from repro.experiments.fig10 import run_fig10
+
+    table = run_fig10(cardinality=cardinality, seed=seed)
+    document = line_chart(
+        [float(v) for v in table.column("sites")],
+        {
+            "P^I kMeans": table.column("P^I kMeans"),
+            "P^II kMeans": table.column("P^II kMeans"),
+            "P^I Scor": table.column("P^I Scor"),
+            "P^II Scor": table.column("P^II Scor"),
+        },
+        title="Fig. 10 — quality vs number of sites (data set A)",
+        xlabel="sites",
+        ylabel="Q_DBDC [%]",
+    )
+    return save_svg(document, Path(out_dir) / "fig10.svg")
+
+
+def render_reachability(out_dir: str | Path) -> Path:
+    """OPTICS reachability plot over data set C (the §6 alternative)."""
+    data = load_dataset("C")
+    ordering = optics(data.points, 4 * data.eps_local, 5)
+    document = reachability_plot(
+        ordering.reachability_plot(),
+        eps_cut=data.eps_local,
+        title="OPTICS reachability over data set C (cut = Eps_local)",
+    )
+    return save_svg(document, Path(out_dir) / "optics_reachability.svg")
+
+
+def render_all_figures(
+    out_dir: str | Path, *, seed: int = 42, fig8_cardinality: int = 20_000
+) -> list[Path]:
+    """Render every figure into ``out_dir`` and return the paths."""
+    paths: list[Path] = []
+    paths.extend(render_fig6(out_dir))
+    paths.extend(render_fig7(out_dir, seed=seed))
+    paths.append(render_fig8(out_dir, cardinality=fig8_cardinality, seed=seed))
+    paths.append(render_fig9(out_dir, seed=seed))
+    paths.append(render_fig10(out_dir, seed=seed))
+    paths.append(render_reachability(out_dir))
+    return paths

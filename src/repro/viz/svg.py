@@ -1,0 +1,156 @@
+"""A minimal SVG document builder (no third-party plotting available
+offline, so the figure generation is self-contained).
+
+Only the handful of primitives the charts need: rectangles, circles,
+lines, polylines and text, plus grouping and proper XML escaping.  The
+output is a standalone ``.svg`` file any browser renders.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape, quoteattr
+
+__all__ = ["SVGCanvas"]
+
+
+def _fmt(value: float) -> str:
+    """Compact coordinate formatting (trim trailing zeros)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+class SVGCanvas:
+    """An append-only SVG document.
+
+    Args:
+        width: canvas width in pixels.
+        height: canvas height in pixels.
+        background: optional background fill color.
+    """
+
+    def __init__(self, width: int, height: int, background: str | None = "white") -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"canvas must be positive, got {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        self._elements: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        *,
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Append an axis-aligned rectangle."""
+        self._elements.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(width)}" '
+            f'height="{_fmt(height)}" fill={quoteattr(fill)} '
+            f'stroke={quoteattr(stroke)} stroke-width="{_fmt(stroke_width)}" '
+            f'opacity="{_fmt(opacity)}"/>'
+        )
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        *,
+        fill: str = "black",
+        stroke: str = "none",
+        opacity: float = 1.0,
+    ) -> None:
+        """Append a circle."""
+        self._elements.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+            f'fill={quoteattr(fill)} stroke={quoteattr(stroke)} '
+            f'opacity="{_fmt(opacity)}"/>'
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        *,
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        dash: str | None = None,
+    ) -> None:
+        """Append a straight line segment."""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" stroke={quoteattr(stroke)} '
+            f'stroke-width="{_fmt(stroke_width)}"{dash_attr}/>'
+        )
+
+    def polyline(
+        self,
+        points: list[tuple[float, float]],
+        *,
+        stroke: str = "black",
+        stroke_width: float = 1.5,
+        dash: str | None = None,
+    ) -> None:
+        """Append an open polyline through ``points``."""
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" '
+            f'stroke={quoteattr(stroke)} stroke-width="{_fmt(stroke_width)}"'
+            f"{dash_attr}/>"
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        *,
+        size: int = 12,
+        anchor: str = "start",
+        fill: str = "black",
+        rotate: float | None = None,
+    ) -> None:
+        """Append a text label (``anchor``: start / middle / end)."""
+        transform = (
+            f' transform="rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"'
+            if rotate is not None
+            else ""
+        )
+        self._elements.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f"fill={quoteattr(fill)}{transform}>{escape(content)}</text>"
+        )
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        """The complete SVG document."""
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n{body}\n</svg>\n'
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the document to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string())
+        return path

@@ -1,0 +1,79 @@
+"""Tests for the metric/dimension ablations and the cluster sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import run_dimension_ablation, run_metric_ablation
+from repro.experiments.fig6 import cluster_sketch
+
+
+class TestMetricAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_metric_ablation(cardinality=1_500, n_sites=3, seed=1)
+
+    def test_all_metrics_reported(self, table):
+        assert table.column("metric") == ["euclidean", "manhattan", "chebyshev"]
+
+    def test_quality_high_under_every_metric(self, table):
+        """The pipeline is metric-generic: distributed ≈ central under
+        each metric."""
+        for value in table.column("P^II [%]"):
+            assert value > 85.0
+
+    def test_cluster_counts_positive(self, table):
+        for count in table.column("DBDC clusters"):
+            assert count > 0
+
+
+class TestDimensionAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_dimension_ablation(n_per_cluster=120, n_clusters=4, n_sites=3, seed=1)
+
+    def test_dimensions_swept(self, table):
+        assert table.column("dim") == [2, 3, 5, 8]
+
+    def test_quality_stays_high_beyond_2d(self, table):
+        for value in table.column("P^II [%]"):
+            assert value > 85.0
+
+    def test_timings_populated(self, table):
+        for value in table.column("DBDC [s]"):
+            assert value > 0
+
+
+class TestClusterSketch:
+    def test_dimensions(self, rng):
+        points = rng.normal(size=(100, 2))
+        labels = rng.integers(-1, 3, size=100)
+        sketch = cluster_sketch(points, labels, width=20, height=8)
+        lines = sketch.split("\n")
+        assert len(lines) == 8
+        assert all(len(line) == 20 for line in lines)
+
+    def test_distinct_clusters_distinct_glyphs(self, rng):
+        left = rng.normal(0, 0.5, size=(50, 2))
+        right = rng.normal(0, 0.5, size=(50, 2)) + [30.0, 0.0]
+        points = np.concatenate([left, right])
+        labels = np.concatenate([np.zeros(50, dtype=int), np.ones(50, dtype=int)])
+        sketch = cluster_sketch(points, labels, width=40, height=10)
+        used = {ch for ch in sketch if ch not in " ·\n"}
+        assert len(used) == 2
+
+    def test_noise_renders_as_dot(self):
+        points = np.asarray([[0.0, 0.0], [10.0, 10.0]])
+        labels = np.asarray([-1, 0])
+        sketch = cluster_sketch(points, labels, width=10, height=5)
+        assert "·" in sketch
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError, match="\\(n, 2\\)"):
+            cluster_sketch(rng.normal(size=(5, 3)), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError, match="labels"):
+            cluster_sketch(rng.normal(size=(5, 2)), np.zeros(4, dtype=int))
+
+    def test_empty_points(self):
+        assert cluster_sketch(np.empty((0, 2)), np.empty(0, dtype=int)) == ""

@@ -1,0 +1,76 @@
+"""Tests for the §4 baseline comparison experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.baselines import baseline_workloads, run_baseline_comparison
+
+
+class TestWorkloads:
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return baseline_workloads(seed=0)
+
+    def test_all_three_present(self, workloads):
+        assert set(workloads) == {"concentric", "noise bridge", "varying density"}
+
+    def test_specs_complete(self, workloads):
+        for spec in workloads.values():
+            assert spec["points"].shape[0] == spec["truth"].shape[0]
+            assert spec["eps"] > 0
+            assert spec["min_pts"] >= 1
+            assert spec["k"] >= 2
+
+    def test_concentric_geometry(self, workloads):
+        spec = workloads["concentric"]
+        ring_points = spec["points"][spec["truth"] == 0]
+        blob_points = spec["points"][spec["truth"] == 1]
+        ring_radii = np.linalg.norm(ring_points, axis=1)
+        blob_radii = np.linalg.norm(blob_points, axis=1)
+        assert ring_radii.min() > blob_radii.max()  # truly enclosing
+
+    def test_noise_bridge_has_noise_truth(self, workloads):
+        spec = workloads["noise bridge"]
+        assert (spec["truth"] == -1).sum() == 500
+
+    def test_deterministic(self):
+        a = baseline_workloads(seed=3)["concentric"]["points"]
+        b = baseline_workloads(seed=3)["concentric"]["points"]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_baseline_comparison(seed=0)
+
+    def test_table_shape(self, table):
+        assert table.column("workload") == [
+            "concentric",
+            "noise bridge",
+            "varying density",
+        ]
+
+    def test_dbscan_good_everywhere(self, table):
+        """§4's conclusion: DBSCAN is the only robust choice."""
+        for score in table.column("DBSCAN"):
+            assert score > 0.8
+
+    def test_kmeans_fails_on_nonglobular(self, table):
+        scores = dict(zip(table.column("workload"), table.column("k-means")))
+        assert scores["concentric"] < 0.5
+
+    def test_single_link_fails_on_noise(self, table):
+        scores = dict(zip(table.column("workload"), table.column("single-link")))
+        assert scores["noise bridge"] < 0.5
+
+    def test_single_link_fails_on_varying_density(self, table):
+        scores = dict(zip(table.column("workload"), table.column("single-link")))
+        assert scores["varying density"] < 0.8
+
+    def test_single_link_good_on_nonglobular(self, table):
+        """The paper grants single-link this strength explicitly."""
+        scores = dict(zip(table.column("workload"), table.column("single-link")))
+        assert scores["concentric"] > 0.9

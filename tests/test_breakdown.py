@@ -1,0 +1,100 @@
+"""Tests for the per-cluster quality breakdown diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.labels import NOISE
+from repro.quality.breakdown import quality_breakdown
+
+
+class TestMatching:
+    def test_identical_clusterings_all_perfect(self, rng):
+        labels = rng.integers(-1, 4, size=80)
+        breakdown = quality_breakdown(labels, labels)
+        for match in breakdown.matches:
+            assert match.jaccard == pytest.approx(1.0)
+            assert not match.is_split_or_merge
+        assert breakdown.unmatched_central == []
+        assert breakdown.n_noise_promoted == 0
+        assert breakdown.n_noise_lost == 0
+
+    def test_split_detected(self):
+        """One central cluster split into two distributed halves."""
+        central = np.zeros(20, dtype=int)
+        distributed = np.asarray([0] * 10 + [1] * 10)
+        breakdown = quality_breakdown(distributed, central)
+        assert len(breakdown.matches) == 2
+        for match in breakdown.matches:
+            assert match.central_id == 0
+            assert match.jaccard == pytest.approx(0.5)
+
+    def test_merge_detected(self):
+        """Two central clusters merged into one distributed cluster."""
+        central = np.asarray([0] * 10 + [1] * 10)
+        distributed = np.zeros(20, dtype=int)
+        breakdown = quality_breakdown(distributed, central)
+        assert len(breakdown.matches) == 1
+        match = breakdown.matches[0]
+        assert match.jaccard == pytest.approx(0.5)
+        assert match.is_split_or_merge
+        # The other central cluster has no counterpart of its own.
+        assert len(breakdown.unmatched_central) == 1
+
+    def test_matches_sorted_worst_first(self):
+        central = np.asarray([0] * 10 + [1] * 10 + [2] * 2)
+        distributed = np.asarray([0] * 10 + [1] * 5 + [3] * 5 + [2] * 2)
+        breakdown = quality_breakdown(distributed, central)
+        jaccards = [m.jaccard for m in breakdown.matches]
+        assert jaccards == sorted(jaccards)
+        assert breakdown.worst(1)[0].jaccard == jaccards[0]
+
+    def test_pure_noise_cluster_matches_nothing(self):
+        """A distributed cluster made entirely of central noise."""
+        central = np.full(5, NOISE)
+        distributed = np.zeros(5, dtype=int)
+        breakdown = quality_breakdown(distributed, central)
+        assert breakdown.matches[0].central_id == -1
+        assert breakdown.matches[0].jaccard == 0.0
+        assert breakdown.n_noise_promoted == 5
+
+
+class TestNoiseAccounting:
+    def test_counts(self):
+        distributed = np.asarray([NOISE, NOISE, 0, 0, NOISE])
+        central = np.asarray([NOISE, 0, NOISE, 0, NOISE])
+        breakdown = quality_breakdown(distributed, central)
+        assert breakdown.n_noise_agree == 2
+        assert breakdown.n_noise_promoted == 1  # position 2
+        assert breakdown.n_noise_lost == 1  # position 1
+
+    def test_report_renders(self, rng):
+        labels = rng.integers(-1, 3, size=40)
+        other = labels.copy()
+        other[:5] = NOISE
+        text = quality_breakdown(other, labels).to_text()
+        assert "per-cluster quality breakdown" in text
+        assert "noise:" in text
+
+
+class TestOnRealPipeline:
+    def test_breakdown_explains_quality(self):
+        """The mean matched Jaccard must bound the clustered share of
+        P^II from above (noise mismatches only drag it down)."""
+        from repro.clustering.dbscan import dbscan
+        from repro.core.dbdc import DBDCConfig, run_dbdc_partitioned
+        from repro.data.datasets import dataset_c
+        from repro.distributed.partition import uniform_random
+
+        data = dataset_c()
+        central = dbscan(data.points, data.eps_local, data.min_pts)
+        assignment = uniform_random(data.n, 3, seed=0)
+        run = run_dbdc_partitioned(
+            data.points,
+            assignment,
+            DBDCConfig(eps_local=data.eps_local, min_pts_local=data.min_pts),
+        )
+        breakdown = quality_breakdown(run.labels_in_original_order(), central.labels)
+        assert len(breakdown.matches) == 3  # data set C's three clusters
+        assert all(m.jaccard > 0.9 for m in breakdown.matches)

@@ -1,0 +1,72 @@
+"""Unit tests for the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_single_command(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.commands == ["fig6"]
+
+    def test_multiple_commands(self):
+        args = build_parser().parse_args(["fig9", "fig10"])
+        assert args.commands == ["fig9", "fig10"]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["run", "--dataset", "C", "--sites", "7", "--scheme", "rep_kmeans", "--seed", "5"]
+        )
+        assert args.dataset == "C"
+        assert args.sites == 7
+        assert args.scheme == "rep_kmeans"
+        assert args.seed == 5
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "medoid"])
+
+
+class TestExecution:
+    def test_fig6_without_sketch(self, capsys):
+        assert main(["fig6", "--no-sketch"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "8700" in out
+
+    def test_baselines_command(self, capsys):
+        assert main(["baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "single-link" in out
+        assert "concentric" in out
+
+    def test_figures_option_accepted(self):
+        args = build_parser().parse_args(["figures", "--out", "/tmp/x"])
+        assert args.out == "/tmp/x"
+        assert args.commands == ["figures"]
+
+    def test_run_command_small(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--dataset",
+                    "C",
+                    "--sites",
+                    "2",
+                    "--cardinality",
+                    "600",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "quality: P^I" in out
+        assert "DBDC(rep_scor)" in out

@@ -1,0 +1,169 @@
+"""Integration tests: the full DBDC pipeline vs central DBSCAN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import dbscan
+from repro.core.dbdc import DBDCConfig, run_dbdc, run_dbdc_partitioned
+from repro.data.generators import gaussian_blobs, uniform_noise
+from repro.distributed.partition import uniform_random
+from repro.quality.qdbdc import evaluate_quality
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Four clear blobs plus background noise (n=1030)."""
+    points, __ = gaussian_blobs(
+        [250, 250, 250, 250],
+        np.asarray([[0.0, 0.0], [25.0, 0.0], [0.0, 25.0], [25.0, 25.0]]),
+        1.2,
+        seed=99,
+    )
+    noise = uniform_noise(30, (-8.0, 33.0), dim=2, seed=100)
+    return np.concatenate([points, noise])
+
+
+EPS, MIN_PTS = 1.2, 5
+
+
+class TestConfigValidation:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError, match="eps_local"):
+            DBDCConfig(eps_local=0, min_pts_local=5)
+
+    def test_rejects_bad_min_pts(self):
+        with pytest.raises(ValueError, match="min_pts_local"):
+            DBDCConfig(eps_local=1.0, min_pts_local=0)
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError, match="scheme"):
+            DBDCConfig(eps_local=1.0, min_pts_local=5, scheme="bogus")
+
+    def test_rejects_bad_eps_global(self):
+        with pytest.raises(ValueError, match="eps_global"):
+            DBDCConfig(eps_local=1.0, min_pts_local=5, eps_global=-1.0)
+
+
+class TestRunDbdc:
+    def test_requires_sites(self):
+        with pytest.raises(ValueError, match="at least one site"):
+            run_dbdc([], DBDCConfig(eps_local=1.0, min_pts_local=5))
+
+    @pytest.mark.parametrize("scheme", ["rep_scor", "rep_kmeans"])
+    def test_high_quality_vs_central(self, workload, scheme):
+        central = dbscan(workload, EPS, MIN_PTS)
+        assignment = uniform_random(workload.shape[0], 4, seed=1)
+        run = run_dbdc_partitioned(
+            workload,
+            assignment,
+            DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS, scheme=scheme),
+        )
+        quality = evaluate_quality(
+            run.labels_in_original_order(), central.labels, qp=MIN_PTS
+        )
+        assert quality.q_p1 > 0.9
+        assert quality.q_p2 > 0.85
+
+    def test_finds_all_blobs(self, workload):
+        assignment = uniform_random(workload.shape[0], 4, seed=1)
+        run = run_dbdc_partitioned(
+            workload, assignment, DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS)
+        )
+        assert run.result.n_global_clusters == 4
+
+    def test_default_eps_global_close_to_double(self, workload):
+        assignment = uniform_random(workload.shape[0], 4, seed=1)
+        run = run_dbdc_partitioned(
+            workload, assignment, DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS)
+        )
+        # Section 6: the ε_r-derived default is "generally close to
+        # 2·Eps_local" (and never exceeds it for REP_Scor).
+        assert EPS < run.result.eps_global_used <= 2 * EPS + 1e-9
+
+    def test_representative_fraction_small(self, workload):
+        assignment = uniform_random(workload.shape[0], 4, seed=1)
+        run = run_dbdc_partitioned(
+            workload, assignment, DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS)
+        )
+        assert 0 < run.result.representative_fraction < 0.5
+
+    def test_transmission_bytes_positive_and_small(self, workload):
+        assignment = uniform_random(workload.shape[0], 4, seed=1)
+        run = run_dbdc_partitioned(
+            workload, assignment, DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS)
+        )
+        raw = workload.shape[0] * workload.shape[1] * 8
+        assert 0 < run.result.bytes_up < raw
+
+    def test_single_site_degenerates_to_central(self, workload):
+        """With one site and Eps_global small, DBDC reproduces the local
+        (== central) clustering up to relabeling."""
+        central = dbscan(workload, EPS, MIN_PTS)
+        run = run_dbdc(
+            [workload], DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS)
+        )
+        quality = evaluate_quality(
+            run.sites[0].global_labels, central.labels, qp=MIN_PTS
+        )
+        assert quality.q_p2 > 0.95
+
+    def test_timings_populated(self, workload):
+        run = run_dbdc(
+            [workload[:500], workload[500:]],
+            DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS),
+        )
+        assert run.max_local_seconds > 0
+        assert run.overall_seconds >= run.max_local_seconds
+        for site in run.sites:
+            assert site.local_seconds > 0
+            assert site.relabel_seconds >= 0
+
+    def test_labels_and_points_aligned(self, workload):
+        run = run_dbdc(
+            [workload[:500], workload[500:]],
+            DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS),
+        )
+        assert run.labels().shape == (workload.shape[0],)
+        assert run.points().shape == workload.shape
+
+    def test_local_labels_offsets_disjoint(self, workload):
+        run = run_dbdc(
+            [workload[:500], workload[500:]],
+            DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS),
+        )
+        local = run.local_labels()
+        first = local[:500]
+        second = local[500:]
+        assert set(first[first >= 0]).isdisjoint(set(second[second >= 0]))
+
+
+class TestPartitionedWrapper:
+    def test_assignment_validation(self, workload):
+        config = DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS)
+        with pytest.raises(ValueError, match="assignments"):
+            run_dbdc_partitioned(workload, np.asarray([0, 1]), config)
+        bad = np.zeros(workload.shape[0], dtype=int)
+        bad[0] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            run_dbdc_partitioned(workload, bad, config)
+
+    def test_realignment_roundtrip(self, workload):
+        config = DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS)
+        assignment = uniform_random(workload.shape[0], 3, seed=5)
+        run = run_dbdc_partitioned(workload, assignment, config)
+        labels = run.labels_in_original_order()
+        # Site-by-site, the realigned labels equal the site labels.
+        for site_id in range(3):
+            members = np.flatnonzero(assignment == site_id)
+            np.testing.assert_array_equal(
+                labels[members], run.result.sites[site_id].global_labels
+            )
+
+    def test_more_sites_than_needed_still_works(self, workload):
+        config = DBDCConfig(eps_local=EPS, min_pts_local=MIN_PTS)
+        assignment = uniform_random(workload.shape[0], 10, seed=5)
+        run = run_dbdc_partitioned(workload, assignment, config)
+        assert run.result.n_sites == 10
+        assert run.result.n_global_clusters >= 4  # may split, never vanish

@@ -1,0 +1,102 @@
+"""Hypothesis property tests over the full DBDC pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.labels import NOISE
+from repro.core.dbdc import DBDCConfig, run_dbdc_partitioned
+from repro.data.generators import gaussian_blobs, uniform_noise
+from repro.distributed.partition import uniform_random
+
+
+def _workload(seed: int, n_blobs: int, per_blob: int, n_noise: int):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0, 60, size=(n_blobs, 2))
+    points, __ = gaussian_blobs([per_blob] * n_blobs, centers, 1.0, seed=rng)
+    if n_noise:
+        noise = uniform_noise(n_noise, (0.0, 60.0), dim=2, seed=rng)
+        points = np.concatenate([points, noise])
+    return points
+
+
+@given(
+    seed=st.integers(0, 20_000),
+    n_blobs=st.integers(1, 4),
+    n_sites=st.integers(1, 5),
+)
+@settings(max_examples=20, deadline=None)
+def test_pipeline_structural_invariants(seed, n_blobs, n_sites):
+    """Invariants that must hold for every DBDC run whatsoever."""
+    points = _workload(seed, n_blobs, per_blob=60, n_noise=15)
+    assignment = uniform_random(points.shape[0], n_sites, seed=seed)
+    config = DBDCConfig(eps_local=1.2, min_pts_local=5)
+    run = run_dbdc_partitioned(points, assignment, config)
+    result = run.result
+
+    labels = run.labels_in_original_order()
+    assert labels.shape == (points.shape[0],)
+    assert labels.min() >= NOISE
+
+    # The transmitted model is never larger than the data.
+    assert result.n_representatives <= points.shape[0]
+    assert 0.0 <= result.representative_fraction <= 1.0
+
+    # Eps_global default obeys Definition 7's bound for REP_Scor.
+    assert result.eps_global_used <= 2 * config.eps_local + 1e-9
+
+    # Global labels on sites refer to clusters that exist in the model.
+    valid = set(map(int, result.global_model.global_labels)) | {NOISE}
+    assert set(map(int, np.unique(labels))) <= valid
+
+    # Every site's label array matches its point count.
+    for site in result.sites:
+        assert site.global_labels.shape[0] == site.points.shape[0]
+
+
+@given(seed=st.integers(0, 20_000), n_sites=st.integers(2, 6))
+@settings(max_examples=15, deadline=None)
+def test_labels_realignment_is_a_permutation(seed, n_sites):
+    """Realigned labels are exactly the per-site labels, re-ordered."""
+    points = _workload(seed, 2, per_blob=50, n_noise=10)
+    assignment = uniform_random(points.shape[0], n_sites, seed=seed)
+    config = DBDCConfig(eps_local=1.2, min_pts_local=5)
+    run = run_dbdc_partitioned(points, assignment, config)
+    aligned = run.labels_in_original_order()
+    collected = np.concatenate(
+        [site.global_labels for site in run.result.sites]
+    )
+    assert sorted(aligned.tolist()) == sorted(collected.tolist())
+
+
+@given(seed=st.integers(0, 20_000))
+@settings(max_examples=15, deadline=None)
+def test_scheme_rep_counts_match(seed):
+    """§5.2: REP_kMeans uses k = |Scor_C|, so both schemes transmit the
+    same number of representatives for the same data and partition."""
+    points = _workload(seed, 3, per_blob=60, n_noise=0)
+    assignment = uniform_random(points.shape[0], 3, seed=seed)
+    runs = {}
+    for scheme in ("rep_scor", "rep_kmeans"):
+        config = DBDCConfig(eps_local=1.2, min_pts_local=5, scheme=scheme)
+        runs[scheme] = run_dbdc_partitioned(points, assignment, config)
+    assert (
+        runs["rep_scor"].result.n_representatives
+        == runs["rep_kmeans"].result.n_representatives
+    )
+
+
+@given(seed=st.integers(0, 20_000))
+@settings(max_examples=10, deadline=None)
+def test_noise_only_data_stays_noise(seed):
+    """With everything locally noise, no representative exists and every
+    object remains globally unlabeled."""
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 1000, size=(40, 2))
+    assignment = uniform_random(40, 3, seed=seed)
+    config = DBDCConfig(eps_local=0.5, min_pts_local=4)
+    run = run_dbdc_partitioned(points, assignment, config)
+    assert run.result.n_representatives == 0
+    assert (run.labels_in_original_order() == NOISE).all()

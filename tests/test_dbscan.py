@@ -1,0 +1,231 @@
+"""Unit tests for DBSCAN against the paper's Definitions 1-5."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import DBSCAN, dbscan
+from repro.clustering.labels import NOISE
+from tests.conftest import brute_force_neighbors
+
+
+class TestParameterValidation:
+    def test_rejects_nonpositive_eps(self):
+        with pytest.raises(ValueError, match="eps"):
+            DBSCAN(0.0, 3)
+
+    def test_rejects_bad_min_pts(self):
+        with pytest.raises(ValueError, match="min_pts"):
+            DBSCAN(1.0, 0)
+
+    def test_rejects_bad_order(self, tiny_grid_points):
+        with pytest.raises(ValueError, match="permutation"):
+            DBSCAN(1.5, 3).fit(tiny_grid_points, order=[0, 0, 1, 2, 3, 4, 5])
+
+
+class TestTinyLayout:
+    """The 7-point fixture has a fully known structure (see conftest)."""
+
+    def test_cluster_and_noise_assignment(self, tiny_grid_points):
+        result = dbscan(tiny_grid_points, 1.5, 3)
+        assert result.n_clusters == 1
+        assert result.labels[0] == result.labels[1] == result.labels[2] == result.labels[3]
+        assert result.labels[4] == result.labels[0]  # border of the square
+        assert result.labels[5] == NOISE
+        assert result.labels[6] == NOISE
+
+    def test_core_flags(self, tiny_grid_points):
+        result = dbscan(tiny_grid_points, 1.5, 3)
+        assert bool(result.core_mask[:4].all())
+        assert not result.core_mask[4]  # border: only 2 neighbors
+        assert not result.core_mask[5] and not result.core_mask[6]
+
+    def test_members_and_core_points_of(self, tiny_grid_points):
+        result = dbscan(tiny_grid_points, 1.5, 3)
+        np.testing.assert_array_equal(result.members(0), [0, 1, 2, 3, 4])
+        np.testing.assert_array_equal(result.core_points_of(0), [0, 1, 2, 3])
+
+    def test_n_noise(self, tiny_grid_points):
+        result = dbscan(tiny_grid_points, 1.5, 3)
+        assert result.n_noise == 2
+
+
+class TestDefinitions:
+    """Check Definitions 1-5 directly on random data."""
+
+    @pytest.fixture
+    def run(self, rng):
+        points = rng.uniform(0, 10, size=(250, 2))
+        return points, dbscan(points, 0.9, 4)
+
+    def test_core_condition_definition1(self, run):
+        points, result = run
+        for i in range(points.shape[0]):
+            n_neighbors = brute_force_neighbors(points, i, 0.9).size
+            assert bool(result.core_mask[i]) == (n_neighbors >= 4)
+
+    def test_core_points_are_clustered(self, run):
+        __, result = run
+        assert (result.labels[result.core_mask] >= 0).all()
+
+    def test_noise_has_no_core_neighbor(self, run):
+        points, result = run
+        for i in np.flatnonzero(result.labels == NOISE):
+            neighbors = brute_force_neighbors(points, i, 0.9)
+            assert not result.core_mask[neighbors].any()
+
+    def test_border_points_have_core_neighbor_in_cluster(self, run):
+        points, result = run
+        borders = np.flatnonzero((result.labels >= 0) & ~result.core_mask)
+        for i in borders:
+            neighbors = brute_force_neighbors(points, i, 0.9)
+            core_neighbors = neighbors[result.core_mask[neighbors]]
+            assert core_neighbors.size > 0
+            assert (result.labels[core_neighbors] == result.labels[i]).any()
+
+    def test_maximality_core_links_stay_in_cluster(self, run):
+        """Two core points within eps must share a cluster (Def. 4)."""
+        points, result = run
+        cores = np.flatnonzero(result.core_mask)
+        for i in cores:
+            neighbors = brute_force_neighbors(points, i, 0.9)
+            core_neighbors = neighbors[result.core_mask[neighbors]]
+            assert (result.labels[core_neighbors] == result.labels[i]).all()
+
+    def test_connectivity_within_cluster(self, run):
+        """Each cluster's cores form one connected eps-graph component."""
+        points, result = run
+        for cid in range(result.n_clusters):
+            cores = [int(i) for i in result.core_points_of(cid)]
+            if not cores:
+                continue
+            seen = {cores[0]}
+            frontier = [cores[0]]
+            core_set = set(cores)
+            while frontier:
+                i = frontier.pop()
+                for j in brute_force_neighbors(points, i, 0.9):
+                    j = int(j)
+                    if j in core_set and j not in seen:
+                        seen.add(j)
+                        frontier.append(j)
+            assert seen == core_set
+
+
+class TestIndexEquivalence:
+    @pytest.mark.parametrize("kind", ["brute", "grid", "kdtree", "rtree"])
+    def test_all_indexes_identical_labels(self, kind, small_blobs):
+        points, __ = small_blobs
+        reference = dbscan(points, 1.2, 5, index_kind="brute")
+        other = dbscan(points, 1.2, 5, index_kind=kind)
+        np.testing.assert_array_equal(other.labels, reference.labels)
+        np.testing.assert_array_equal(other.core_mask, reference.core_mask)
+
+
+class TestBehaviour:
+    def test_blobs_recovered(self, small_blobs):
+        points, truth = small_blobs
+        result = dbscan(points, 1.2, 5)
+        assert result.n_clusters == 3
+        # Every generated blob maps to exactly one found cluster.
+        for blob in range(3):
+            labels = result.labels[truth == blob]
+            clustered = labels[labels >= 0]
+            assert clustered.size > 90
+            assert np.unique(clustered).size == 1
+
+    def test_all_noise_when_sparse(self, rng):
+        points = rng.uniform(0, 1000, size=(30, 2))
+        result = dbscan(points, 0.5, 3)
+        assert result.n_clusters == 0
+        assert result.n_noise == 30
+
+    def test_single_cluster_when_dense(self, rng):
+        points = rng.normal(0, 0.1, size=(50, 2))
+        result = dbscan(points, 1.0, 3)
+        assert result.n_clusters == 1
+        assert result.n_noise == 0
+
+    def test_min_pts_one_makes_everything_core(self, rng):
+        points = rng.uniform(0, 100, size=(20, 2))
+        result = dbscan(points, 0.001, 1)
+        assert result.core_mask.all()
+        assert result.n_clusters == 20  # every point its own cluster
+
+    def test_empty_input(self):
+        result = dbscan(np.empty((0, 2)), 1.0, 3)
+        assert result.labels.size == 0
+        assert result.n_clusters == 0
+
+    def test_duplicate_points_cluster_together(self):
+        points = np.asarray([[0.0, 0.0]] * 10)
+        result = dbscan(points, 0.5, 5)
+        assert result.n_clusters == 1
+        assert (result.labels == 0).all()
+
+    def test_processing_order_changes_labels_not_partition(self, small_blobs):
+        points, __ = small_blobs
+        forward = dbscan(points, 1.2, 5)
+        runner = DBSCAN(1.2, 5)
+        backward = runner.fit(points, order=list(range(len(points)))[::-1])
+        # Same number of clusters and identical core structure.
+        assert forward.n_clusters == backward.n_clusters
+        np.testing.assert_array_equal(forward.core_mask, backward.core_mask)
+        # Core partition identical up to renaming.
+        mapping = {}
+        for a, b in zip(
+            forward.labels[forward.core_mask], backward.labels[backward.core_mask]
+        ):
+            assert mapping.setdefault(int(a), int(b)) == int(b)
+
+    def test_region_query_count_positive(self, small_blobs):
+        points, __ = small_blobs
+        result = dbscan(points, 1.2, 5)
+        assert result.n_region_queries >= points.shape[0]
+
+
+class TestObserver:
+    class Recorder:
+        def __init__(self):
+            self.cluster_starts = []
+            self.core_events = []
+
+        def on_cluster_start(self, cluster_id, seed_index):
+            self.cluster_starts.append((cluster_id, seed_index))
+
+        def on_core_point(self, index, cluster_id, neighbors):
+            self.core_events.append((index, cluster_id, np.asarray(neighbors)))
+
+    def test_observer_sees_every_core_point_once(self, small_blobs):
+        points, __ = small_blobs
+        recorder = self.Recorder()
+        result = dbscan(points, 1.2, 5, observer=recorder)
+        seen = [idx for idx, __, __ in recorder.core_events]
+        assert sorted(seen) == sorted(np.flatnonzero(result.core_mask))
+        assert len(seen) == len(set(seen))
+
+    def test_observer_cluster_ids_match_result(self, small_blobs):
+        points, __ = small_blobs
+        recorder = self.Recorder()
+        result = dbscan(points, 1.2, 5, observer=recorder)
+        for idx, cid, __ in recorder.core_events:
+            assert result.labels[idx] == cid
+
+    def test_observer_neighbors_are_n_eps(self, small_blobs):
+        points, __ = small_blobs
+        recorder = self.Recorder()
+        dbscan(points, 1.2, 5, observer=recorder)
+        for idx, __, neighbors in recorder.core_events[:10]:
+            np.testing.assert_array_equal(
+                np.sort(neighbors), brute_force_neighbors(points, idx, 1.2)
+            )
+
+    def test_cluster_start_per_cluster(self, small_blobs):
+        points, __ = small_blobs
+        recorder = self.Recorder()
+        result = dbscan(points, 1.2, 5, observer=recorder)
+        assert len(recorder.cluster_starts) == result.n_clusters
+        assert [cid for cid, __ in recorder.cluster_starts] == list(
+            range(result.n_clusters)
+        )

@@ -1,0 +1,91 @@
+"""Hypothesis property tests: DBSCAN output always satisfies Defs 1-5."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.labels import NOISE
+from tests.conftest import brute_force_neighbors
+
+
+def _random_points(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # Mix of clumps and scattered points exercises all point kinds.
+    clumped = rng.normal(0, 1.0, size=(n // 2, 2))
+    scattered = rng.uniform(-8, 8, size=(n - n // 2, 2))
+    return np.concatenate([clumped, scattered])
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    n=st.integers(5, 80),
+    eps=st.floats(0.2, 3.0),
+    min_pts=st.integers(1, 6),
+)
+@settings(max_examples=60, deadline=None)
+def test_dbscan_satisfies_definitions(seed, n, eps, min_pts):
+    points = _random_points(seed, n)
+    result = dbscan(points, eps, min_pts)
+
+    labels = result.labels
+    core = result.core_mask
+    assert labels.shape == (n,)
+    assert labels.min() >= NOISE  # no UNCLASSIFIED survivors
+
+    for i in range(n):
+        neighbors = brute_force_neighbors(points, i, eps)
+        # Definition 1: core-object condition.
+        assert bool(core[i]) == (neighbors.size >= min_pts)
+        if core[i]:
+            # Cores belong to a cluster and pull their core neighbors in.
+            assert labels[i] >= 0
+            core_neighbors = neighbors[core[neighbors]]
+            assert (labels[core_neighbors] == labels[i]).all()
+        elif labels[i] >= 0:
+            # Border: directly density-reachable from a core of its cluster.
+            core_neighbors = neighbors[core[neighbors]]
+            assert (labels[core_neighbors] == labels[i]).any()
+        else:
+            # Noise: not density-reachable from any core object.
+            assert not core[neighbors].any()
+
+
+@given(seed=st.integers(0, 100_000), n=st.integers(5, 60))
+@settings(max_examples=40, deadline=None)
+def test_cluster_ids_contiguous_and_sized(seed, n):
+    points = _random_points(seed, n)
+    result = dbscan(points, 1.0, 3)
+    ids = np.unique(result.labels[result.labels >= 0])
+    np.testing.assert_array_equal(ids, np.arange(ids.size))
+    # Every cluster contains at least one core point, hence >= min_pts
+    # members in its eps-neighborhood; the cluster itself has >= 1 core.
+    for cid in ids:
+        assert result.core_points_of(int(cid)).size >= 1
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    eps=st.floats(0.3, 2.0),
+    min_pts=st.integers(2, 5),
+)
+@settings(max_examples=30, deadline=None)
+def test_noise_monotone_in_min_pts(seed, eps, min_pts):
+    """Raising MinPts can only demote points (never create new cores)."""
+    points = _random_points(seed, 50)
+    low = dbscan(points, eps, min_pts)
+    high = dbscan(points, eps, min_pts + 2)
+    assert set(np.flatnonzero(high.core_mask)) <= set(np.flatnonzero(low.core_mask))
+    assert high.n_noise >= low.n_noise
+
+
+@given(seed=st.integers(0, 100_000), eps=st.floats(0.3, 2.0))
+@settings(max_examples=30, deadline=None)
+def test_core_points_monotone_in_eps(seed, eps):
+    """Growing Eps can only promote points to core (for fixed MinPts)."""
+    points = _random_points(seed, 50)
+    small = dbscan(points, eps, 3)
+    large = dbscan(points, eps * 1.5, 3)
+    assert set(np.flatnonzero(small.core_mask)) <= set(np.flatnonzero(large.core_mask))

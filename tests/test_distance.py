@@ -1,0 +1,138 @@
+"""Unit tests for repro.data.distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.distance import (
+    Metric,
+    available_metrics,
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    minkowski_metric,
+    pairwise_distances,
+    register_metric,
+    squared_euclidean,
+)
+
+ALL_TRUE_METRICS = [euclidean, manhattan, chebyshev, minkowski_metric(3.0)]
+
+
+class TestPairwiseKernels:
+    def test_euclidean_known_value(self):
+        assert euclidean.pairwise([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_manhattan_known_value(self):
+        assert manhattan.pairwise([0.0, 0.0], [3.0, 4.0]) == pytest.approx(7.0)
+
+    def test_chebyshev_known_value(self):
+        assert chebyshev.pairwise([0.0, 0.0], [3.0, 4.0]) == pytest.approx(4.0)
+
+    def test_squared_euclidean_known_value(self):
+        assert squared_euclidean.pairwise([0.0, 0.0], [3.0, 4.0]) == pytest.approx(25.0)
+
+    def test_minkowski_p2_matches_euclidean(self):
+        mink = minkowski_metric(2.0)
+        p, q = np.asarray([1.0, 2.0, 3.0]), np.asarray([4.0, 6.0, 3.0])
+        assert mink.pairwise(p, q) == pytest.approx(euclidean.pairwise(p, q))
+
+    def test_minkowski_p1_matches_manhattan(self):
+        mink = minkowski_metric(1.0)
+        p, q = np.asarray([1.0, -2.0]), np.asarray([-3.0, 5.0])
+        assert mink.pairwise(p, q) == pytest.approx(manhattan.pairwise(p, q))
+
+    def test_minkowski_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            minkowski_metric(0.5)
+
+
+class TestToManyConsistency:
+    @pytest.mark.parametrize("metric", ALL_TRUE_METRICS, ids=lambda m: m.name)
+    def test_to_many_matches_pairwise(self, metric, rng):
+        points = rng.normal(size=(40, 3))
+        q = rng.normal(size=3)
+        vector = metric.to_many(q, points)
+        scalar = np.asarray([metric.pairwise(q, p) for p in points])
+        np.testing.assert_allclose(vector, scalar, rtol=1e-12, atol=1e-12)
+
+    def test_matrix_shape_and_values(self, rng):
+        left = rng.normal(size=(5, 2))
+        right = rng.normal(size=(7, 2))
+        mat = euclidean.matrix(left, right)
+        assert mat.shape == (5, 7)
+        assert mat[2, 3] == pytest.approx(euclidean.pairwise(left[2], right[3]))
+
+
+class TestMetricAxioms:
+    @pytest.mark.parametrize("metric", ALL_TRUE_METRICS, ids=lambda m: m.name)
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry_and_identity(self, metric, data):
+        dim = data.draw(st.integers(1, 4))
+        coords = st.floats(-100, 100, allow_nan=False)
+        p = np.asarray(data.draw(st.lists(coords, min_size=dim, max_size=dim)))
+        q = np.asarray(data.draw(st.lists(coords, min_size=dim, max_size=dim)))
+        assert metric.pairwise(p, q) == pytest.approx(metric.pairwise(q, p))
+        assert metric.pairwise(p, p) == pytest.approx(0.0, abs=1e-9)
+        assert metric.pairwise(p, q) >= 0.0
+
+    @pytest.mark.parametrize("metric", ALL_TRUE_METRICS, ids=lambda m: m.name)
+    @given(
+        arr=hnp.arrays(
+            float,
+            (3, 3),
+            elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, metric, arr):
+        p, q, r = arr
+        d_pq = metric.pairwise(p, q)
+        d_pr = metric.pairwise(p, r)
+        d_rq = metric.pairwise(r, q)
+        assert d_pq <= d_pr + d_rq + 1e-9
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_metric("euclidean") is euclidean
+        assert get_metric("cityblock") is manhattan
+        assert get_metric("linf") is chebyshev
+
+    def test_lookup_passthrough(self):
+        assert get_metric(euclidean) is euclidean
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            get_metric("no-such-metric")
+
+    def test_register_metric_with_alias(self):
+        custom = Metric("custom-test", euclidean.pairwise, euclidean.to_many)
+        register_metric(custom, "custom-alias")
+        assert get_metric("custom-test") is custom
+        assert get_metric("custom-alias") is custom
+
+    def test_available_metrics_sorted(self):
+        names = available_metrics()
+        assert names == sorted(names)
+        assert "euclidean" in names
+
+
+class TestPairwiseDistances:
+    def test_symmetric_zero_diagonal(self, rng):
+        points = rng.normal(size=(10, 2))
+        mat = pairwise_distances(points)
+        np.testing.assert_allclose(mat, mat.T)
+        np.testing.assert_allclose(np.diag(mat), 0.0, atol=1e-12)
+
+    def test_accepts_metric_name(self, rng):
+        points = rng.normal(size=(6, 2))
+        m1 = pairwise_distances(points, "manhattan")
+        m2 = manhattan.matrix(points, points)
+        np.testing.assert_allclose(m1, m2)

@@ -1,0 +1,30 @@
+"""The README quickstart must actually run — docs are part of the API."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _first_python_block(text: str) -> str:
+    match = re.search(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert match, "README has no python code block"
+    return match.group(1)
+
+
+@pytest.mark.skipif(not README.exists(), reason="README not present")
+def test_readme_quickstart_executes(capsys):
+    code = _first_python_block(README.read_text())
+    namespace: dict = {}
+    exec(compile(code, str(README), "exec"), namespace)  # noqa: S102
+    out = capsys.readouterr().out
+    # The snippet prints cluster count, representative fraction, quality.
+    lines = [line for line in out.strip().splitlines() if line]
+    assert len(lines) == 3
+    assert int(lines[0]) > 0                      # clusters found
+    assert 0.0 < float(lines[1]) < 1.0            # representative fraction
+    assert 50.0 < float(lines[2]) <= 100.0        # P^II percent

@@ -1,0 +1,137 @@
+"""Integration tests for the experiment harness (small-scale runs).
+
+Each test regenerates a scaled-down version of a paper figure and asserts
+the *shape* the paper reports — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    density_sketch,
+    run_fig6,
+    run_fig7a,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_index_ablation,
+    run_partition_ablation,
+    run_transmission_ablation,
+)
+from repro.experiments.reporting import ExperimentTable
+
+
+class TestReportingTable:
+    def test_add_row_validates_width(self):
+        table = ExperimentTable("t", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1)
+
+    def test_text_and_markdown_render(self):
+        table = ExperimentTable("Title", ["x", "y"])
+        table.add_row(1, 2.5)
+        table.add_note("a note")
+        text = table.to_text()
+        assert "Title" in text and "2.50" in text and "a note" in text
+        md = table.to_markdown()
+        assert md.count("|") >= 8
+
+    def test_column_accessor(self):
+        table = ExperimentTable("t", ["a", "b"])
+        table.add_row(1, 10)
+        table.add_row(2, 20)
+        assert table.column("b") == [10, 20]
+
+
+class TestFig6:
+    def test_table_covers_all_datasets(self):
+        table, sketches = run_fig6(sketch=False)
+        assert table.column("dataset") == ["A", "B", "C"]
+        assert sketches == {}
+        ns = table.column("objects")
+        assert ns == [8700, 4000, 1021]
+
+    def test_density_sketch_dimensions(self, rng):
+        points = rng.normal(size=(200, 2))
+        sketch = density_sketch(points, width=30, height=10)
+        lines = sketch.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 30 for line in lines)
+
+    def test_density_sketch_rejects_wrong_shape(self, rng):
+        with pytest.raises(ValueError, match="\\(n, 2\\)"):
+            density_sketch(rng.normal(size=(5, 3)))
+
+
+class TestFig7:
+    def test_speedup_grows_with_cardinality(self):
+        table = run_fig7a(cardinalities=(2000, 8000), seed=1)
+        speedups = table.column("speed-up Scor")
+        assert len(speedups) == 2
+        assert speedups[1] > speedups[0] * 0.8  # monotone modulo jitter
+        assert speedups[1] > 1.0  # DBDC wins at the larger size
+
+
+class TestFig8:
+    def test_speedup_positive_and_growing(self):
+        table = run_fig8(sites=(2, 8), cardinality=8000, seed=1)
+        speedups = table.column("speed-up")
+        assert all(s > 0 for s in speedups)
+        assert speedups[-1] > speedups[0] * 0.7
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_fig9(
+            factors=(0.5, 2.0, 10.0), cardinality=3000, n_sites=3, seed=2
+        )
+
+    def test_p2_peaks_at_factor_two(self, table):
+        p2 = table.column("P^II Scor [%]")
+        assert p2[1] > p2[0]  # 2.0 beats 0.5 (too small)
+        assert p2[1] > p2[2]  # 2.0 beats 10.0 (too large)
+
+    def test_p1_flat_in_the_relevant_range(self, table):
+        """The paper's point: P^I barely reacts to Eps_global."""
+        p1 = table.column("P^I Scor [%]")
+        assert max(p1) - min(p1) < 15.0
+
+
+class TestFig10:
+    def test_columns_and_decline(self):
+        table = run_fig10(sites=(2, 10), cardinality=4000, seed=2)
+        assert table.column("sites") == [2, 10]
+        p2 = table.column("P^II Scor")
+        assert p2[0] > 80.0
+        # Representative share stays a small fraction.
+        for share in table.column("local repr. [%]"):
+            assert 0 < share < 50
+
+
+class TestFig11:
+    def test_all_datasets_reported(self):
+        table = run_fig11(names=("C",), n_sites=2, seed=0)
+        assert table.column("dataset") == ["C"]
+        assert table.column("P^II Scor")[0] > 80.0
+
+
+class TestAblations:
+    def test_index_ablation_identical_clusterings(self):
+        table = run_index_ablation(cardinality=1500, seed=1)
+        clusters = table.column("clusters")
+        assert len(set(clusters)) == 1  # all indexes agree
+
+    def test_partition_ablation_uniform_best_or_close(self):
+        table = run_partition_ablation(cardinality=2000, n_sites=3, seed=1)
+        strategies = table.column("strategy")
+        p2 = dict(zip(strategies, table.column("P^II [%]")))
+        assert p2["uniform_random"] >= p2["spatial_blocks"] - 5.0
+
+    def test_transmission_far_below_raw(self):
+        table = run_transmission_ablation(cardinality=2000, n_sites=3, seed=1)
+        for ratio in table.column("volume ratio [%]"):
+            assert ratio < 60.0

@@ -1,0 +1,107 @@
+"""Tests for the shared experiment plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import dataset_c
+from repro.experiments.common import (
+    central_reference,
+    dataset_trial,
+    run_trial,
+    timed,
+)
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        result, seconds = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0.0
+
+    def test_passes_kwargs(self):
+        result, __ = timed(sorted, [3, 1, 2], reverse=True)
+        assert result == [3, 2, 1]
+
+
+class TestCentralReference:
+    def test_clusters_and_timing(self):
+        data = dataset_c(cardinality=400)
+        result, seconds = central_reference(
+            data.points, data.eps_local, data.min_pts
+        )
+        assert result.n_clusters >= 1
+        assert seconds > 0
+
+
+class TestRunTrial:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return dataset_c(cardinality=600)
+
+    def test_efficiency_only_skips_quality(self, data):
+        trial = run_trial(
+            data.points,
+            n_sites=2,
+            eps_local=data.eps_local,
+            min_pts=data.min_pts,
+            evaluate=False,
+        )
+        assert trial.quality is None
+        assert trial.central_seconds == 0.0
+        assert trial.overall_seconds > 0
+
+    def test_quality_computed_by_default(self, data):
+        trial = run_trial(
+            data.points,
+            n_sites=2,
+            eps_local=data.eps_local,
+            min_pts=data.min_pts,
+        )
+        assert trial.quality is not None
+        assert 0.0 <= trial.quality.q_p2 <= 1.0
+        assert trial.central_seconds > 0
+
+    def test_precomputed_reference_reused(self, data):
+        central, seconds = central_reference(
+            data.points, data.eps_local, data.min_pts
+        )
+        trial = run_trial(
+            data.points,
+            n_sites=2,
+            eps_local=data.eps_local,
+            min_pts=data.min_pts,
+            central=central,
+            central_seconds=seconds,
+        )
+        assert trial.central_seconds == seconds
+
+    def test_representative_percent(self, data):
+        trial = run_trial(
+            data.points,
+            n_sites=2,
+            eps_local=data.eps_local,
+            min_pts=data.min_pts,
+            evaluate=False,
+        )
+        assert 0.0 < trial.representative_percent < 100.0
+
+    def test_labels_aligned_with_points(self, data):
+        trial = run_trial(
+            data.points,
+            n_sites=3,
+            eps_local=data.eps_local,
+            min_pts=data.min_pts,
+            evaluate=False,
+        )
+        assert trial.labels.shape == (data.points.shape[0],)
+
+
+class TestDatasetTrial:
+    def test_uses_recommended_parameters(self):
+        data = dataset_c(cardinality=600)
+        trial = dataset_trial(data, n_sites=2)
+        config = trial.run.result.config
+        assert config.eps_local == data.eps_local
+        assert config.min_pts_local == data.min_pts

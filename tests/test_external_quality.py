@@ -1,0 +1,107 @@
+"""Unit tests for the classical external measures (cross-checks for P^II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quality.external import (
+    adjusted_rand_index,
+    jaccard_index,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+)
+
+MEASURES = [rand_index, adjusted_rand_index, jaccard_index, normalized_mutual_information]
+
+label_arrays = hnp.arrays(np.int64, st.integers(2, 50), elements=st.integers(-1, 5))
+
+
+class TestKnownValues:
+    def test_identical_partitions(self):
+        labels = np.asarray([0, 0, 1, 1, 2])
+        for measure in MEASURES:
+            assert measure(labels, labels) == pytest.approx(1.0)
+        assert purity(labels, labels) == pytest.approx(1.0)
+
+    def test_rand_index_hand_computed(self):
+        # left: {0,1},{2,3}; right: {0,1,2},{3}
+        left = np.asarray([0, 0, 1, 1])
+        right = np.asarray([0, 0, 0, 1])
+        # pairs: (01) together/together, (23) together/apart,
+        # (02),(03),(12),(13): apart-left; of those (02),(12) together-right.
+        # a=1, b=1, c=2, d=2 → RI=(1+2)/6
+        assert rand_index(left, right) == pytest.approx(3 / 6)
+
+    def test_jaccard_hand_computed(self):
+        left = np.asarray([0, 0, 1, 1])
+        right = np.asarray([0, 0, 0, 1])
+        assert jaccard_index(left, right) == pytest.approx(1 / 4)
+
+    def test_ari_zero_for_antisymmetric_split(self):
+        # A classic: one side all-in-one cluster, other side all singletons.
+        left = np.zeros(6, dtype=int)
+        right = np.arange(6)
+        assert adjusted_rand_index(left, right) == pytest.approx(0.0, abs=1e-9)
+
+    def test_purity_asymmetric(self):
+        predicted = np.asarray([0, 0, 0, 1, 1])
+        reference = np.asarray([0, 0, 1, 1, 1])
+        assert purity(predicted, reference) == pytest.approx(4 / 5)
+
+    def test_nmi_independent_labels_near_zero(self, rng):
+        left = rng.integers(0, 2, size=2000)
+        right = rng.integers(0, 2, size=2000)
+        assert normalized_mutual_information(left, right) < 0.01
+
+
+class TestNoiseConvention:
+    def test_noise_objects_are_singletons(self):
+        # Two clusterings agreeing except for ids, with matching noise.
+        left = np.asarray([0, 0, -1, -1])
+        right = np.asarray([5, 5, -1, -1])
+        for measure in MEASURES:
+            assert measure(left, right) == pytest.approx(1.0)
+
+    def test_noise_vs_cluster_penalized(self):
+        left = np.asarray([0, 0, 0, 0])
+        right = np.asarray([-1, -1, -1, -1])
+        assert rand_index(left, right) < 1.0
+        assert jaccard_index(left, right) == pytest.approx(0.0)
+
+
+class TestProperties:
+    @given(labels=label_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_self_comparison_perfect(self, labels):
+        for measure in MEASURES:
+            assert measure(labels, labels) == pytest.approx(1.0)
+
+    @given(left=label_arrays, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, left, data):
+        right = data.draw(
+            hnp.arrays(np.int64, left.size, elements=st.integers(-1, 5))
+        )
+        for measure in (rand_index, jaccard_index, normalized_mutual_information):
+            assert measure(left, right) == pytest.approx(measure(right, left))
+
+    @given(left=label_arrays, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_bounds(self, left, data):
+        right = data.draw(
+            hnp.arrays(np.int64, left.size, elements=st.integers(-1, 5))
+        )
+        assert 0.0 <= rand_index(left, right) <= 1.0
+        assert 0.0 <= jaccard_index(left, right) <= 1.0
+        assert 0.0 <= normalized_mutual_information(left, right) <= 1.0 + 1e-9
+        assert 0.0 <= purity(left, right) <= 1.0
+        assert adjusted_rand_index(left, right) <= 1.0 + 1e-9
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="align"):
+            rand_index(np.asarray([0]), np.asarray([0, 1]))

@@ -1,0 +1,131 @@
+"""Unit tests for the synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    as_rng,
+    gaussian_blobs,
+    random_cluster_dataset,
+    ring,
+    two_moons,
+    uniform_noise,
+)
+
+
+class TestAsRng:
+    def test_int_seed(self):
+        rng = as_rng(5)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+
+class TestGaussianBlobs:
+    def test_counts_and_labels(self):
+        points, labels = gaussian_blobs(
+            [10, 20], np.asarray([[0.0, 0.0], [5.0, 5.0]]), 0.5, seed=0
+        )
+        assert points.shape == (30, 2)
+        assert (labels[:10] == 0).all() and (labels[10:] == 1).all()
+
+    def test_blobs_near_centers(self):
+        points, labels = gaussian_blobs(
+            [500], np.asarray([[3.0, -2.0]]), 0.5, seed=1
+        )
+        np.testing.assert_allclose(points.mean(axis=0), [3.0, -2.0], atol=0.1)
+
+    def test_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="counts"):
+            gaussian_blobs([10], np.zeros((2, 2)), 1.0)
+
+    def test_std_mismatch_raises(self):
+        with pytest.raises(ValueError, match="stds"):
+            gaussian_blobs([10, 10], np.zeros((2, 2)), [1.0])
+
+    def test_deterministic(self):
+        a, __ = gaussian_blobs([10], np.zeros((1, 2)), 1.0, seed=7)
+        b, __ = gaussian_blobs([10], np.zeros((1, 2)), 1.0, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestUniformNoise:
+    def test_bounds_respected(self):
+        points = uniform_noise(500, (2.0, 4.0), dim=3, seed=0)
+        assert points.shape == (500, 3)
+        assert points.min() >= 2.0 and points.max() <= 4.0
+
+    def test_per_axis_bounds(self):
+        bounds = np.asarray([[0.0, 1.0], [10.0, 20.0]])
+        points = uniform_noise(200, bounds, seed=0)
+        assert points[:, 0].max() <= 1.0
+        assert points[:, 1].min() >= 10.0
+
+
+class TestRing:
+    def test_radii_near_target(self):
+        points = ring(1000, center=(5.0, 5.0), radius=10.0, width=0.3, seed=0)
+        radii = np.linalg.norm(points - [5.0, 5.0], axis=1)
+        assert abs(radii.mean() - 10.0) < 0.2
+        assert radii.std() < 1.0
+
+    def test_hole_in_middle(self):
+        points = ring(500, center=(0.0, 0.0), radius=8.0, width=0.5, seed=0)
+        radii = np.linalg.norm(points, axis=1)
+        assert radii.min() > 4.0
+
+
+class TestTwoMoons:
+    def test_shape_and_labels(self):
+        points, labels = two_moons(301, seed=0)
+        assert points.shape == (301, 2)
+        assert set(np.unique(labels)) == {0, 1}
+        assert abs(int((labels == 0).sum()) - 150) <= 1
+
+    def test_scale(self):
+        small, __ = two_moons(100, scale=1.0, seed=1)
+        large, __ = two_moons(100, scale=10.0, seed=1)
+        np.testing.assert_allclose(large, small * 10.0)
+
+
+class TestRandomClusterDataset:
+    def test_total_count_exact(self):
+        points, labels = random_cluster_dataset(997, 7, noise_fraction=0.1, seed=0)
+        assert points.shape == (997, 2)
+        assert labels.shape == (997,)
+
+    def test_noise_fraction_respected(self):
+        __, labels = random_cluster_dataset(1000, 5, noise_fraction=0.2, seed=0)
+        assert int((labels == -1).sum()) == 200
+
+    def test_all_clusters_present(self):
+        __, labels = random_cluster_dataset(1000, 6, seed=0)
+        assert set(np.unique(labels[labels >= 0])) == set(range(6))
+
+    def test_centers_separated(self):
+        points, labels = random_cluster_dataset(
+            2000, 8, min_separation=15.0, noise_fraction=0.0, seed=3
+        )
+        centers = np.asarray(
+            [points[labels == c].mean(axis=0) for c in range(8)]
+        )
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert np.linalg.norm(centers[i] - centers[j]) > 8.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="noise_fraction"):
+            random_cluster_dataset(100, 3, noise_fraction=1.0)
+
+    def test_rejects_bad_cluster_count(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            random_cluster_dataset(100, 0)
+
+    def test_shuffled_output(self):
+        __, labels = random_cluster_dataset(500, 4, seed=0)
+        # Labels must not be sorted runs (the generator shuffles).
+        assert (np.diff(labels) != 0).sum() > 100

@@ -1,0 +1,226 @@
+"""Unit + property tests for all neighbor indexes (vs the brute oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import (
+    BruteForceIndex,
+    GridIndex,
+    KDTreeIndex,
+    RTreeIndex,
+    available_indexes,
+    build_index,
+)
+
+INDEX_BUILDERS = {
+    "brute": lambda pts, metric="euclidean": BruteForceIndex(pts, metric),
+    "grid": lambda pts, metric="euclidean": GridIndex(pts, metric, cell_size=1.0),
+    "kdtree": lambda pts, metric="euclidean": KDTreeIndex(pts, metric, leaf_size=4),
+    "rtree": lambda pts, metric="euclidean": RTreeIndex(pts, metric, node_capacity=4),
+}
+
+
+def _oracle(points, query, eps, metric="euclidean"):
+    return BruteForceIndex(points, metric).range_query(query, eps)
+
+
+@pytest.mark.parametrize("kind", list(INDEX_BUILDERS), ids=str)
+class TestAllIndexes:
+    def test_region_query_contains_self(self, kind, rng):
+        points = rng.normal(size=(50, 2))
+        index = INDEX_BUILDERS[kind](points)
+        for i in (0, 17, 49):
+            assert i in index.region_query(i, 0.5)
+
+    def test_matches_oracle_random_points(self, kind, rng):
+        points = rng.uniform(-5, 5, size=(200, 2))
+        index = INDEX_BUILDERS[kind](points)
+        for eps in (0.1, 0.7, 2.5, 12.0):
+            for qi in range(0, 200, 37):
+                expected = _oracle(points, points[qi], eps)
+                got = index.range_query(points[qi], eps)
+                np.testing.assert_array_equal(got, expected)
+
+    def test_matches_oracle_external_query(self, kind, rng):
+        points = rng.uniform(-5, 5, size=(100, 3))
+        index = INDEX_BUILDERS[kind](points)
+        query = np.asarray([9.0, 0.0, -1.0])
+        np.testing.assert_array_equal(
+            index.range_query(query, 6.0), _oracle(points, query, 6.0)
+        )
+
+    def test_manhattan_metric(self, kind, rng):
+        points = rng.uniform(-3, 3, size=(80, 2))
+        index = INDEX_BUILDERS[kind](points, metric="manhattan")
+        query = points[5]
+        np.testing.assert_array_equal(
+            index.range_query(query, 1.3),
+            _oracle(points, query, 1.3, metric="manhattan"),
+        )
+
+    def test_empty_index(self, kind):
+        points = np.empty((0, 2))
+        index = INDEX_BUILDERS[kind](points)
+        assert index.range_query(np.zeros(2), 1.0).size == 0
+        assert len(index) == 0
+
+    def test_single_point(self, kind):
+        index = INDEX_BUILDERS[kind](np.asarray([[1.0, 2.0]]))
+        assert list(index.range_query(np.asarray([1.0, 2.0]), 0.0)) == [0]
+        assert index.range_query(np.asarray([5.0, 5.0]), 1.0).size == 0
+
+    def test_duplicate_points_all_returned(self, kind):
+        points = np.asarray([[0.0, 0.0]] * 5 + [[3.0, 0.0]])
+        index = INDEX_BUILDERS[kind](points)
+        hits = index.range_query(np.zeros(2), 0.1)
+        assert list(hits) == [0, 1, 2, 3, 4]
+
+    def test_eps_boundary_inclusive(self, kind):
+        points = np.asarray([[0.0, 0.0], [1.0, 0.0]])
+        index = INDEX_BUILDERS[kind](points)
+        assert 1 in index.range_query(np.zeros(2), 1.0)
+        assert 1 not in index.range_query(np.zeros(2), 0.999)
+
+    def test_count_in_range(self, kind, rng):
+        points = rng.uniform(-2, 2, size=(60, 2))
+        index = INDEX_BUILDERS[kind](points)
+        q = points[0]
+        assert index.count_in_range(q, 1.0) == _oracle(points, q, 1.0).size
+
+    @given(seed=st.integers(0, 10_000), eps=st.floats(0.01, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_configurations(self, kind, seed, eps):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        dim = int(rng.integers(1, 4))
+        points = rng.uniform(-4, 4, size=(n, dim))
+        index = INDEX_BUILDERS[kind](points)
+        query = rng.uniform(-5, 5, size=dim)
+        np.testing.assert_array_equal(
+            index.range_query(query, eps), _oracle(points, query, eps)
+        )
+
+
+class TestGridSpecifics:
+    def test_rejects_nonpositive_cell(self):
+        with pytest.raises(ValueError, match="cell_size"):
+            GridIndex(np.zeros((3, 2)), cell_size=0.0)
+
+    def test_rejects_unsupported_metric(self):
+        from repro.data.distance import Metric, euclidean
+
+        weird = Metric("weird", euclidean.pairwise, euclidean.to_many)
+        with pytest.raises(ValueError, match="supports metrics"):
+            GridIndex(np.zeros((3, 2)), weird, cell_size=1.0)
+
+    def test_query_radius_larger_than_cell(self, rng):
+        points = rng.uniform(0, 10, size=(150, 2))
+        index = GridIndex(points, cell_size=0.5)
+        q = points[3]
+        np.testing.assert_array_equal(
+            index.range_query(q, 4.0), _oracle(points, q, 4.0)
+        )
+
+    def test_occupied_cells_counted(self):
+        points = np.asarray([[0.1, 0.1], [0.2, 0.2], [5.0, 5.0]])
+        index = GridIndex(points, cell_size=1.0)
+        assert index.n_occupied_cells == 2
+
+
+class TestKDTreeSpecifics:
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError, match="leaf_size"):
+            KDTreeIndex(np.zeros((3, 2)), leaf_size=0)
+
+    def test_knn_matches_sorted_oracle(self, rng):
+        points = rng.normal(size=(120, 2))
+        index = KDTreeIndex(points, leaf_size=5)
+        q = rng.normal(size=2)
+        idx, dist = index.knn_query(q, 7)
+        diff = points - q
+        all_dist = np.sqrt((diff * diff).sum(axis=1))
+        expected = np.sort(all_dist)[:7]
+        np.testing.assert_allclose(np.sort(dist), expected, rtol=1e-12)
+        assert np.all(np.diff(dist) >= -1e-12)
+
+    def test_knn_k_exceeds_n(self, rng):
+        points = rng.normal(size=(5, 2))
+        index = KDTreeIndex(points)
+        idx, dist = index.knn_query(np.zeros(2), 50)
+        assert idx.size == 5
+
+    def test_knn_rejects_bad_k(self):
+        index = KDTreeIndex(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="k must be"):
+            index.knn_query(np.zeros(2), 0)
+
+    def test_identical_points_leaf(self):
+        points = np.zeros((40, 2))
+        index = KDTreeIndex(points, leaf_size=4)
+        assert index.range_query(np.zeros(2), 0.1).size == 40
+
+
+class TestRTreeSpecifics:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="node_capacity"):
+            RTreeIndex(np.zeros((3, 2)), node_capacity=1)
+
+    def test_height_grows_with_points(self, rng):
+        small = RTreeIndex(rng.normal(size=(10, 2)), node_capacity=4)
+        large = RTreeIndex(rng.normal(size=(1000, 2)), node_capacity=4)
+        assert large.height > small.height >= 1
+
+    def test_three_dimensional(self, rng):
+        points = rng.uniform(-2, 2, size=(300, 3))
+        index = RTreeIndex(points, node_capacity=8)
+        q = points[42]
+        np.testing.assert_array_equal(
+            index.range_query(q, 1.2), _oracle(points, q, 1.2)
+        )
+
+
+class TestFactory:
+    def test_available_names(self):
+        assert set(available_indexes()) == {
+            "auto",
+            "brute",
+            "grid",
+            "kdtree",
+            "rtree",
+            "mtree",
+        }
+
+    def test_auto_prefers_grid_with_eps(self, rng):
+        points = rng.normal(size=(20, 2))
+        index = build_index(points, "auto", eps=1.0)
+        assert isinstance(index, GridIndex)
+
+    def test_auto_without_eps_uses_kdtree(self, rng):
+        points = rng.normal(size=(20, 2))
+        index = build_index(points, "auto")
+        assert isinstance(index, KDTreeIndex)
+
+    def test_auto_empty_points_brute(self):
+        index = build_index(np.empty((0, 2)), "auto", eps=1.0)
+        assert isinstance(index, BruteForceIndex)
+
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [("brute", BruteForceIndex), ("grid", GridIndex), ("kdtree", KDTreeIndex), ("rtree", RTreeIndex)],
+    )
+    def test_explicit_kinds(self, kind, cls, rng):
+        points = rng.normal(size=(10, 2))
+        index = build_index(points, kind, eps=1.0)
+        assert isinstance(index, cls)
+
+    def test_grid_without_eps_raises(self, rng):
+        with pytest.raises(ValueError, match="grid index needs"):
+            build_index(rng.normal(size=(5, 2)), "grid")
+
+    def test_unknown_kind_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            build_index(rng.normal(size=(5, 2)), "balltree")

@@ -1,0 +1,82 @@
+"""Whole-system integration: runner → queries → persistence → viz.
+
+One federation is stood up once and then exercised through every
+post-protocol capability the library offers — the "downstream user"
+workflow end to end.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.data.generators import gaussian_blobs, uniform_noise
+from repro.data.io import load_global_model, save_global_model
+from repro.distributed.network import SimulatedNetwork
+from repro.distributed.queries import FederationQueries
+from repro.distributed.runner import DistributedRunConfig, DistributedRunner
+from repro.viz.charts import scatter_plot
+
+
+@pytest.fixture(scope="module")
+def system():
+    points, __ = gaussian_blobs(
+        [220, 220, 220],
+        np.asarray([[0.0, 0.0], [24.0, 0.0], [12.0, 20.0]]),
+        1.1,
+        seed=55,
+    )
+    noise = uniform_noise(40, (-6.0, 30.0), dim=2, seed=56)
+    points = np.concatenate([points, noise])
+    network = SimulatedNetwork()
+    config = DistributedRunConfig(eps_local=1.2, min_pts_local=5, seed=2)
+    report = DistributedRunner(config, network).run(points, n_sites=4)
+    return points, report
+
+
+class TestFullSystem:
+    def test_three_clusters_found(self, system):
+        __, report = system
+        assert report.global_model.n_global_clusters == 3
+
+    def test_queries_over_runner_output(self, system):
+        __, report = system
+        queries = FederationQueries(report.sites)
+        summary = queries.cluster_summary()
+        assert len(summary) == 3
+        # Aggregates recover the generating centers.
+        centers = sorted(
+            (round(a.centroid[0]), round(a.centroid[1])) for a in summary
+        )
+        assert centers == [(0, 0), (12, 20), (24, 0)]
+
+    def test_aggregate_counts_match_labels(self, system):
+        points, report = system
+        queries = FederationQueries(report.sites)
+        total = sum(a.count for a in queries.cluster_summary())
+        labels = report.labels_in_original_order()
+        assert total == int(np.count_nonzero(labels >= 0))
+
+    def test_global_model_roundtrips_through_json(self, system, tmp_path):
+        __, report = system
+        path = tmp_path / "model.json"
+        save_global_model(path, report.global_model)
+        restored = load_global_model(path)
+        assert restored.n_global_clusters == report.global_model.n_global_clusters
+        np.testing.assert_array_equal(
+            restored.global_labels, report.global_model.global_labels
+        )
+
+    def test_result_renders_as_svg(self, system):
+        points, report = system
+        document = scatter_plot(points, report.labels_in_original_order())
+        root = ET.fromstring(document)
+        circles = root.findall("{http://www.w3.org/2000/svg}circle")
+        assert len(circles) == points.shape[0]
+
+    def test_traffic_was_recorded(self, system):
+        __, report = system
+        assert report.network.n_messages == 8  # 4 up + 4 down
+        assert 0 < report.transmission_saving < 1

@@ -1,0 +1,132 @@
+"""Unit tests for the seeded k-means used by REP_kMeans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.kmeans import KMeansResult, kmeans, lloyd_iterations
+from repro.data.generators import gaussian_blobs
+
+
+class TestLloydIterations:
+    def test_converges_on_separated_blobs(self):
+        points, truth = gaussian_blobs(
+            [50, 50], np.asarray([[0.0, 0.0], [10.0, 0.0]]), 0.5, seed=1
+        )
+        seeds = np.asarray([[1.0, 1.0], [9.0, -1.0]])
+        result = lloyd_iterations(points, seeds)
+        assert result.converged
+        assert result.k == 2
+        # Each blob maps to one centroid.
+        for blob in range(2):
+            assert np.unique(result.labels[truth == blob]).size == 1
+
+    def test_centroids_near_blob_means(self):
+        points, __ = gaussian_blobs(
+            [200, 200], np.asarray([[0.0, 0.0], [8.0, 8.0]]), 0.3, seed=2
+        )
+        seeds = np.asarray([[0.5, 0.5], [7.5, 7.5]])
+        result = lloyd_iterations(points, seeds)
+        sorted_centroids = result.centroids[np.argsort(result.centroids[:, 0])]
+        np.testing.assert_allclose(sorted_centroids[0], [0.0, 0.0], atol=0.15)
+        np.testing.assert_allclose(sorted_centroids[1], [8.0, 8.0], atol=0.15)
+
+    def test_k_equals_n_zero_inertia(self):
+        points = np.asarray([[0.0, 0.0], [5.0, 0.0], [0.0, 5.0]])
+        result = lloyd_iterations(points, points.copy())
+        assert result.inertia == pytest.approx(0.0)
+        assert sorted(result.labels) == [0, 1, 2]
+
+    def test_k_one_centroid_is_mean(self, rng):
+        points = rng.normal(3.0, 1.0, size=(100, 2))
+        result = lloyd_iterations(points, points[:1])
+        np.testing.assert_allclose(result.centroids[0], points.mean(axis=0), rtol=1e-9)
+
+    def test_empty_cluster_keeps_seed_position(self):
+        # Second seed is far from all points: nothing is assigned to it.
+        points = np.asarray([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1]])
+        seeds = np.asarray([[0.0, 0.0], [100.0, 100.0]])
+        result = lloyd_iterations(points, seeds)
+        np.testing.assert_allclose(result.centroids[1], [100.0, 100.0])
+        assert (result.labels == 0).all()
+
+    def test_max_iter_respected(self):
+        points, __ = gaussian_blobs(
+            [100, 100], np.asarray([[0.0, 0.0], [1.0, 0.0]]), 2.0, seed=3
+        )
+        seeds = points[:2]
+        result = lloyd_iterations(points, seeds, max_iter=1)
+        assert result.n_iterations == 1
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValueError, match="points"):
+            lloyd_iterations(np.empty((0, 2)), np.zeros((1, 2)))
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError, match="seeds"):
+            lloyd_iterations(np.zeros((3, 2)), np.empty((0, 2)))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            lloyd_iterations(np.zeros((3, 2)), np.zeros((1, 3)))
+
+    def test_radius_of_matches_definition(self, rng):
+        """radius_of is the ε_c of Section 5.2: max member distance."""
+        points = rng.normal(size=(50, 2))
+        result = lloyd_iterations(points, points[:3])
+        for cid in range(3):
+            members = points[result.labels == cid]
+            if members.size == 0:
+                assert result.radius_of(cid, points) == 0.0
+                continue
+            expected = np.linalg.norm(members - result.centroids[cid], axis=1).max()
+            assert result.radius_of(cid, points) == pytest.approx(expected)
+
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_labels_in_range_and_assignment_optimal(self, seed, k):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(30, 2))
+        seeds = points[rng.choice(30, size=k, replace=False)]
+        result = lloyd_iterations(points, seeds)
+        assert result.labels.min() >= 0 and result.labels.max() < k
+        # Every point sits with its nearest centroid (post-convergence).
+        diff = points[:, None, :] - result.centroids[None, :, :]
+        dist = np.sqrt((diff * diff).sum(axis=2))
+        np.testing.assert_array_equal(result.labels, dist.argmin(axis=1))
+
+
+class TestKMeansWrapper:
+    def test_basic_run(self):
+        points, __ = gaussian_blobs(
+            [60, 60, 60],
+            np.asarray([[0.0, 0.0], [10.0, 0.0], [5.0, 9.0]]),
+            0.5,
+            seed=4,
+        )
+        result = kmeans(points, 3, seed=0, n_init=5)
+        assert isinstance(result, KMeansResult)
+        assert result.k == 3
+        assert result.inertia < 200.0
+
+    def test_rejects_bad_k(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="k must be"):
+            kmeans(points, 0)
+        with pytest.raises(ValueError, match="k must be"):
+            kmeans(points, 11)
+
+    def test_deterministic_for_fixed_seed(self, rng):
+        points = rng.normal(size=(50, 2))
+        r1 = kmeans(points, 3, seed=42)
+        r2 = kmeans(points, 3, seed=42)
+        np.testing.assert_array_equal(r1.labels, r2.labels)
+
+    def test_more_restarts_never_worse(self, rng):
+        points = rng.normal(size=(80, 2)) * np.asarray([5.0, 1.0])
+        single = kmeans(points, 4, seed=9, n_init=1)
+        multi = kmeans(points, 4, seed=9, n_init=8)
+        assert multi.inertia <= single.inertia + 1e-9

@@ -1,0 +1,123 @@
+"""Unit tests for the model types and their wire serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import GlobalModel, LocalModel, Representative
+from repro.data.distance import euclidean
+
+
+def _rep(x, y, eps_range=1.0, site_id=0, local_cluster_id=0):
+    return Representative(
+        point=np.asarray([x, y]),
+        eps_range=eps_range,
+        site_id=site_id,
+        local_cluster_id=local_cluster_id,
+    )
+
+
+class TestRepresentative:
+    def test_rejects_negative_range(self):
+        with pytest.raises(ValueError, match="eps_range"):
+            _rep(0.0, 0.0, eps_range=-0.1)
+
+    def test_covers(self):
+        rep = _rep(0.0, 0.0, eps_range=2.0)
+        assert rep.covers(np.asarray([1.0, 1.0]), euclidean)
+        assert not rep.covers(np.asarray([3.0, 0.0]), euclidean)
+
+    def test_covers_boundary_inclusive(self):
+        rep = _rep(0.0, 0.0, eps_range=1.0)
+        assert rep.covers(np.asarray([1.0, 0.0]), euclidean)
+
+    def test_point_coerced_to_float(self):
+        rep = Representative(np.asarray([1, 2]), 1.0, 0, 0)
+        assert rep.point.dtype == float
+
+
+class TestLocalModel:
+    def _model(self):
+        reps = [
+            _rep(0.0, 0.0, 1.5, site_id=2, local_cluster_id=0),
+            _rep(5.0, 5.0, 2.5, site_id=2, local_cluster_id=0),
+            _rep(9.0, 1.0, 1.0, site_id=2, local_cluster_id=1),
+        ]
+        return LocalModel(
+            site_id=2,
+            representatives=reps,
+            n_objects=500,
+            scheme="rep_scor",
+            eps_local=1.0,
+            min_pts_local=5,
+        )
+
+    def test_len_and_cluster_count(self):
+        model = self._model()
+        assert len(model) == 3
+        assert model.n_local_clusters == 2
+
+    def test_max_eps_range(self):
+        assert self._model().max_eps_range == 2.5
+
+    def test_points_and_ranges_aligned(self):
+        model = self._model()
+        pts = model.points()
+        ranges = model.eps_ranges()
+        assert pts.shape == (3, 2)
+        assert ranges.shape == (3,)
+        np.testing.assert_allclose(pts[1], [5.0, 5.0])
+        assert ranges[1] == 2.5
+
+    def test_empty_model(self):
+        model = LocalModel(0, [], 0, "rep_scor", 1.0, 5)
+        assert model.max_eps_range == 0.0
+        assert model.points().shape[0] == 0
+
+    def test_bytes_roundtrip(self):
+        model = self._model()
+        payload = model.to_bytes()
+        restored = LocalModel.from_bytes(payload)
+        assert restored.site_id == 2
+        assert len(restored) == 3
+        for a, b in zip(model.representatives, restored.representatives):
+            np.testing.assert_allclose(a.point, b.point)
+            assert a.eps_range == pytest.approx(b.eps_range)
+            assert a.local_cluster_id == b.local_cluster_id
+            assert b.site_id == 2
+
+    def test_wire_size_scales_with_reps(self):
+        model = self._model()
+        single = LocalModel(2, model.representatives[:1], 500, "rep_scor", 1.0, 5)
+        assert len(model.to_bytes()) > len(single.to_bytes())
+        # Per-representative payload: id (4) + eps (8) + 2 coords (16).
+        assert len(model.to_bytes()) - len(single.to_bytes()) == 2 * (4 + 8 + 16)
+
+
+class TestGlobalModel:
+    def test_label_alignment_enforced(self):
+        with pytest.raises(ValueError, match="labels"):
+            GlobalModel([_rep(0, 0)], np.asarray([0, 1]), eps_global=1.0)
+
+    def test_rejects_noise_labels(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GlobalModel([_rep(0, 0)], np.asarray([-1]), eps_global=1.0)
+
+    def test_members_of(self):
+        reps = [_rep(0, 0), _rep(1, 1), _rep(9, 9)]
+        model = GlobalModel(reps, np.asarray([0, 0, 1]), eps_global=2.0)
+        assert len(model.members_of(0)) == 2
+        assert len(model.members_of(1)) == 1
+        assert model.n_global_clusters == 2
+
+    def test_empty_model(self):
+        model = GlobalModel([], np.empty(0, dtype=int), eps_global=1.0)
+        assert model.n_global_clusters == 0
+        assert len(model) == 0
+
+    def test_to_bytes_nonempty(self):
+        reps = [_rep(0, 0), _rep(1, 1)]
+        model = GlobalModel(reps, np.asarray([0, 1]), eps_global=2.0)
+        payload = model.to_bytes()
+        assert len(payload) > 0

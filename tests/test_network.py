@@ -1,0 +1,53 @@
+"""Unit tests for the simulated network's byte/time accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.network import SERVER, LinkSpec, SimulatedNetwork
+
+
+class TestLinkSpec:
+    def test_transfer_time_formula(self):
+        link = LinkSpec(bandwidth_bytes_per_s=1000.0, latency_s=0.1)
+        assert link.transfer_seconds(500) == pytest.approx(0.1 + 0.5)
+
+    def test_zero_bytes_costs_latency(self):
+        link = LinkSpec(latency_s=0.05)
+        assert link.transfer_seconds(0) == pytest.approx(0.05)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError, match="n_bytes"):
+            LinkSpec().transfer_seconds(-1)
+
+
+class TestSimulatedNetwork:
+    def test_message_recorded(self):
+        net = SimulatedNetwork()
+        message = net.send(0, SERVER, "local_model", b"x" * 100)
+        assert message.n_bytes == 100
+        assert message.kind == "local_model"
+        assert len(net.messages) == 1
+
+    def test_stats_directionality(self):
+        net = SimulatedNetwork()
+        net.send(0, SERVER, "local_model", b"a" * 10)
+        net.send(1, SERVER, "local_model", b"b" * 20)
+        net.send(SERVER, 0, "global_model", b"c" * 5)
+        stats = net.stats()
+        assert stats.n_messages == 3
+        assert stats.bytes_upstream == 30
+        assert stats.bytes_downstream == 5
+        assert stats.bytes_total == 35
+        assert stats.sim_seconds_total > 0
+
+    def test_raw_data_cost(self):
+        net = SimulatedNetwork(LinkSpec(bandwidth_bytes_per_s=1e6, latency_s=0.0))
+        n_bytes, seconds = net.raw_data_cost(1000, 2)
+        assert n_bytes == 1000 * 2 * 8
+        assert seconds == pytest.approx(n_bytes / 1e6)
+
+    def test_empty_network_stats(self):
+        stats = SimulatedNetwork().stats()
+        assert stats.n_messages == 0
+        assert stats.bytes_total == 0

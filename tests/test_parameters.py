@@ -1,0 +1,100 @@
+"""Tests for the k-distance parameter selection heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.parameters import (
+    k_distances,
+    sorted_k_distance_plot,
+    suggest_eps_by_knee,
+    suggest_eps_by_quantile,
+    suggest_parameters,
+)
+from repro.data.generators import gaussian_blobs, uniform_noise
+
+
+@pytest.fixture
+def blob_with_noise(rng):
+    blob, __ = gaussian_blobs([150], np.asarray([[0.0, 0.0]]), 1.0, seed=5)
+    noise = uniform_noise(15, (-30.0, 30.0), dim=2, seed=6)
+    return np.concatenate([blob, noise])
+
+
+class TestKDistances:
+    def test_matches_bruteforce(self, rng):
+        points = rng.normal(size=(40, 2))
+        k = 3
+        result = k_distances(points, k)
+        for i in range(40):
+            dist = np.linalg.norm(points - points[i], axis=1)
+            expected = np.sort(dist)[k]  # index 0 is the point itself
+            assert result[i] == pytest.approx(expected)
+
+    def test_rejects_bad_k(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="k must be"):
+            k_distances(points, 0)
+        with pytest.raises(ValueError, match="k must be"):
+            k_distances(points, 10)
+
+    def test_sorted_plot_descending(self, blob_with_noise):
+        curve = sorted_k_distance_plot(blob_with_noise, 3)
+        assert (np.diff(curve) <= 1e-12).all()
+
+    def test_noise_dominates_plot_head(self, blob_with_noise):
+        """Scattered noise points carry the largest k-distances."""
+        values = k_distances(blob_with_noise, 3)
+        worst = set(np.argsort(values)[-10:])
+        noise_indices = set(range(150, 165))
+        assert len(worst & noise_indices) >= 8
+
+
+class TestSuggestions:
+    def test_quantile_rule_bounds(self, blob_with_noise):
+        eps = suggest_eps_by_quantile(blob_with_noise, 4, noise_share=0.1)
+        curve = sorted_k_distance_plot(blob_with_noise, 3)
+        assert curve[-1] <= eps <= curve[0]
+
+    def test_quantile_rejects_bad_share(self, blob_with_noise):
+        with pytest.raises(ValueError, match="noise_share"):
+            suggest_eps_by_quantile(blob_with_noise, 4, noise_share=1.0)
+
+    def test_knee_separates_noise_from_cluster(self, blob_with_noise):
+        """DBSCAN at the knee eps recovers the blob and flags the
+        scattered points as noise — the heuristic's whole purpose."""
+        eps = suggest_eps_by_knee(blob_with_noise, 4)
+        result = dbscan(blob_with_noise, eps, 4)
+        assert result.n_clusters == 1
+        assert 5 <= result.n_noise <= 30
+
+    def test_knee_between_curve_extremes(self, blob_with_noise):
+        eps = suggest_eps_by_knee(blob_with_noise, 4)
+        curve = sorted_k_distance_plot(blob_with_noise, 3)
+        assert curve[-1] <= eps <= curve[0]
+
+    def test_suggest_parameters_defaults(self, blob_with_noise):
+        eps, min_pts = suggest_parameters(blob_with_noise)
+        assert min_pts == 4  # 2 * dim
+        assert eps > 0
+
+    def test_suggest_parameters_respects_fixed_min_pts(self, blob_with_noise):
+        __, min_pts = suggest_parameters(blob_with_noise, min_pts=7)
+        assert min_pts == 7
+
+    def test_end_to_end_on_structured_data(self, rng):
+        # The knee heuristic locates the noise/cluster boundary, so the
+        # workload needs a noise tail (its intended use case).
+        blobs, __ = gaussian_blobs(
+            [120, 120, 120],
+            np.asarray([[0.0, 0.0], [20.0, 0.0], [10.0, 17.0]]),
+            1.0,
+            seed=8,
+        )
+        noise = uniform_noise(30, (-10.0, 30.0), dim=2, seed=9)
+        points = np.concatenate([blobs, noise])
+        eps, min_pts = suggest_parameters(points)
+        result = dbscan(points, eps, min_pts)
+        assert result.n_clusters == 3

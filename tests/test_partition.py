@@ -1,0 +1,124 @@
+"""Unit + property tests for the data partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.partition import (
+    PARTITIONERS,
+    partition,
+    round_robin,
+    skewed_sizes,
+    spatial_blocks,
+    split,
+    uniform_random,
+)
+
+
+class TestUniformRandom:
+    def test_equal_sizes(self):
+        assignment = uniform_random(100, 4, seed=0)
+        counts = np.bincount(assignment)
+        np.testing.assert_array_equal(counts, [25, 25, 25, 25])
+
+    def test_remainder_spread(self):
+        assignment = uniform_random(10, 3, seed=0)
+        counts = np.bincount(assignment)
+        assert counts.max() - counts.min() <= 1
+
+    def test_deterministic_per_seed(self):
+        a = uniform_random(50, 5, seed=7)
+        b = uniform_random(50, 5, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = uniform_random(50, 5, seed=1)
+        b = uniform_random(50, 5, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_more_sites_than_objects(self):
+        with pytest.raises(ValueError, match="cannot spread"):
+            uniform_random(3, 5)
+
+    def test_rejects_zero_sites(self):
+        with pytest.raises(ValueError, match="n_sites"):
+            uniform_random(10, 0)
+
+
+class TestRoundRobin:
+    def test_pattern(self):
+        np.testing.assert_array_equal(round_robin(6, 3), [0, 1, 2, 0, 1, 2])
+
+
+class TestSpatialBlocks:
+    def test_blocks_are_contiguous_in_space(self, rng):
+        points = rng.uniform(0, 100, size=(200, 2))
+        assignment = spatial_blocks(points, 4, axis=0)
+        maxima = [points[assignment == s, 0].max() for s in range(3)]
+        minima = [points[assignment == s, 0].min() for s in range(1, 4)]
+        for hi, lo in zip(maxima, minima):
+            assert hi <= lo + 1e-9
+
+    def test_axis_selection(self, rng):
+        points = rng.uniform(0, 100, size=(100, 2))
+        a0 = spatial_blocks(points, 2, axis=0)
+        a1 = spatial_blocks(points, 2, axis=1)
+        assert not np.array_equal(a0, a1)
+
+
+class TestSkewedSizes:
+    def test_sizes_decay(self):
+        assignment = skewed_sizes(1000, 4, ratio=4.0, seed=0)
+        counts = np.bincount(assignment, minlength=4)
+        assert (counts > 0).all()
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError, match="ratio"):
+            skewed_sizes(100, 3, ratio=1.0)
+
+
+class TestSplit:
+    def test_partition_reassembles(self, rng):
+        points = rng.normal(size=(60, 2))
+        assignment = uniform_random(60, 3, seed=1)
+        parts = split(points, assignment)
+        assert sum(p.shape[0] for p in parts) == 60
+        for site, part in enumerate(parts):
+            np.testing.assert_allclose(part, points[assignment == site])
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="assignments"):
+            split(rng.normal(size=(5, 2)), np.asarray([0, 1]))
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("strategy", PARTITIONERS)
+    def test_each_strategy_covers_all_objects(self, strategy, rng):
+        points = rng.uniform(0, 10, size=(80, 2))
+        assignment = partition(points, 4, strategy, seed=3)
+        assert assignment.shape == (80,)
+        assert set(np.unique(assignment)) == {0, 1, 2, 3}
+
+    def test_unknown_strategy(self, rng):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            partition(rng.normal(size=(10, 2)), 2, "hash_ring")
+
+    @given(
+        n=st.integers(8, 200),
+        n_sites=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_every_object_assigned_once(self, n, n_sites, seed):
+        if n < n_sites:
+            return
+        assignment = uniform_random(n, n_sites, seed=seed)
+        assert assignment.shape == (n,)
+        assert assignment.min() >= 0 and assignment.max() < n_sites
+        counts = np.bincount(assignment, minlength=n_sites)
+        assert counts.sum() == n
+        assert counts.max() - counts.min() <= 1

@@ -1,0 +1,131 @@
+"""Unit tests for the quality framework (Section 8, Definitions 9-11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.labels import NOISE
+from repro.quality.pfunctions import (
+    OverlapTables,
+    object_quality_p1,
+    object_quality_p2,
+    per_object_p1,
+    per_object_p2,
+)
+from repro.quality.qdbdc import evaluate_quality, q_dbdc_p1, q_dbdc_p2
+
+
+class TestScalarP1:
+    def test_noise_in_both_is_one(self):
+        assert object_quality_p1(True, True, 0, 5) == 1
+
+    def test_noise_in_exactly_one_is_zero(self):
+        assert object_quality_p1(True, False, 10, 5) == 0
+        assert object_quality_p1(False, True, 10, 5) == 0
+
+    def test_clustered_overlap_threshold(self):
+        assert object_quality_p1(False, False, 5, 5) == 1
+        assert object_quality_p1(False, False, 4, 5) == 0
+
+
+class TestScalarP2:
+    def test_noise_in_both_is_one(self):
+        assert object_quality_p2(True, True, 0.0) == 1.0
+
+    def test_noise_in_exactly_one_is_zero(self):
+        assert object_quality_p2(True, False, 0.9) == 0.0
+        assert object_quality_p2(False, True, 0.9) == 0.0
+
+    def test_jaccard_passthrough(self):
+        assert object_quality_p2(False, False, 0.42) == pytest.approx(0.42)
+
+
+class TestOverlapTables:
+    def test_intersection_counts(self):
+        distributed = np.asarray([0, 0, 1, 1, NOISE])
+        central = np.asarray([0, 0, 0, 1, NOISE])
+        tables = OverlapTables(distributed, central)
+        assert tables.intersection[(0, 0)] == 2
+        assert tables.intersection[(1, 0)] == 1
+        assert tables.intersection[(1, 1)] == 1
+        assert tables.size_d == {0: 2, 1: 2}
+        assert tables.size_c == {0: 3, 1: 1}
+
+    def test_jaccard_inclusion_exclusion(self):
+        distributed = np.asarray([0, 0, 0, 1])
+        central = np.asarray([0, 0, 1, 1])
+        tables = OverlapTables(distributed, central)
+        # |C_d ∩ C_c| = 2, |C_d ∪ C_c| = 3 + 2 - 2 = 3.
+        assert tables.jaccard(0, 0) == pytest.approx(2 / 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="align"):
+            OverlapTables(np.asarray([0]), np.asarray([0, 1]))
+
+
+class TestPerObjectVectors:
+    def test_identity_comparison_yields_all_ones(self, rng):
+        labels = rng.integers(-1, 4, size=60)
+        np.testing.assert_array_equal(per_object_p1(labels, labels, 1), 1)
+        np.testing.assert_allclose(per_object_p2(labels, labels), 1.0)
+
+    def test_p1_quality_parameter(self):
+        # Two clusters of 3 overlap fully: overlap 3 >= qp=3 → 1; qp=4 → 0.
+        distributed = np.asarray([0, 0, 0])
+        central = np.asarray([0, 0, 0])
+        assert per_object_p1(distributed, central, 3).tolist() == [1, 1, 1]
+        assert per_object_p1(distributed, central, 4).tolist() == [0, 0, 0]
+
+    def test_p1_rejects_bad_qp(self):
+        with pytest.raises(ValueError, match="qp"):
+            per_object_p1(np.asarray([0]), np.asarray([0]), 0)
+
+    def test_p2_bounded(self, rng):
+        distributed = rng.integers(-1, 5, size=100)
+        central = rng.integers(-1, 5, size=100)
+        scores = per_object_p2(distributed, central)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_split_cluster_penalized_by_p2_not_p1(self):
+        """A central cluster split into two distributed halves: P^I still
+        scores 1 (overlap >= qp) but P^II decays to ~0.5 — the paper's
+        'more subtle' criterion at work."""
+        central = np.zeros(20, dtype=int)
+        distributed = np.asarray([0] * 10 + [1] * 10)
+        assert per_object_p1(distributed, central, 5).mean() == 1.0
+        assert per_object_p2(distributed, central).mean() == pytest.approx(0.5)
+
+
+class TestQDBDC:
+    def test_identity_is_100_percent(self, rng):
+        labels = rng.integers(-1, 6, size=80)
+        assert q_dbdc_p1(labels, labels, 2) == 1.0
+        assert q_dbdc_p2(labels, labels) == 1.0
+
+    def test_disjoint_noise_assignments_zero(self):
+        distributed = np.asarray([NOISE, NOISE, 0, 0])
+        central = np.asarray([0, 0, NOISE, NOISE])
+        assert q_dbdc_p1(distributed, central, 1) == 0.0
+        assert q_dbdc_p2(distributed, central) == 0.0
+
+    def test_empty_inputs_are_perfect(self):
+        empty = np.empty(0, dtype=int)
+        assert q_dbdc_p1(empty, empty, 2) == 1.0
+        assert q_dbdc_p2(empty, empty) == 1.0
+
+    def test_evaluate_quality_report(self, rng):
+        labels = rng.integers(-1, 4, size=50)
+        report = evaluate_quality(labels, labels, qp=3)
+        assert report.q_p1 == 1.0
+        assert report.q_p2 == 1.0
+        assert report.q_p1_percent == 100.0
+        assert report.n_objects == 50
+        assert report.qp == 3
+
+    def test_report_matches_direct_functions(self, rng):
+        distributed = rng.integers(-1, 4, size=70)
+        central = rng.integers(-1, 4, size=70)
+        report = evaluate_quality(distributed, central, qp=2)
+        assert report.q_p1 == pytest.approx(q_dbdc_p1(distributed, central, 2))
+        assert report.q_p2 == pytest.approx(q_dbdc_p2(distributed, central))

@@ -1,0 +1,94 @@
+"""Hypothesis property tests for the quality framework."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quality.pfunctions import per_object_p1, per_object_p2
+from repro.quality.qdbdc import q_dbdc_p1, q_dbdc_p2
+
+label_arrays = hnp.arrays(
+    np.int64, st.integers(1, 60), elements=st.integers(-1, 6)
+)
+
+
+@given(labels=label_arrays)
+@settings(max_examples=60, deadline=None)
+def test_self_comparison_is_perfect(labels):
+    """'If we compare a reference clustering to itself, the quality should
+    be 100%' (Section 8)."""
+    assert q_dbdc_p1(labels, labels, 1) == 1.0
+    assert q_dbdc_p2(labels, labels) == 1.0
+
+
+@given(distributed=label_arrays, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_scores_bounded(distributed, data):
+    central = data.draw(
+        hnp.arrays(np.int64, distributed.size, elements=st.integers(-1, 6))
+    )
+    p1 = per_object_p1(distributed, central, 2)
+    p2 = per_object_p2(distributed, central)
+    assert ((p1 == 0) | (p1 == 1)).all()
+    assert (p2 >= 0.0).all() and (p2 <= 1.0).all()
+
+
+@given(distributed=label_arrays, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_p2_is_symmetric(distributed, data):
+    """P^II is a Jaccard-based measure: swapping the roles of the
+    distributed and central clusterings cannot change the score."""
+    central = data.draw(
+        hnp.arrays(np.int64, distributed.size, elements=st.integers(-1, 6))
+    )
+    assert q_dbdc_p2(distributed, central) == q_dbdc_p2(central, distributed)
+
+
+@given(distributed=label_arrays, data=st.data(), qp=st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_p1_monotone_in_qp(distributed, data, qp):
+    """Raising the quality parameter can only lower P^I scores."""
+    central = data.draw(
+        hnp.arrays(np.int64, distributed.size, elements=st.integers(-1, 6))
+    )
+    loose = per_object_p1(distributed, central, qp)
+    strict = per_object_p1(distributed, central, qp + 1)
+    assert (strict <= loose).all()
+
+
+@given(distributed=label_arrays, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_noise_mismatch_always_zero_under_both(distributed, data):
+    central = data.draw(
+        hnp.arrays(np.int64, distributed.size, elements=st.integers(-1, 6))
+    )
+    p1 = per_object_p1(distributed, central, 1)
+    p2 = per_object_p2(distributed, central)
+    mismatch = (distributed == -1) ^ (central == -1)
+    assert (p1[mismatch] == 0).all()
+    assert (p2[mismatch] == 0.0).all()
+
+
+@given(distributed=label_arrays, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_p1_with_qp1_dominates_p2(distributed, data):
+    """With qp=1, P^I(x)=1 whenever the clusters intersect at all, so it
+    upper-bounds the Jaccard-based P^II pointwise."""
+    central = data.draw(
+        hnp.arrays(np.int64, distributed.size, elements=st.integers(-1, 6))
+    )
+    p1 = per_object_p1(distributed, central, 1).astype(float)
+    p2 = per_object_p2(distributed, central)
+    assert (p2 <= p1 + 1e-12).all()
+
+
+@given(labels=label_arrays, renumber_offset=st.integers(1, 100))
+@settings(max_examples=40, deadline=None)
+def test_invariant_under_cluster_renaming(labels, renumber_offset):
+    """Quality depends on the partition, not on the id values."""
+    renamed = np.where(labels >= 0, labels + renumber_offset, labels)
+    assert q_dbdc_p2(renamed, labels) == 1.0
+    assert q_dbdc_p1(renamed, labels, 1) == 1.0

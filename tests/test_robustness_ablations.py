@@ -1,0 +1,52 @@
+"""Tests for the noise-share and site-failure ablations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_noise_ablation, run_site_failure_ablation
+
+
+class TestNoiseAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_noise_ablation(cardinality=1_600, n_sites=3, seed=1)
+
+    def test_noise_levels_swept(self, table):
+        assert table.column("noise [%]") == [0.0, 5.0, 15.0, 30.0, 45.0]
+
+    def test_quality_degrades_gracefully(self, table):
+        p2 = table.column("P^II Scor")
+        # Clean data scores near-perfect; heavy noise still above 70 %.
+        assert p2[0] > 95.0
+        assert p2[-1] > 70.0
+        # Monotone trend modulo small jitter.
+        assert p2[0] >= p2[-1]
+
+    def test_both_schemes_reported(self, table):
+        assert len(table.column("P^II kMeans")) == 5
+
+
+class TestSiteFailureAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_site_failure_ablation(cardinality=1_600, n_sites=8, seed=1)
+
+    def test_failure_counts(self, table):
+        assert table.column("failed sites") == [0, 1, 2, 4]
+
+    def test_surviving_quality_stays_high(self, table):
+        """Losing sites must not hurt the clustering of surviving sites."""
+        surviving = table.column("P^II surviving [%]")
+        assert min(surviving) > surviving[0] - 10.0
+        assert surviving[0] > 85.0
+
+    def test_overall_quality_tracks_lost_data(self, table):
+        overall = table.column("P^II overall [%]")
+        assert overall[0] > overall[1] > overall[3]
+
+    def test_clusters_survive_failures(self, table):
+        """Every cluster has members on all sites (uniform split), so the
+        global structure survives as long as any site lives."""
+        counts = table.column("global clusters")
+        assert len(set(counts)) <= 2  # essentially stable

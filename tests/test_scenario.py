@@ -1,0 +1,99 @@
+"""Tests for the multi-round streaming scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import gaussian_blobs
+from repro.distributed.scenario import StreamingScenario
+
+
+def _arrivals(n_sites, centers, count=25, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for __ in range(n_sites):
+        points, __labels = gaussian_blobs(
+            [count] * len(centers), np.asarray(centers), 0.8, seed=rng
+        )
+        out.append(points)
+    return out
+
+
+class TestValidation:
+    def test_rejects_zero_sites(self):
+        with pytest.raises(ValueError, match="n_sites"):
+            StreamingScenario(0, eps_local=1.0, min_pts_local=4)
+
+    def test_rejects_wrong_arrival_count(self):
+        scenario = StreamingScenario(2, eps_local=1.0, min_pts_local=4)
+        with pytest.raises(ValueError, match="arrival"):
+            scenario.run_round([np.zeros((1, 2))])
+
+    def test_rejects_wrong_departure_count(self):
+        scenario = StreamingScenario(2, eps_local=1.0, min_pts_local=4)
+        with pytest.raises(ValueError, match="departure"):
+            scenario.run_round(
+                [np.zeros((0, 2)), np.zeros((0, 2))], departures=[[]]
+            )
+
+    def test_global_model_guard(self):
+        scenario = StreamingScenario(1, eps_local=1.0, min_pts_local=4)
+        with pytest.raises(RuntimeError, match="no round"):
+            __ = scenario.global_model
+
+
+class TestRounds:
+    def test_first_round_every_site_uploads(self):
+        scenario = StreamingScenario(3, eps_local=1.0, min_pts_local=4)
+        stats = scenario.run_round(_arrivals(3, [[0.0, 0.0]]))
+        assert stats.sites_transmitted == 3
+        assert stats.bytes_up > 0
+        assert stats.n_global_clusters >= 1
+
+    def test_stable_rounds_upload_nothing(self):
+        scenario = StreamingScenario(3, eps_local=1.0, min_pts_local=4)
+        scenario.run_round(_arrivals(3, [[0.0, 0.0]], seed=1))
+        stats = scenario.run_round(_arrivals(3, [[0.0, 0.0]], seed=2))
+        assert stats.sites_transmitted == 0
+        assert stats.bytes_up == 0
+
+    def test_new_region_triggers_uploads(self):
+        scenario = StreamingScenario(2, eps_local=1.0, min_pts_local=4)
+        scenario.run_round(_arrivals(2, [[0.0, 0.0]], seed=1))
+        stats = scenario.run_round(_arrivals(2, [[30.0, 30.0]], seed=2))
+        assert stats.sites_transmitted == 2
+        assert stats.n_global_clusters >= 2
+
+    def test_departures_processed(self):
+        scenario = StreamingScenario(1, eps_local=1.0, min_pts_local=4)
+        arrivals = _arrivals(1, [[0.0, 0.0]], count=30)
+        scenario.run_round(arrivals)
+        stats = scenario.run_round(
+            [np.empty((0, 2))], departures=[[0, 1, 2]]
+        )
+        assert stats.departures == 3
+        assert scenario.sites[0].n_objects == 27
+
+    def test_history_accumulates(self):
+        scenario = StreamingScenario(1, eps_local=1.0, min_pts_local=4)
+        for i in range(3):
+            scenario.run_round(_arrivals(1, [[0.0, 0.0]], seed=i))
+        assert [s.round_index for s in scenario.history] == [0, 1, 2]
+
+    def test_lazy_cheaper_than_eager(self):
+        scenario = StreamingScenario(2, eps_local=1.0, min_pts_local=4)
+        for i in range(4):
+            scenario.run_round(_arrivals(2, [[0.0, 0.0]], seed=i))
+        assert scenario.total_bytes_up() < scenario.eager_bytes_up()
+
+    def test_default_eps_global_is_twice_local(self):
+        scenario = StreamingScenario(1, eps_local=1.5, min_pts_local=4)
+        assert scenario.eps_global == 3.0
+
+    def test_global_model_merges_across_sites(self):
+        """Two sites see the same hotspot: one global cluster."""
+        scenario = StreamingScenario(2, eps_local=1.0, min_pts_local=4)
+        stats = scenario.run_round(_arrivals(2, [[5.0, 5.0]], seed=3))
+        assert stats.n_global_clusters == 1
+        assert stats.n_representatives >= 2  # at least one rep per site

@@ -1,0 +1,149 @@
+"""Unit tests for single-link agglomerative clustering (the §4 baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.labels import NOISE
+from repro.clustering.singlelink import (
+    cut_by_count,
+    cut_by_distance,
+    single_link,
+)
+
+
+class TestDendrogram:
+    def test_mst_has_n_minus_one_edges(self, rng):
+        points = rng.normal(size=(30, 2))
+        result = single_link(points)
+        assert len(result.edges) == 29
+        assert result.n == 30
+
+    def test_edges_sorted_ascending(self, rng):
+        points = rng.normal(size=(40, 2))
+        result = single_link(points)
+        weights = [w for w, __, __ in result.edges]
+        assert weights == sorted(weights)
+
+    def test_empty_and_single(self):
+        assert single_link(np.empty((0, 2))).edges == []
+        assert single_link(np.asarray([[1.0, 2.0]])).edges == []
+
+    def test_mst_total_weight_matches_bruteforce(self, rng):
+        """Compare against an O(n^2 log n) Kruskal reference."""
+        points = rng.normal(size=(25, 2))
+        result = single_link(points)
+        prim_total = sum(w for w, __, __ in result.edges)
+
+        # Kruskal reference.
+        n = points.shape[0]
+        all_edges = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                all_edges.append((float(np.linalg.norm(points[i] - points[j])), i, j))
+        all_edges.sort()
+        parent = list(range(n))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        kruskal_total, used = 0.0, 0
+        for w, u, v in all_edges:
+            if find(u) != find(v):
+                parent[find(u)] = find(v)
+                kruskal_total += w
+                used += 1
+                if used == n - 1:
+                    break
+        assert prim_total == pytest.approx(kruskal_total)
+
+
+class TestCutByDistance:
+    def test_two_separated_blobs(self, rng):
+        a = rng.normal(0, 0.3, size=(20, 2))
+        b = rng.normal(0, 0.3, size=(20, 2)) + [10.0, 0.0]
+        labels = cut_by_distance(single_link(np.concatenate([a, b])), 2.0)
+        assert np.unique(labels[:20]).size == 1
+        assert np.unique(labels[20:]).size == 1
+        assert labels[0] != labels[20]
+
+    def test_threshold_zero_all_singletons(self, rng):
+        points = rng.normal(size=(10, 2))
+        labels = cut_by_distance(single_link(points), 0.0)
+        assert np.unique(labels).size == 10
+
+    def test_huge_threshold_one_cluster(self, rng):
+        points = rng.normal(size=(10, 2))
+        labels = cut_by_distance(single_link(points), 1e9)
+        assert np.unique(labels).size == 1
+
+    def test_min_cluster_size_suppression(self):
+        points = np.asarray(
+            [[0.0, 0.0], [0.1, 0.0], [0.2, 0.0], [50.0, 50.0]]
+        )
+        labels = cut_by_distance(single_link(points), 0.5, min_cluster_size=2)
+        assert labels[3] == NOISE
+        assert (labels[:3] >= 0).all()
+
+    def test_chaining_effect(self):
+        """Single-link's defining (mis)behaviour: a chain of stepping
+        stones merges two groups that are far apart."""
+        left = np.asarray([[0.0, 0.0], [0.5, 0.0]])
+        right = np.asarray([[10.0, 0.0], [10.5, 0.0]])
+        bridge = np.asarray([[i * 1.0 + 1.0, 0.0] for i in range(9)])
+        points = np.concatenate([left, right, bridge])
+        labels = cut_by_distance(single_link(points), 1.1)
+        assert np.unique(labels).size == 1  # everything chained together
+
+
+class TestCutByCount:
+    def test_exact_component_count(self, rng):
+        points = rng.normal(size=(30, 2))
+        for k in (1, 3, 7, 30):
+            labels = cut_by_count(single_link(points), k)
+            assert np.unique(labels).size == k
+            assert (labels >= 0).all()
+
+    def test_rejects_bad_k(self, rng):
+        result = single_link(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError, match="k must be"):
+            cut_by_count(result, 0)
+        with pytest.raises(ValueError, match="k must be"):
+            cut_by_count(result, 6)
+
+    def test_k_respects_structure(self, rng):
+        a = rng.normal(0, 0.3, size=(15, 2))
+        b = rng.normal(0, 0.3, size=(15, 2)) + [8.0, 0.0]
+        c = rng.normal(0, 0.3, size=(15, 2)) + [0.0, 8.0]
+        labels = cut_by_count(single_link(np.concatenate([a, b, c])), 3)
+        for block in (labels[:15], labels[15:30], labels[30:]):
+            assert np.unique(block).size == 1
+        assert np.unique(labels).size == 3
+
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_partition_valid(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 40))
+        points = rng.uniform(-5, 5, size=(n, 2))
+        k = min(k, n)
+        labels = cut_by_count(single_link(points), k)
+        assert labels.shape == (n,)
+        assert np.unique(labels).size == k
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_nested_cuts(self, seed):
+        """A looser distance cut never has more components."""
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-5, 5, size=(25, 2))
+        dendrogram = single_link(points)
+        tight = cut_by_distance(dendrogram, 0.5)
+        loose = cut_by_distance(dendrogram, 2.0)
+        assert np.unique(loose).size <= np.unique(tight).size

@@ -1,0 +1,47 @@
+"""Tests for the §5 compression trade-off ablation and fig8 repeats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_compression_tradeoff
+from repro.experiments.fig8 import run_fig8
+
+
+class TestCompressionTradeoff:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_compression_tradeoff(cardinality=1_600, n_sites=3, seed=1)
+
+    def test_five_eps_settings(self, table):
+        assert len(table.rows) == 5
+
+    def test_quality_peaks_at_calibrated_eps(self, table):
+        """The plateau sits around the data set's recommended Eps; the
+        extremes (fragmenting / merging) score lower."""
+        p2 = table.column("P^II Scor [%]")
+        middle = max(p2[1:4])
+        assert middle >= p2[0]
+        assert middle >= p2[-1]
+
+    def test_bytes_track_representative_share(self, table):
+        shares = table.column("repr. [%]")
+        byte_counts = table.column("bytes up")
+        order_by_share = sorted(range(5), key=lambda i: shares[i])
+        order_by_bytes = sorted(range(5), key=lambda i: byte_counts[i])
+        assert order_by_share == order_by_bytes
+
+    def test_share_reasonable(self, table):
+        for share in table.column("repr. [%]"):
+            assert 0 < share < 50
+
+
+class TestFig8Repeats:
+    def test_repeats_reported_in_note(self):
+        table = run_fig8(sites=(2,), cardinality=2_000, seed=1, repeats=3)
+        assert any("fastest of 3" in note for note in table.notes)
+
+    def test_single_repeat_allowed(self):
+        table = run_fig8(sites=(2,), cardinality=2_000, seed=1, repeats=1)
+        assert len(table.rows) == 1
+        assert table.column("speed-up")[0] > 0

@@ -1,0 +1,179 @@
+"""Tests for the SVG visualization package (XML validity + content)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz.charts import line_chart, reachability_plot, save_svg, scatter_plot
+from repro.viz.svg import SVGCanvas
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(document: str) -> ET.Element:
+    return ET.fromstring(document)
+
+
+def _count(root: ET.Element, tag: str) -> int:
+    return len(root.findall(f"{SVG_NS}{tag}"))
+
+
+class TestCanvas:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            SVGCanvas(0, 100)
+
+    def test_valid_xml(self):
+        canvas = SVGCanvas(100, 80)
+        canvas.circle(10, 10, 3)
+        canvas.line(0, 0, 100, 80)
+        canvas.text(5, 5, "hello & <world>")
+        root = _parse(canvas.to_string())
+        assert root.get("width") == "100"
+        assert _count(root, "circle") == 1
+        assert _count(root, "line") == 1
+
+    def test_text_escaped(self):
+        canvas = SVGCanvas(50, 50)
+        canvas.text(0, 10, "a < b & c")
+        root = _parse(canvas.to_string())
+        assert root.find(f"{SVG_NS}text").text == "a < b & c"
+
+    def test_save(self, tmp_path):
+        canvas = SVGCanvas(10, 10)
+        path = canvas.save(tmp_path / "nested" / "out.svg")
+        assert path.exists()
+        _parse(path.read_text())
+
+
+class TestScatterPlot:
+    def test_one_circle_per_point(self, rng):
+        points = rng.normal(size=(37, 2))
+        root = _parse(scatter_plot(points))
+        # 37 data circles (plus none others: markers only in scatter).
+        assert _count(root, "circle") == 37
+
+    def test_cluster_colors_distinct(self, rng):
+        points = np.concatenate(
+            [rng.normal(0, 1, size=(10, 2)), rng.normal(20, 1, size=(10, 2))]
+        )
+        labels = np.concatenate([np.zeros(10, dtype=int), np.ones(10, dtype=int)])
+        root = _parse(scatter_plot(points, labels))
+        fills = {c.get("fill") for c in root.findall(f"{SVG_NS}circle")}
+        assert len(fills) == 2
+
+    def test_noise_rendered_gray(self, rng):
+        points = rng.normal(size=(5, 2))
+        labels = np.full(5, -1)
+        root = _parse(scatter_plot(points, labels))
+        fills = {c.get("fill") for c in root.findall(f"{SVG_NS}circle")}
+        assert fills == {"#c8c8c8"}
+
+    def test_empty_points(self):
+        root = _parse(scatter_plot(np.empty((0, 2))))
+        assert _count(root, "circle") == 0
+
+    def test_rejects_3d(self, rng):
+        with pytest.raises(ValueError, match="\\(n, 2\\)"):
+            scatter_plot(rng.normal(size=(5, 3)))
+
+
+class TestLineChart:
+    def test_one_polyline_per_series(self):
+        doc = line_chart(
+            [1.0, 2.0, 3.0],
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            title="t",
+        )
+        root = _parse(doc)
+        # 2 data polylines.
+        assert _count(root, "polyline") == 2
+
+    def test_legend_labels_present(self):
+        doc = line_chart([0.0, 1.0], {"central DBSCAN": [1.0, 2.0]})
+        root = _parse(doc)
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "central DBSCAN" in texts
+
+    def test_log_scale_accepts_wide_range(self):
+        doc = line_chart(
+            [1.0, 2.0], {"runtime": [0.01, 100.0]}, log_y=True
+        )
+        _parse(doc)  # just must be valid
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            line_chart([], {})
+
+    def test_rejects_misaligned_series(self):
+        with pytest.raises(ValueError, match="values for"):
+            line_chart([1.0, 2.0], {"a": [1.0]})
+
+
+class TestReachabilityPlot:
+    def test_one_bar_per_value(self, rng):
+        values = rng.uniform(0.1, 1.0, size=25)
+        root = _parse(reachability_plot(values))
+        # 25 bars + 1 background rect.
+        assert _count(root, "rect") == 26
+
+    def test_infinities_drawn_at_ceiling(self):
+        values = np.asarray([np.inf, 0.5, 0.2])
+        root = _parse(reachability_plot(values))
+        assert _count(root, "rect") == 4
+
+    def test_cut_line_rendered(self):
+        doc = reachability_plot(np.asarray([0.5, 0.3]), eps_cut=0.4)
+        root = _parse(doc)
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert any(t and "cut" in t for t in texts)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            reachability_plot(np.empty(0))
+
+
+class TestFigureRendering:
+    def test_fig6_files_written(self, tmp_path):
+        from repro.viz.figures import render_fig6
+
+        paths = render_fig6(tmp_path)
+        assert [p.name for p in paths] == ["fig6_A.svg", "fig6_B.svg", "fig6_C.svg"]
+        for path in paths:
+            root = ET.parse(path).getroot()
+            assert len(root.findall(f"{SVG_NS}circle")) > 500
+
+    def test_reachability_figure(self, tmp_path):
+        from repro.viz.figures import render_reachability
+
+        path = render_reachability(tmp_path)
+        root = ET.parse(path).getroot()
+        assert len(root.findall(f"{SVG_NS}rect")) > 100
+
+    def test_fig8_figure_small(self, tmp_path):
+        from repro.viz.figures import render_fig8
+
+        path = render_fig8(tmp_path, cardinality=2_000, seed=1)
+        root = ET.parse(path).getroot()
+        assert len(root.findall(f"{SVG_NS}polyline")) == 1
+
+    def test_fig9_figure_small(self, tmp_path):
+        from repro.viz.figures import render_fig9
+
+        path = render_fig9(tmp_path, cardinality=1_500, seed=1)
+        root = ET.parse(path).getroot()
+        assert len(root.findall(f"{SVG_NS}polyline")) == 4  # both P per scheme
+
+    def test_fig10_figure_small(self, tmp_path):
+        from repro.viz.figures import render_fig10
+
+        path = render_fig10(tmp_path, cardinality=1_500, seed=1)
+        root = ET.parse(path).getroot()
+        assert len(root.findall(f"{SVG_NS}polyline")) == 4
+
+    def test_save_svg_creates_dirs(self, tmp_path):
+        path = save_svg("<svg xmlns='http://www.w3.org/2000/svg'/>", tmp_path / "a" / "b.svg")
+        assert path.exists()
