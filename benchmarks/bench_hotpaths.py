@@ -1,0 +1,26 @@
+"""Hot-path benchmark driver: single vs. batched vs. parallel execution.
+
+Thin wrapper over :mod:`repro.perf.hotpaths` so the benchmark lives next to
+the other ``bench_*`` modules.  Unlike its pytest-benchmark siblings this is
+a plain script — it times whole pipeline paths and writes the
+machine-readable ``BENCH_hotpaths.json`` trajectory file::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --cardinality 20000
+
+or, equivalently, ``python -m repro.cli bench``.  See docs/performance.md
+for how to read the output.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.perf.hotpaths import (  # noqa: F401  (re-exported for importers)
+    format_summary,
+    main,
+    run_hotpath_bench,
+    write_report,
+)
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli ablations
     python -m repro.cli all             # everything (sized for a laptop)
     python -m repro.cli run --dataset A --sites 4 --scheme rep_kmeans
+    python -m repro.cli bench           # hot-path perf -> BENCH_hotpaths.json
 
 The figure commands print the same rows the paper reports;
 ``EXPERIMENTS.md`` records a captured run side by side with the paper's
@@ -63,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figures",
             "all",
             "run",
+            "bench",
         ],
         help="experiments to regenerate",
     )
@@ -90,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--out", default="figures", help="output directory for 'figures'"
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=4,
+        help="parallel local-phase width for 'bench'",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="best-of repeats for 'bench'"
+    )
+    parser.add_argument(
+        "--bench-out",
+        default="BENCH_hotpaths.json",
+        help="output JSON path for 'bench'",
     )
     return parser
 
@@ -211,6 +227,23 @@ def main(argv: list[str] | None = None) -> int:
             print(run_baseline_comparison(seed=args.seed).to_text())
         elif command == "run":
             _run_single(args)
+        elif command == "bench":
+            from repro.perf.hotpaths import (
+                format_summary,
+                run_hotpath_bench,
+                write_report,
+            )
+
+            report = run_hotpath_bench(
+                cardinality=args.cardinality or 20_000,
+                n_sites=args.sites,
+                parallelism=args.parallelism,
+                repeats=args.repeats,
+                seed=args.seed,
+            )
+            print(format_summary(report))
+            path = write_report(report, args.bench_out)
+            print(f"wrote {path}")
         print()
     return 0
 

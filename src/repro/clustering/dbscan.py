@@ -16,6 +16,23 @@ during the DBSCAN run determines a concrete set of specific core points"
 protocol — the local-model builders receive every core point *in processing
 order* together with its neighborhood, exactly the information needed to
 pick specific core points on the fly.
+
+Two expansion strategies produce that identical processing order:
+
+* the classic one-seed-at-a-time loop (``batched=False``), which issues one
+  region query per popped seed, and
+* the default frontier-at-a-time loop (``batched=True``), which drains the
+  whole seed queue each round, answers it with **one** batched region query
+  (``NeighborIndex.region_query_batch``), and then applies the results in
+  the exact FIFO order the sequential loop would have used.
+
+Because the seed queue is FIFO, one "round" of the sequential loop processes
+precisely the seeds that were enqueued before the round started — the
+frontier.  Region queries read only the immutable index, never the label
+array, so evaluating them up front cannot change any neighborhood.  Labels,
+core flags, ``n_region_queries`` and the observer event sequence are
+therefore bit-identical between the two strategies (guarded by
+``tests/test_dbscan_batched.py``).
 """
 
 from __future__ import annotations
@@ -106,6 +123,11 @@ class DBSCAN:
         metric: distance metric name or instance.
         index_kind: neighbor index to build (``"auto"`` picks the grid for
             ``L_p`` metrics, see :func:`repro.index.build_index`).
+        batched: expand clusters frontier-at-a-time through batched region
+            queries (default).  ``False`` selects the classic one-query-per-
+            seed loop; both produce bit-identical results (see the module
+            docstring) — the sequential loop is kept as the equivalence
+            reference and benchmark baseline.
 
     Raises:
         ValueError: for non-positive ``eps`` or ``min_pts < 1``.
@@ -118,6 +140,7 @@ class DBSCAN:
         *,
         metric: str | Metric = "euclidean",
         index_kind: str = "auto",
+        batched: bool = True,
     ) -> None:
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
@@ -127,6 +150,7 @@ class DBSCAN:
         self.min_pts = int(min_pts)
         self.metric = get_metric(metric)
         self.index_kind = index_kind
+        self.batched = bool(batched)
 
     def fit(
         self,
@@ -165,6 +189,7 @@ class DBSCAN:
                 raise ValueError("order must be a permutation of range(n)")
         queries = 0
         next_cluster = 0
+        expand = self._expand_batched if self.batched else self._expand_sequential
         for start in start_order:
             if labels[start] != UNCLASSIFIED:
                 continue
@@ -181,22 +206,9 @@ class DBSCAN:
             core_mask[start] = True
             if observer is not None:
                 observer.on_core_point(int(start), cluster_id, neighbors)
-            seeds: deque[int] = deque()
-            queries += self._absorb(
-                neighbors, cluster_id, labels, seeds, exclude=start
+            queries += expand(
+                index, neighbors, int(start), cluster_id, labels, core_mask, observer
             )
-            while seeds:
-                current = seeds.popleft()
-                current_neighbors = index.region_query(current, self.eps)
-                queries += 1
-                if current_neighbors.size < self.min_pts:
-                    continue  # border object: keeps its label, expands nothing
-                core_mask[current] = True
-                if observer is not None:
-                    observer.on_core_point(int(current), cluster_id, current_neighbors)
-                queries += self._absorb(
-                    current_neighbors, cluster_id, labels, seeds, exclude=current
-                )
         return DBSCANResult(
             labels=labels,
             core_mask=core_mask,
@@ -206,23 +218,96 @@ class DBSCAN:
             index=index,
         )
 
+    def _expand_sequential(
+        self,
+        index: NeighborIndex,
+        neighbors: np.ndarray,
+        start: int,
+        cluster_id: int,
+        labels: np.ndarray,
+        core_mask: np.ndarray,
+        observer: DBSCANObserver | None,
+    ) -> int:
+        """Classic expansion: one region query per popped seed.
+
+        Returns:
+            The number of region queries issued.
+        """
+        seeds: deque[int] = deque()
+        self._absorb(neighbors, cluster_id, labels, seeds, exclude=start)
+        queries = 0
+        while seeds:
+            current = seeds.popleft()
+            current_neighbors = index.region_query(current, self.eps)
+            queries += 1
+            if current_neighbors.size < self.min_pts:
+                continue  # border object: keeps its label, expands nothing
+            core_mask[current] = True
+            if observer is not None:
+                observer.on_core_point(current, cluster_id, current_neighbors)
+            self._absorb(
+                current_neighbors, cluster_id, labels, seeds, exclude=current
+            )
+        return queries
+
+    def _expand_batched(
+        self,
+        index: NeighborIndex,
+        neighbors: np.ndarray,
+        start: int,
+        cluster_id: int,
+        labels: np.ndarray,
+        core_mask: np.ndarray,
+        observer: DBSCANObserver | None,
+    ) -> int:
+        """Frontier expansion: one batched region query per BFS round.
+
+        Each round drains the entire seed queue (the frontier), answers it
+        with one ``region_query_batch`` call, and applies the results in
+        FIFO order — the order :meth:`_expand_sequential` would have used —
+        so every observable output is bit-identical to the classic loop.
+        Each batch still counts one region query per frontier member to
+        keep the paper's cost proxy comparable.
+
+        Returns:
+            The number of region queries issued.
+        """
+        frontier: list[int] = []
+        self._absorb_vectorized(neighbors, cluster_id, labels, frontier)
+        queries = 0
+        while frontier:
+            batch = index.region_query_batch(
+                np.asarray(frontier, dtype=np.intp), self.eps
+            )
+            queries += len(frontier)
+            next_frontier: list[int] = []
+            for current, current_neighbors in zip(frontier, batch):
+                if current_neighbors.size < self.min_pts:
+                    continue  # border object: keeps its label, expands nothing
+                core_mask[current] = True
+                if observer is not None:
+                    observer.on_core_point(current, cluster_id, current_neighbors)
+                self._absorb_vectorized(
+                    current_neighbors, cluster_id, labels, next_frontier
+                )
+            frontier = next_frontier
+        return queries
+
     @staticmethod
     def _absorb(
         neighbors: np.ndarray,
         cluster_id: int,
         labels: np.ndarray,
-        seeds: deque,
+        seeds: deque[int] | list[int],
         *,
         exclude: int,
-    ) -> int:
+    ) -> None:
         """Pull a core point's neighborhood into ``cluster_id``.
 
-        Unclassified neighbors are claimed and scheduled for expansion;
-        former noise objects become border members (they were already
-        proven non-core, so they are not re-expanded).
-
-        Returns:
-            0 (kept for symmetry with query accounting call sites).
+        Unclassified neighbors are claimed and scheduled for expansion
+        (appended to ``seeds`` in ascending index order — ``neighbors`` is
+        sorted); former noise objects become border members (they were
+        already proven non-core, so they are not re-expanded).
         """
         for j in neighbors:
             if j == exclude:
@@ -233,7 +318,31 @@ class DBSCAN:
                 seeds.append(int(j))
             elif label == NOISE:
                 labels[j] = cluster_id
-        return 0
+
+    @staticmethod
+    def _absorb_vectorized(
+        neighbors: np.ndarray,
+        cluster_id: int,
+        labels: np.ndarray,
+        seeds: list[int],
+    ) -> None:
+        """Vectorized :meth:`_absorb` used by the frontier expansion.
+
+        Equivalent to the scalar loop: the indices within one neighborhood
+        are distinct, so claiming all unclassified neighbors (ascending,
+        ``neighbors`` is sorted) and then promoting all former-noise ones
+        performs the identical label transitions and seed appends.  The
+        expanding core point itself is already labeled ``cluster_id``, so
+        no ``exclude`` check is needed — it matches neither mask.
+        """
+        neighbor_labels = labels[neighbors]
+        fresh = neighbors[neighbor_labels == UNCLASSIFIED]
+        if fresh.size:
+            labels[fresh] = cluster_id
+            seeds.extend(fresh.tolist())
+        former_noise = neighbors[neighbor_labels == NOISE]
+        if former_noise.size:
+            labels[former_noise] = cluster_id
 
 
 def dbscan(
@@ -245,6 +354,7 @@ def dbscan(
     index_kind: str = "auto",
     index: NeighborIndex | None = None,
     observer: DBSCANObserver | None = None,
+    batched: bool = True,
 ) -> DBSCANResult:
     """Functional one-shot wrapper around :class:`DBSCAN`.
 
@@ -256,9 +366,11 @@ def dbscan(
         index_kind: neighbor index kind.
         index: optional pre-built index.
         observer: optional run observer.
+        batched: frontier-at-a-time expansion (default) or the classic
+            one-query-per-seed loop; results are bit-identical.
 
     Returns:
         A :class:`DBSCANResult`.
     """
-    runner = DBSCAN(eps, min_pts, metric=metric, index_kind=index_kind)
+    runner = DBSCAN(eps, min_pts, metric=metric, index_kind=index_kind, batched=batched)
     return runner.fit(points, index=index, observer=observer)

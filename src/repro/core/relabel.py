@@ -102,64 +102,76 @@ def relabel_site(
     rep_ranges = global_model.eps_ranges()
     rep_labels = global_model.global_labels
 
-    # Nearest covering representative per object (vectorized per rep: the
-    # model is small by construction, the site's data may be large).
+    # Nearest covering representative per object: one vectorized distance-
+    # matrix sweep, chunked over the (possibly large) site data so the
+    # (m, chunk) matrix stays small.  Distance ties pick the lowest rep
+    # index (argmin), matching the historical first-wins scan.
     best_distance = np.full(n, np.inf)
-    for j in range(m):
-        distances = resolved.to_many(rep_points[j], points)
-        covered = (distances <= rep_ranges[j]) & (distances < best_distance)
-        if covered.any():
-            out[covered] = rep_labels[j]
-            best_distance[covered] = distances[covered]
+    chunk = max(1, 4_000_000 // max(m, 1))
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        distances = resolved.matrix(rep_points, points[start:stop])
+        masked = np.where(distances <= rep_ranges[:, None], distances, np.inf)
+        best_rep = np.argmin(masked, axis=0)
+        best = masked[best_rep, np.arange(stop - start)]
+        covered = np.isfinite(best)
+        out[start:stop][covered] = rep_labels[best_rep[covered]]
+        best_distance[start:stop] = best
     n_covered = int(np.count_nonzero(np.isfinite(best_distance)))
     was_noise = local_labels == NOISE
     n_noise_promoted = int(np.count_nonzero(was_noise & (out != NOISE)))
 
     # Inheritance fallback: members of a local cluster that no ε_r-range
     # covers still belong to the global cluster their representatives
-    # joined.
+    # joined.  Vectorized per local cluster, not per object: clusters with
+    # a single own representative inherit its global id directly, clusters
+    # whose representatives split across global clusters follow the
+    # nearest own representative.
     n_inherited = 0
     if site_id is not None:
-        own_global_by_local: dict[int, list[int]] = {}
-        for rep, label in zip(global_model.representatives, rep_labels):
-            if rep.site_id == site_id:
-                own_global_by_local.setdefault(rep.local_cluster_id, []).append(
-                    int(label)
-                )
-        uncovered_members = np.flatnonzero((out == NOISE) & ~was_noise)
-        for i in uncovered_members:
-            candidates = own_global_by_local.get(int(local_labels[i]))
-            if not candidates:
-                continue
-            if len(candidates) == 1:
-                out[i] = candidates[0]
-            else:
-                # The local cluster's representatives split across several
-                # global clusters: follow the nearest own representative.
-                own_reps = [
-                    (j, rep)
-                    for j, rep in enumerate(global_model.representatives)
-                    if rep.site_id == site_id
-                    and rep.local_cluster_id == int(local_labels[i])
-                ]
-                rep_coords = np.asarray([rep.point for __, rep in own_reps])
-                distances = resolved.to_many(points[i], rep_coords)
-                out[i] = rep_labels[own_reps[int(np.argmin(distances))][0]]
-            n_inherited += 1
+        own = [
+            j
+            for j, rep in enumerate(global_model.representatives)
+            if rep.site_id == site_id
+        ]
+        uncovered = np.flatnonzero((out == NOISE) & ~was_noise)
+        if own and uncovered.size:
+            own_local = np.asarray(
+                [global_model.representatives[j].local_cluster_id for j in own],
+                dtype=np.intp,
+            )
+            own_labels = rep_labels[own]
+            own_points = np.asarray(
+                [global_model.representatives[j].point for j in own], dtype=float
+            )
+            uncovered_locals = local_labels[uncovered]
+            for local_id in np.unique(uncovered_locals):
+                members = uncovered[uncovered_locals == local_id]
+                reps_of_cluster = np.flatnonzero(own_local == local_id)
+                if reps_of_cluster.size == 0:
+                    continue
+                if reps_of_cluster.size == 1:
+                    out[members] = own_labels[reps_of_cluster[0]]
+                else:
+                    distances = resolved.matrix(
+                        points[members], own_points[reps_of_cluster]
+                    )
+                    nearest = reps_of_cluster[np.argmin(distances, axis=1)]
+                    out[members] = own_labels[nearest]
+                n_inherited += int(members.size)
 
     # Merge accounting: how many of this site's local clusters now share a
-    # global id with another local cluster of the same site.
+    # global id with another local cluster of the same site.  The summed
+    # (len(locals) - 1) over shared globals equals the number of distinct
+    # (global, local) pairs minus the number of distinct globals.
     merged = 0
     if site_id is not None:
-        global_of_local: dict[int, set[int]] = {}
-        for i in range(n):
-            if local_labels[i] >= 0 and out[i] != NOISE:
-                global_of_local.setdefault(int(out[i]), set()).add(
-                    int(local_labels[i])
-                )
-        merged = sum(
-            len(locals_) - 1 for locals_ in global_of_local.values() if len(locals_) > 1
-        )
+        counted = (local_labels >= 0) & (out != NOISE)
+        if np.any(counted):
+            pairs = np.unique(
+                np.stack([out[counted], local_labels[counted]]), axis=1
+            )
+            merged = int(pairs.shape[1] - np.unique(pairs[0]).size)
     stats = RelabelStats(
         n_objects=n,
         n_covered=n_covered,

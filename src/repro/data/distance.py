@@ -8,6 +8,11 @@ metric abstraction the rest of the library builds on:
 * scalar pairwise distances (``pairwise``),
 * vectorized one-to-many kernels (``to_many``) which the spatial indexes and
   the brute-force scans rely on for speed,
+* vectorized many-to-many kernels (``to_matrix``) which the batched query
+  layer uses to evaluate whole query groups in one numpy call — these are
+  written so that every entry is bitwise identical to the corresponding
+  ``to_many`` row (same subtraction, same reduction order), which the
+  batched DBSCAN path relies on for exact equivalence,
 * a small registry so metrics can be selected by name from configuration
   objects and the CLI.
 
@@ -46,15 +51,24 @@ class Metric:
         to_many: ``f(p, X) -> ndarray`` distances from point ``p`` to every
             row of ``X`` (shape ``(len(X),)``).
         params: optional metric parameters (e.g. Minkowski ``p``).
+        to_matrix: optional ``f(Q, X) -> ndarray`` of shape ``(len(Q),
+            len(X))``; row ``i`` must be bitwise identical to
+            ``to_many(Q[i], X)``.  ``None`` falls back to a row loop.
     """
 
     name: str
     pairwise: Callable[[np.ndarray, np.ndarray], float]
     to_many: Callable[[np.ndarray, np.ndarray], np.ndarray]
     params: dict = field(default_factory=dict)
+    to_matrix: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
 
     def matrix(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Full distance matrix between two point sets.
+
+        Uses the vectorized ``to_matrix`` kernel when the metric provides
+        one (chunked over ``left`` so the broadcast temporary stays small),
+        otherwise one ``to_many`` sweep per row of ``left``.  Both paths
+        produce bitwise-identical results.
 
         Args:
             left: array of shape ``(n, d)``.
@@ -66,8 +80,16 @@ class Metric:
         left = np.asarray(left, dtype=float)
         right = np.asarray(right, dtype=float)
         out = np.empty((left.shape[0], right.shape[0]), dtype=float)
-        for i, row in enumerate(left):
-            out[i] = self.to_many(row, right)
+        if self.to_matrix is not None:
+            # Bound the (chunk, m, d) broadcast temporary to ~32 MB.
+            per_row = max(1, right.shape[0] * max(right.shape[1] if right.ndim == 2 else 1, 1))
+            chunk = max(1, 4_000_000 // per_row)
+            for start in range(0, left.shape[0], chunk):
+                stop = start + chunk
+                out[start:stop] = self.to_matrix(left[start:stop], right)
+        else:
+            for i, row in enumerate(left):
+                out[i] = self.to_many(row, right)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -113,10 +135,39 @@ def _chebyshev_many(p: np.ndarray, points: np.ndarray) -> np.ndarray:
     return np.abs(np.asarray(points, dtype=float) - np.asarray(p, dtype=float)).max(axis=1)
 
 
-euclidean = Metric("euclidean", _euclidean_pair, _euclidean_many)
-squared_euclidean = Metric("squared_euclidean", _squared_pair, _squared_many)
-manhattan = Metric("manhattan", _manhattan_pair, _manhattan_many)
-chebyshev = Metric("chebyshev", _chebyshev_pair, _chebyshev_many)
+# Many-to-many kernels: the broadcast subtraction and the reduction over the
+# trailing axis perform the exact same float operations per (query, point)
+# pair as the to_many kernels, so every row is bitwise equal to a to_many
+# call — a property the batched query layer's equivalence guarantee needs.
+
+def _broadcast_diff(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    queries = np.asarray(queries, dtype=float)
+    points = np.asarray(points, dtype=float)
+    return points[None, :, :] - queries[:, None, :]
+
+
+def _euclidean_matrix(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    diff = _broadcast_diff(queries, points)
+    return np.sqrt(np.einsum("qnd,qnd->qn", diff, diff))
+
+
+def _squared_matrix(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    diff = _broadcast_diff(queries, points)
+    return np.einsum("qnd,qnd->qn", diff, diff)
+
+
+def _manhattan_matrix(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    return np.abs(_broadcast_diff(queries, points)).sum(axis=2)
+
+
+def _chebyshev_matrix(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    return np.abs(_broadcast_diff(queries, points)).max(axis=2)
+
+
+euclidean = Metric("euclidean", _euclidean_pair, _euclidean_many, to_matrix=_euclidean_matrix)
+squared_euclidean = Metric("squared_euclidean", _squared_pair, _squared_many, to_matrix=_squared_matrix)
+manhattan = Metric("manhattan", _manhattan_pair, _manhattan_many, to_matrix=_manhattan_matrix)
+chebyshev = Metric("chebyshev", _chebyshev_pair, _chebyshev_many, to_matrix=_chebyshev_matrix)
 
 
 def minkowski_metric(p: float) -> Metric:
@@ -142,7 +193,11 @@ def minkowski_metric(p: float) -> Metric:
         diff = np.abs(np.asarray(points, dtype=float) - np.asarray(a, dtype=float))
         return np.power(np.power(diff, p).sum(axis=1), 1.0 / p)
 
-    return Metric(f"minkowski(p={p:g})", pair, many, params={"p": p})
+    def matrix(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+        diff = np.abs(_broadcast_diff(queries, points))
+        return np.power(np.power(diff, p).sum(axis=2), 1.0 / p)
+
+    return Metric(f"minkowski(p={p:g})", pair, many, params={"p": p}, to_matrix=matrix)
 
 
 _REGISTRY: dict[str, Metric] = {

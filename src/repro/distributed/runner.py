@@ -8,11 +8,22 @@ uses (sites run conceptually in parallel: overall = max local + global).
 
 This is the "whole system" view; :func:`repro.core.dbdc.run_dbdc` offers the
 same pipeline as a plain function when network accounting is not needed.
+
+The local phase (steps 1+2) and the relabel fan-out (step 4) are
+"conceptually parallel" in the paper — every site works independently.  The
+``parallelism`` config knob makes that real: with ``parallelism > 1`` the
+runner fans the per-site compute out over a ``concurrent.futures`` executor
+(threads by default, processes via ``parallel_backend="process"``) and then
+applies the results in deterministic site order, so the report is identical
+to a sequential run except for wall-clock timing fields.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
@@ -24,6 +35,20 @@ from repro.distributed.server import CentralServer
 from repro.distributed.site import ClientSite
 
 __all__ = ["DistributedRunConfig", "DistributedRunReport", "DistributedRunner"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _local_clustering_task(site: ClientSite):
+    """Worker task: a site's pure local-clustering compute (picklable)."""
+    return site.compute_local_clustering()
+
+
+def _relabel_task(item: tuple[ClientSite, GlobalModel]):
+    """Worker task: a site's pure relabel compute (picklable)."""
+    site, model = item
+    return site.compute_relabel(model)
 
 
 @dataclass(frozen=True)
@@ -39,6 +64,13 @@ class DistributedRunConfig:
         index_kind: neighbor index kind.
         partition_strategy: how the data is spread over sites.
         seed: partitioning seed.
+        parallelism: maximum number of sites whose local phase / relabel
+            pass runs concurrently (1 = strictly sequential).  Results are
+            identical either way; only wall-clock timing changes.
+        parallel_backend: ``"thread"`` (default) or ``"process"``.  The
+            process backend sidesteps the GIL for CPU-bound local phases
+            but requires the metric to be picklable (all registered named
+            metrics are; ``minkowski_metric`` closures are not).
     """
 
     eps_local: float
@@ -49,6 +81,17 @@ class DistributedRunConfig:
     index_kind: str = "auto"
     partition_strategy: str = "uniform_random"
     seed: int = 0
+    parallelism: int = 1
+    parallel_backend: str = "thread"
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {self.parallelism}")
+        if self.parallel_backend not in ("thread", "process"):
+            raise ValueError(
+                f"parallel_backend must be 'thread' or 'process', "
+                f"got {self.parallel_backend!r}"
+            )
 
 
 @dataclass
@@ -65,6 +108,11 @@ class DistributedRunReport:
         global_seconds: server clustering time.
         assignment: per original object, its site (when partitioned by the
             runner; ``None`` when sites were handed in pre-split).
+        local_wall_seconds: actual elapsed wall time of the whole local
+            phase on the driver (= sum of sites when sequential, ideally
+            the max when parallel).
+        relabel_wall_seconds: actual elapsed wall time of the step-4
+            relabel fan-out.
     """
 
     sites: list[ClientSite]
@@ -75,6 +123,8 @@ class DistributedRunReport:
     max_local_seconds: float
     global_seconds: float
     assignment: np.ndarray | None = None
+    local_wall_seconds: float = 0.0
+    relabel_wall_seconds: float = 0.0
 
     @property
     def overall_seconds(self) -> float:
@@ -104,16 +154,35 @@ class DistributedRunReport:
         Raises:
             RuntimeError: when the runner was given pre-split sites (no
                 assignment is known).
+            ValueError: when the assignment does not cover every site (it
+                references unknown site ids, or its per-site object counts
+                disagree with the sites' actual data).
         """
         if self.assignment is None:
             raise RuntimeError("no partition assignment recorded for this run")
-        positions = np.empty(self.assignment.size, dtype=np.intp)
-        for site_id in range(len(self.sites)):
-            members = np.flatnonzero(self.assignment == site_id)
-            positions[members] = np.arange(members.size)
-        out = np.empty(self.assignment.size, dtype=np.intp)
-        for i, (site_id, pos) in enumerate(zip(self.assignment, positions)):
-            out[i] = self.sites[site_id].global_labels[pos]
+        assignment = np.asarray(self.assignment, dtype=np.intp)
+        n_sites = len(self.sites)
+        if assignment.size and (
+            assignment.min() < 0 or assignment.max() >= n_sites
+        ):
+            raise ValueError(
+                f"assignment references site ids outside 0..{n_sites - 1}"
+            )
+        counts = np.bincount(assignment, minlength=n_sites)
+        for site_id, site in enumerate(self.sites):
+            if counts[site_id] != site.points.shape[0]:
+                raise ValueError(
+                    f"assignment covers {counts[site_id]} objects for site "
+                    f"{site_id}, which holds {site.points.shape[0]}"
+                )
+        # A stable sort by site id lists, per site, its members in original
+        # order — exactly the order partition.split handed the points over,
+        # so concatenated per-site labels scatter straight back.
+        order = np.argsort(assignment, kind="stable")
+        out = np.empty(assignment.size, dtype=np.intp)
+        out[order] = np.concatenate(
+            [site.global_labels for site in self.sites]
+        )
         return out
 
 
@@ -172,18 +241,29 @@ class DistributedRunner:
             metric=self.config.metric,
             index_kind=self.config.index_kind,
         )
-        # Steps 1+2: local clustering and model transmission.
-        for site in sites:
-            model = site.run_local_clustering()
+        # Steps 1+2: local clustering (possibly parallel) and model
+        # transmission.  The compute fans out; results are applied and sent
+        # in deterministic site order so reports match sequential runs.
+        wall_start = time.perf_counter()
+        local_results = self._map_over(_local_clustering_task, sites)
+        local_wall_seconds = time.perf_counter() - wall_start
+        for site, (outcome, seconds) in zip(sites, local_results):
+            model = site.apply_local_outcome(outcome, seconds)
             self.network.send(site.site_id, SERVER, "local_model", model.to_bytes())
             server.receive_local_model(model)
         # Step 3: global model.
         global_model = server.build()
-        # Broadcast + step 4: every site relabels.
+        # Broadcast + step 4: every site relabels (possibly parallel).
         payload = global_model.to_bytes()
         for site in sites:
             self.network.send(SERVER, site.site_id, "global_model", payload)
-            site.receive_global_model(global_model)
+        wall_start = time.perf_counter()
+        relabel_results = self._map_over(
+            _relabel_task, [(site, global_model) for site in sites]
+        )
+        relabel_wall_seconds = time.perf_counter() - wall_start
+        for site, (global_labels, stats, seconds) in zip(sites, relabel_results):
+            site.apply_relabel(global_labels, stats, seconds)
         dim = site_points[0].shape[1] if site_points[0].ndim == 2 else 0
         raw_bytes, raw_seconds = self.network.raw_data_cost(
             sum(p.shape[0] for p in site_points), dim
@@ -197,7 +277,22 @@ class DistributedRunner:
             max_local_seconds=max(site.times.local_seconds for site in sites),
             global_seconds=server.global_seconds,
             assignment=assignment,
+            local_wall_seconds=local_wall_seconds,
+            relabel_wall_seconds=relabel_wall_seconds,
         )
+
+    def _map_over(self, task: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        """Run ``task`` over ``items``, in order, possibly concurrently."""
+        workers = min(self.config.parallelism, len(items))
+        if workers <= 1:
+            return [task(item) for item in items]
+        executor_cls: type[Executor] = (
+            ThreadPoolExecutor
+            if self.config.parallel_backend == "thread"
+            else ProcessPoolExecutor
+        )
+        with executor_cls(max_workers=workers) as executor:
+            return list(executor.map(task, items))
 
     def run(self, points: np.ndarray, n_sites: int) -> DistributedRunReport:
         """Partition ``points`` and run the protocol.

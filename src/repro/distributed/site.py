@@ -66,15 +66,21 @@ class ClientSite:
 
     # ------------------------------------------------------------------
     # protocol steps
+    #
+    # Each step is split into a side-effect-free ``compute_*`` part and an
+    # ``apply_*`` part that stores the result on the site.  The split lets
+    # DistributedRunner fan the compute out over worker threads *or worker
+    # processes* (where mutations of a pickled copy would be lost) and
+    # apply the returned results to the driver's site objects.
     # ------------------------------------------------------------------
-    def run_local_clustering(self) -> LocalModel:
-        """Steps 1+2: cluster locally, derive the local model.
+    def compute_local_clustering(self) -> tuple[LocalClusteringOutcome, float]:
+        """Pure part of steps 1+2: cluster locally, derive the local model.
 
         Returns:
-            The :class:`~repro.core.models.LocalModel` to transmit.
+            ``(outcome, seconds)`` — nothing is stored on the site.
         """
         start = time.perf_counter()
-        self._outcome = build_local_model(
+        outcome = build_local_model(
             self.points,
             self.eps_local,
             self.min_pts_local,
@@ -83,8 +89,58 @@ class ClientSite:
             metric=self.metric,
             index_kind=self.index_kind,
         )
-        self.times.local_seconds = time.perf_counter() - start
-        return self._outcome.model
+        return outcome, time.perf_counter() - start
+
+    def apply_local_outcome(
+        self, outcome: LocalClusteringOutcome, seconds: float
+    ) -> LocalModel:
+        """Store a local clustering outcome and return the model to ship."""
+        self._outcome = outcome
+        self.times.local_seconds = seconds
+        return outcome.model
+
+    def run_local_clustering(self) -> LocalModel:
+        """Steps 1+2: cluster locally, derive the local model.
+
+        Returns:
+            The :class:`~repro.core.models.LocalModel` to transmit.
+        """
+        return self.apply_local_outcome(*self.compute_local_clustering())
+
+    def compute_relabel(
+        self, model: GlobalModel
+    ) -> tuple[np.ndarray, RelabelStats, float]:
+        """Pure part of step 4: compute global labels for this site.
+
+        Args:
+            model: the broadcast global model.
+
+        Returns:
+            ``(global_labels, stats, seconds)`` — nothing is stored.
+
+        Raises:
+            RuntimeError: when called before :meth:`run_local_clustering`.
+        """
+        if self._outcome is None:
+            raise RuntimeError("run_local_clustering must run before relabeling")
+        start = time.perf_counter()
+        global_labels, stats = relabel_site(
+            self.points,
+            self._outcome.clustering.labels,
+            model,
+            site_id=self.site_id,
+            metric=self.metric,
+        )
+        return global_labels, stats, time.perf_counter() - start
+
+    def apply_relabel(
+        self, global_labels: np.ndarray, stats: RelabelStats, seconds: float
+    ) -> RelabelStats:
+        """Store a relabeling result on the site."""
+        self._global_labels = global_labels
+        self._relabel_stats = stats
+        self.times.relabel_seconds = seconds
+        return stats
 
     def receive_global_model(self, model: GlobalModel) -> RelabelStats:
         """Step 4: relabel local objects with global cluster ids.
@@ -98,18 +154,7 @@ class ClientSite:
         Raises:
             RuntimeError: when called before :meth:`run_local_clustering`.
         """
-        if self._outcome is None:
-            raise RuntimeError("run_local_clustering must run before relabeling")
-        start = time.perf_counter()
-        self._global_labels, self._relabel_stats = relabel_site(
-            self.points,
-            self._outcome.clustering.labels,
-            model,
-            site_id=self.site_id,
-            metric=self.metric,
-        )
-        self.times.relabel_seconds = time.perf_counter() - start
-        return self._relabel_stats
+        return self.apply_relabel(*self.compute_relabel(model))
 
     # ------------------------------------------------------------------
     # post-protocol queries (Section 7: "give me all objects on your site

@@ -12,7 +12,16 @@ An index is built once over an immutable point set and answers:
 * ``region_query(i, eps)`` — indices of all points within distance ``eps``
   of the *indexed* point ``i`` (including ``i`` itself, matching the
   definition of ``N_Eps(q)`` in the paper),
-* ``range_query(q, eps)`` — same for an arbitrary query point ``q``.
+* ``range_query(q, eps)`` — same for an arbitrary query point ``q``,
+* ``range_query_batch(Q, eps)`` / ``region_query_batch(indices, eps)`` —
+  the batched forms: one call answers a whole group of queries and returns
+  one index array per query.  The generic fallback defined here simply
+  loops; :class:`~repro.index.brute.BruteForceIndex`,
+  :class:`~repro.index.grid.GridIndex` and
+  :class:`~repro.index.kdtree.KDTreeIndex` override it with genuinely
+  vectorized sweeps.  Batched results are contractually identical
+  (element-wise ``array_equal``) to the per-query results — DBSCAN's
+  frontier expansion relies on this.
 """
 
 from __future__ import annotations
@@ -24,6 +33,20 @@ import numpy as np
 from repro.data.distance import Metric, get_metric
 
 __all__ = ["NeighborIndex"]
+
+
+def _as_query_batch(queries: np.ndarray, dim: int) -> np.ndarray:
+    """Normalize a batch of query points to a float array of shape ``(q, d)``.
+
+    Accepts an empty list/array (→ shape ``(0, dim)``) so callers can issue
+    degenerate batches without special-casing.
+    """
+    out = np.asarray(queries, dtype=float)
+    if out.size == 0:
+        return np.empty((0, dim), dtype=float)
+    if out.ndim != 2:
+        raise ValueError(f"queries must be a 2-D array, got shape {out.shape}")
+    return out
 
 
 class NeighborIndex(abc.ABC):
@@ -78,6 +101,41 @@ class NeighborIndex(abc.ABC):
         Returns:
             Sorted integer array of matching indices.
         """
+
+    def range_query_batch(self, queries: np.ndarray, eps: float) -> list[np.ndarray]:
+        """Answer many range queries at once.
+
+        The generic fallback loops over :meth:`range_query`; subclasses
+        override it with vectorized group evaluation.  Results are
+        guaranteed identical to issuing the queries one at a time.
+
+        Args:
+            queries: array of shape ``(q, d)`` (an empty array is allowed
+                and yields an empty list).
+            eps: neighborhood radius (inclusive), shared by all queries.
+
+        Returns:
+            A list of ``q`` sorted integer index arrays, one per query row.
+        """
+        dim = self._points.shape[1] if self._points.ndim == 2 else 0
+        queries = _as_query_batch(queries, dim)
+        return [self.range_query(query, eps) for query in queries]
+
+    def region_query_batch(self, indices: np.ndarray, eps: float) -> list[np.ndarray]:
+        """``N_Eps`` of many indexed points at once.
+
+        Args:
+            indices: integer array of row indices into the indexed set.
+            eps: neighborhood radius (inclusive), shared by all queries.
+
+        Returns:
+            A list of sorted integer index arrays, one per entry of
+            ``indices``; element ``k`` equals ``region_query(indices[k], eps)``.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size == 0:
+            return []
+        return self.range_query_batch(self._points[indices], eps)
 
     def count_in_range(self, query: np.ndarray, eps: float) -> int:
         """Number of indexed points within ``eps`` of ``query``."""

@@ -21,7 +21,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.data.distance import Metric
-from repro.index.base import NeighborIndex
+from repro.index.base import NeighborIndex, _as_query_batch
 
 __all__ = ["GridIndex"]
 
@@ -82,17 +82,8 @@ class GridIndex(NeighborIndex):
         """Number of non-empty grid cells."""
         return len(self._cells)
 
-    def _candidate_indices(self, query: np.ndarray, eps: float) -> np.ndarray:
-        """All point indices in cells intersecting the ``eps``-cube of ``query``."""
-        # The eps-ball of every supported metric is contained in the
-        # L_inf cube of half-width eps, so scanning the cells overlapping
-        # that cube is sufficient for exactness.
-        if eps == 0:
-            reach = 0
-        else:
-            reach = eps
-        low = np.floor((query - reach - self._origin) / self._cell_size).astype(np.int64)
-        high = np.floor((query + reach - self._origin) / self._cell_size).astype(np.int64)
+    def _gather_cells(self, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        """All point indices in the occupied cells of the box ``[low, high]``."""
         spans = [range(int(lo), int(hi) + 1) for lo, hi in zip(low, high)]
         total_cells = math.prod(len(span) for span in spans)
         if total_cells > max(4 * len(self._cells), 64):
@@ -113,6 +104,30 @@ class GridIndex(NeighborIndex):
             return np.empty(0, dtype=np.intp)
         return np.concatenate(chunks)
 
+    def _coordinate_reach(self, eps: float) -> float:
+        """Half-width of the ``L_inf`` cube containing the ``eps``-ball.
+
+        For euclidean/manhattan/chebyshev that is ``eps`` itself; for
+        squared_euclidean the ball of squared radius ``eps`` has coordinate
+        half-width ``sqrt(eps)`` (larger than ``eps`` when ``eps < 1`` —
+        using ``eps`` there would silently drop true neighbors).
+        """
+        if eps <= 0:
+            return 0.0
+        if self._metric.name == "squared_euclidean":
+            return math.sqrt(eps)
+        return eps
+
+    def _candidate_indices(self, query: np.ndarray, eps: float) -> np.ndarray:
+        """All point indices in cells intersecting the ``eps``-cube of ``query``."""
+        # The eps-ball of every supported metric is contained in the
+        # L_inf cube of half-width _coordinate_reach(eps), so scanning the
+        # cells overlapping that cube is sufficient for exactness.
+        reach = self._coordinate_reach(eps)
+        low = np.floor((query - reach - self._origin) / self._cell_size).astype(np.int64)
+        high = np.floor((query + reach - self._origin) / self._cell_size).astype(np.int64)
+        return self._gather_cells(low, high)
+
     def range_query(self, query: np.ndarray, eps: float) -> np.ndarray:
         if len(self) == 0:
             return np.empty(0, dtype=np.intp)
@@ -124,6 +139,43 @@ class GridIndex(NeighborIndex):
         hits = candidates[distances <= eps]
         hits.sort()
         return hits
+
+    def range_query_batch(self, queries: np.ndarray, eps: float) -> list[np.ndarray]:
+        """Vectorized batch queries: group by grid cell, evaluate per group.
+
+        Queries living in the same cell share one candidate neighborhood
+        (the occupied cells within ``ceil(eps / cell)`` rings — a superset
+        of each individual query's ``eps``-cube, so exactness is
+        preserved), which is gathered once and evaluated with a single
+        vectorized distance-matrix call per group.
+        """
+        dim = self._points.shape[1] if self._points.ndim == 2 else 0
+        queries = _as_query_batch(queries, dim)
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
+        empty = np.empty(0, dtype=np.intp)
+        if len(self) == 0:
+            return [empty for _ in range(n_queries)]
+        reach = self._coordinate_reach(eps)
+        reach_cells = int(math.ceil(reach / self._cell_size)) if reach > 0 else 0
+        coords = np.floor((queries - self._origin) / self._cell_size).astype(np.int64)
+        groups: dict[tuple[int, ...], list[int]] = defaultdict(list)
+        for i, key in enumerate(map(tuple, coords)):
+            groups[key].append(i)
+        out: list[np.ndarray] = [empty] * n_queries
+        for key, members in groups.items():
+            cell = np.asarray(key, dtype=np.int64)
+            candidates = self._gather_cells(cell - reach_cells, cell + reach_cells)
+            if candidates.size == 0:
+                continue
+            candidates.sort()
+            distances = self._metric.matrix(queries[members], self._points[candidates])
+            rows, cols = np.nonzero(distances <= eps)
+            bounds = np.searchsorted(rows, np.arange(len(members) + 1))
+            for r, i in enumerate(members):
+                out[i] = candidates[cols[bounds[r]:bounds[r + 1]]]
+        return out
 
 
 def _iter_keys(spans: list[range]):

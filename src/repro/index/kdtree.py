@@ -15,7 +15,7 @@ import heapq
 import numpy as np
 
 from repro.data.distance import Metric
-from repro.index.base import NeighborIndex
+from repro.index.base import NeighborIndex, _as_query_batch
 
 __all__ = ["KDTreeIndex"]
 
@@ -125,6 +125,58 @@ class KDTreeIndex(NeighborIndex):
             return np.empty(0, dtype=np.intp)
         out = np.concatenate(hits)
         out.sort()
+        return out
+
+    def range_query_batch(self, queries: np.ndarray, eps: float) -> list[np.ndarray]:
+        """Batched range queries via one shared tree traversal.
+
+        The whole query group descends the tree together: at every split
+        node the group is partitioned with vectorized comparisons, and each
+        leaf evaluates all queries that reach it with a single distance-
+        matrix call.  Every query visits exactly the leaves the single-query
+        traversal would visit, so results are identical.
+        """
+        dim = self._points.shape[1] if self._points.ndim == 2 else 0
+        queries = _as_query_batch(queries, dim)
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
+        empty = np.empty(0, dtype=np.intp)
+        if len(self) == 0:
+            return [empty for _ in range(n_queries)]
+        hits: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
+        stack: list[tuple[int, np.ndarray]] = [
+            (self._root, np.arange(n_queries, dtype=np.intp))
+        ]
+        while stack:
+            node, group = stack.pop()
+            dim_ = self._split_dim[node]
+            if dim_ == -1:
+                start, stop = self._leaf_slices[node]
+                segment = self._order[start:stop]
+                distances = self._metric.matrix(queries[group], self._points[segment])
+                rows, cols = np.nonzero(distances <= eps)
+                bounds = np.searchsorted(rows, np.arange(group.size + 1))
+                for r in range(group.size):
+                    match = segment[cols[bounds[r]:bounds[r + 1]]]
+                    if match.size:
+                        hits[group[r]].append(match)
+                continue
+            delta = queries[group, dim_] - self._split_val[node]
+            left = group[delta <= eps]
+            right = group[delta >= -eps]
+            if left.size:
+                stack.append((self._left[node], left))
+            if right.size:
+                stack.append((self._right[node], right))
+        out: list[np.ndarray] = []
+        for parts in hits:
+            if not parts:
+                out.append(empty)
+                continue
+            merged = np.concatenate(parts)
+            merged.sort()
+            out.append(merged)
         return out
 
     def knn_query(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:

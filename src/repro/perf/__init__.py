@@ -1,0 +1,5 @@
+"""Performance measurement utilities (hot-path benchmarks, BENCH_*.json)."""
+
+from repro.perf.hotpaths import run_hotpath_bench, write_report
+
+__all__ = ["run_hotpath_bench", "write_report"]

@@ -1,0 +1,274 @@
+"""Hot-path benchmark: single vs. batched vs. parallel execution.
+
+Times the three layers this repository's performance work targets and
+writes a machine-readable ``BENCH_hotpaths.json`` so successive PRs can
+track the trajectory:
+
+* **region queries** — a fixed batch of ``region_query`` calls answered one
+  at a time vs. one ``region_query_batch`` call, per index kind;
+* **DBSCAN** — the classic one-query-per-seed loop (``batched=False``) vs.
+  the frontier-at-a-time expansion (``batched=True``), per index kind, with
+  a sanity check that both produce identical labels and query counts;
+* **the distributed local phase** — ``DistributedRunner`` with
+  ``parallelism=1`` vs. ``parallelism=N`` (thread and process backends),
+  comparing the wall clock of the "conceptually parallel" Figure 2 local
+  phase.  Note that on a single-CPU machine the parallel variants cannot
+  beat sequential; the report records ``cpu_count`` so readers can judge.
+
+Run it via ``python -m repro.cli bench`` or directly::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --cardinality 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.clustering.dbscan import DBSCAN
+from repro.data.datasets import dataset_a
+from repro.distributed.runner import DistributedRunConfig, DistributedRunner
+from repro.index import build_index
+
+__all__ = ["run_hotpath_bench", "write_report", "format_summary", "main"]
+
+DEFAULT_REPORT_PATH = "BENCH_hotpaths.json"
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time of ``fn`` plus its (last) result."""
+    best = float("inf")
+    result: object = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_region_queries(
+    points: np.ndarray,
+    eps: float,
+    *,
+    kinds: tuple[str, ...] = ("brute", "grid", "kdtree"),
+    n_queries: int = 2000,
+    repeats: int = 1,
+    seed: int = 0,
+) -> dict:
+    """Per-query vs. batched region-query throughput per index kind."""
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(points.shape[0], size=min(n_queries, points.shape[0]), replace=False)
+    indices = np.sort(indices).astype(np.intp)
+    out: dict = {}
+    for kind in kinds:
+        index = build_index(points, kind, eps=eps)
+
+        def per_query():
+            return [index.region_query(int(i), eps) for i in indices]
+
+        def batched():
+            return index.region_query_batch(indices, eps)
+
+        single_seconds, single_result = _best_of(per_query, repeats)
+        batch_seconds, batch_result = _best_of(batched, repeats)
+        assert all(
+            np.array_equal(a, b) for a, b in zip(single_result, batch_result)
+        ), f"batched {kind} region queries diverged from per-query results"
+        out[kind] = {
+            "n_queries": int(indices.size),
+            "single_seconds": single_seconds,
+            "batched_seconds": batch_seconds,
+            "speedup": single_seconds / batch_seconds if batch_seconds > 0 else None,
+        }
+    return out
+
+
+def bench_dbscan(
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    *,
+    kinds: tuple[str, ...] = ("brute", "grid", "kdtree"),
+    repeats: int = 1,
+) -> dict:
+    """Classic vs. frontier-batched DBSCAN, per index kind."""
+    out: dict = {}
+    for kind in kinds:
+        index = build_index(points, kind, eps=eps)
+        single = DBSCAN(eps, min_pts, batched=False)
+        frontier = DBSCAN(eps, min_pts, batched=True)
+        single_seconds, single_result = _best_of(
+            lambda: single.fit(points, index=index), repeats
+        )
+        batch_seconds, batch_result = _best_of(
+            lambda: frontier.fit(points, index=index), repeats
+        )
+        assert np.array_equal(single_result.labels, batch_result.labels)
+        assert np.array_equal(single_result.core_mask, batch_result.core_mask)
+        assert single_result.n_region_queries == batch_result.n_region_queries
+        out[kind] = {
+            "single_seconds": single_seconds,
+            "batched_seconds": batch_seconds,
+            "speedup": single_seconds / batch_seconds if batch_seconds > 0 else None,
+            "n_clusters": single_result.n_clusters,
+            "n_region_queries": single_result.n_region_queries,
+        }
+    return out
+
+
+def bench_local_phase(
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    *,
+    n_sites: int = 4,
+    parallelism: int = 4,
+    seed: int = 42,
+) -> dict:
+    """Sequential vs. parallel distributed local phase (threads/processes)."""
+    variants = {
+        "sequential": {"parallelism": 1, "parallel_backend": "thread"},
+        f"thread_x{parallelism}": {
+            "parallelism": parallelism,
+            "parallel_backend": "thread",
+        },
+        f"process_x{parallelism}": {
+            "parallelism": parallelism,
+            "parallel_backend": "process",
+        },
+    }
+    out: dict = {"n_sites": n_sites}
+    for name, overrides in variants.items():
+        config = DistributedRunConfig(
+            eps_local=eps, min_pts_local=min_pts, seed=seed, **overrides
+        )
+        report = DistributedRunner(config).run(points, n_sites)
+        out[name] = {
+            "local_wall_seconds": report.local_wall_seconds,
+            "relabel_wall_seconds": report.relabel_wall_seconds,
+            "max_local_seconds": report.max_local_seconds,
+            "n_global_clusters": len(
+                set(int(g) for g in report.global_model.global_labels)
+            ),
+        }
+    sequential = out["sequential"]["local_wall_seconds"]
+    for name in variants:
+        if name != "sequential":
+            wall = out[name]["local_wall_seconds"]
+            out[name]["speedup_vs_sequential"] = (
+                sequential / wall if wall > 0 else None
+            )
+    return out
+
+
+def run_hotpath_bench(
+    *,
+    cardinality: int = 20_000,
+    n_sites: int = 4,
+    parallelism: int = 4,
+    repeats: int = 1,
+    seed: int = 42,
+    kinds: tuple[str, ...] = ("brute", "grid", "kdtree"),
+) -> dict:
+    """Run all hot-path benchmarks on data set A and return the report."""
+    data = dataset_a(cardinality=cardinality, seed=seed)
+    points, eps, min_pts = data.points, data.eps_local, data.min_pts
+    return {
+        "bench": "hotpaths",
+        "meta": {
+            "cardinality": int(points.shape[0]),
+            "dim": int(points.shape[1]),
+            "eps": float(eps),
+            "min_pts": int(min_pts),
+            "repeats": int(repeats),
+            "seed": int(seed),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "region_queries": bench_region_queries(
+            points, eps, kinds=kinds, repeats=repeats, seed=seed
+        ),
+        "dbscan": bench_dbscan(points, eps, min_pts, kinds=kinds, repeats=repeats),
+        "local_phase": bench_local_phase(
+            points, eps, min_pts, n_sites=n_sites, parallelism=parallelism, seed=seed
+        ),
+    }
+
+
+def write_report(report: dict, path: str = DEFAULT_REPORT_PATH) -> str:
+    """Write the benchmark report as pretty-printed JSON (makes parent dirs)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_summary(report: dict) -> str:
+    """Human-readable summary of a hot-path benchmark report."""
+    lines = [
+        f"hot paths @ n={report['meta']['cardinality']} "
+        f"(cpus={report['meta']['cpu_count']})"
+    ]
+    lines.append("region queries (single -> batched):")
+    for kind, row in report["region_queries"].items():
+        lines.append(
+            f"  {kind:7s} {row['single_seconds']:.3f}s -> "
+            f"{row['batched_seconds']:.3f}s  ({row['speedup']:.2f}x)"
+        )
+    lines.append("DBSCAN (classic -> frontier-batched):")
+    for kind, row in report["dbscan"].items():
+        lines.append(
+            f"  {kind:7s} {row['single_seconds']:.3f}s -> "
+            f"{row['batched_seconds']:.3f}s  ({row['speedup']:.2f}x, "
+            f"{row['n_region_queries']} queries)"
+        )
+    lines.append(
+        f"local phase over {report['local_phase']['n_sites']} sites "
+        f"(wall seconds):"
+    )
+    for name, row in report["local_phase"].items():
+        if name == "n_sites":
+            continue
+        extra = ""
+        if "speedup_vs_sequential" in row:
+            extra = f"  ({row['speedup_vs_sequential']:.2f}x vs sequential)"
+        lines.append(f"  {name:12s} {row['local_wall_seconds']:.3f}s{extra}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Stand-alone entry point (also reachable as ``repro.cli bench``)."""
+    parser = argparse.ArgumentParser(description="DBDC hot-path benchmarks")
+    parser.add_argument("--cardinality", type=int, default=20_000)
+    parser.add_argument("--sites", type=int, default=4)
+    parser.add_argument("--parallelism", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default=DEFAULT_REPORT_PATH)
+    args = parser.parse_args(argv)
+    report = run_hotpath_bench(
+        cardinality=args.cardinality,
+        n_sites=args.sites,
+        parallelism=args.parallelism,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(format_summary(report))
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Equivalence guard: frontier-batched DBSCAN == classic single-query DBSCAN.
+
+The frontier expansion (``batched=True``, the default) must be
+*bit-identical* to the reference one-query-per-seed loop in every
+observable: labels, core mask, ``n_region_queries`` and the complete
+observer event sequence.  Checked on the paper's A/B/C-style data sets and
+on adversarial small layouts (exact-integer coordinates with boundary
+distances, custom processing orders).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import DBSCAN
+from repro.data.datasets import load_dataset
+from repro.index import build_index
+
+
+class RecordingObserver:
+    """Captures the full event stream, including neighbor array contents."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def on_cluster_start(self, cluster_id: int, seed_index: int) -> None:
+        self.events.append(("start", cluster_id, seed_index))
+
+    def on_core_point(self, index, cluster_id, neighbors) -> None:
+        self.events.append(("core", index, cluster_id, tuple(neighbors.tolist())))
+
+
+def _run_both(points, eps, min_pts, *, index_kind="auto", order=None):
+    results = []
+    for batched in (False, True):
+        observer = RecordingObserver()
+        runner = DBSCAN(eps, min_pts, index_kind=index_kind, batched=batched)
+        result = runner.fit(points, observer=observer, order=order)
+        results.append((result, observer))
+    return results
+
+
+def _assert_identical(points, eps, min_pts, *, index_kind="auto", order=None):
+    (ref, ref_obs), (bat, bat_obs) = _run_both(
+        points, eps, min_pts, index_kind=index_kind, order=order
+    )
+    assert np.array_equal(ref.labels, bat.labels)
+    assert np.array_equal(ref.core_mask, bat.core_mask)
+    assert ref.n_region_queries == bat.n_region_queries
+    assert ref_obs.events == bat_obs.events
+
+
+@pytest.mark.parametrize("index_kind", ["brute", "grid", "kdtree"])
+@pytest.mark.parametrize("name", ["A", "B", "C"])
+def test_equivalence_on_paper_datasets(name, index_kind):
+    data = load_dataset(name, cardinality=700)
+    _assert_identical(
+        data.points, data.eps_local, data.min_pts, index_kind=index_kind
+    )
+
+
+@pytest.mark.parametrize("index_kind", ["brute", "grid", "kdtree", "rtree", "mtree"])
+def test_equivalence_exact_boundary_layout(tiny_grid_points, index_kind):
+    """Integer coordinates with distances exactly equal to eps."""
+    _assert_identical(tiny_grid_points, 1.5, 3, index_kind=index_kind)
+    _assert_identical(tiny_grid_points, 1.0, 2, index_kind=index_kind)
+
+
+def test_equivalence_on_blobs_all_parameters(small_blobs):
+    points, __ = small_blobs
+    for eps, min_pts in [(0.5, 3), (1.2, 5), (2.5, 10), (8.0, 2)]:
+        _assert_identical(points, eps, min_pts)
+
+
+def test_equivalence_with_custom_order(small_blobs):
+    points, __ = small_blobs
+    rng = np.random.default_rng(0)
+    order = rng.permutation(points.shape[0])
+    _assert_identical(points, 1.2, 5, order=list(order))
+
+
+def test_equivalence_with_prebuilt_shared_index(small_blobs):
+    """Both strategies reuse one prebuilt index (the DBDC site pattern)."""
+    points, __ = small_blobs
+    index = build_index(points, "grid", eps=1.2)
+    ref = DBSCAN(1.2, 5, batched=False).fit(points, index=index)
+    bat = DBSCAN(1.2, 5, batched=True).fit(points, index=index)
+    assert np.array_equal(ref.labels, bat.labels)
+    assert np.array_equal(ref.core_mask, bat.core_mask)
+    assert ref.n_region_queries == bat.n_region_queries
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_equivalence_randomized(seed):
+    rng = np.random.default_rng(seed)
+    points = np.concatenate(
+        [
+            rng.normal(0, 1.0, size=(60, 2)),
+            rng.uniform(-6, 6, size=(60, 2)),
+            np.repeat(rng.normal(3, 0.2, size=(5, 2)), 4, axis=0),  # duplicates
+        ]
+    )
+    eps = float(rng.uniform(0.2, 2.0))
+    min_pts = int(rng.integers(1, 8))
+    _assert_identical(points, eps, min_pts)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("index_kind", ["brute", "grid"])
+def test_equivalence_at_scale(index_kind):
+    data = load_dataset("A", cardinality=5000)
+    _assert_identical(
+        data.points, data.eps_local, data.min_pts, index_kind=index_kind
+    )
