@@ -1,0 +1,11 @@
+"""``python -m repro`` — the experiment harness CLI.
+
+Identical to ``python -m repro.cli``; see :mod:`repro.cli`.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

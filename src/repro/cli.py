@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli all             # everything (sized for a laptop)
     python -m repro.cli run --dataset A --sites 4 --scheme rep_kmeans
     python -m repro.cli bench           # hot-path perf -> BENCH_hotpaths.json
+    python -m repro chaos               # fault sweep  -> BENCH_chaos.json
 
 The figure commands print the same rows the paper reports;
 ``EXPERIMENTS.md`` records a captured run side by side with the paper's
@@ -65,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
             "all",
             "run",
             "bench",
+            "chaos",
         ],
         help="experiments to regenerate",
     )
@@ -106,6 +108,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-out",
         default="BENCH_hotpaths.json",
         help="output JSON path for 'bench'",
+    )
+    parser.add_argument(
+        "--failure-probs",
+        default="0,0.125,0.25,0.375,0.5",
+        help="comma-separated failure probabilities for 'chaos'",
+    )
+    parser.add_argument(
+        "--chaos-mode",
+        default="sites",
+        choices=["sites", "links", "chaos"],
+        help="what fails in the 'chaos' sweep",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        help="fault seeds per probability for 'chaos'",
+    )
+    parser.add_argument(
+        "--chaos-out",
+        default="BENCH_chaos.json",
+        help="output JSON path for 'chaos'",
     )
     return parser
 
@@ -243,6 +267,29 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(format_summary(report))
             path = write_report(report, args.bench_out)
+            print(f"wrote {path}")
+        elif command == "chaos":
+            from repro.experiments.chaos import (
+                chaos_table,
+                run_chaos_sweep,
+                write_chaos_report,
+            )
+
+            probs = tuple(
+                float(p) for p in args.failure_probs.split(",") if p.strip()
+            )
+            chaos_report = run_chaos_sweep(
+                dataset=args.dataset,
+                cardinality=args.cardinality,
+                n_sites=args.sites,
+                failure_probs=probs,
+                trials=args.trials,
+                mode=args.chaos_mode,
+                scheme=args.scheme,
+                seed=args.seed,
+            )
+            print(chaos_table(chaos_report).to_text())
+            path = write_chaos_report(chaos_report, args.chaos_out)
             print(f"wrote {path}")
         print()
     return 0

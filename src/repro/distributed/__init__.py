@@ -20,6 +20,7 @@ from repro.distributed.runner import (
     DistributedRunConfig,
     DistributedRunner,
     DistributedRunReport,
+    RoundPolicy,
 )
 from repro.distributed.hierarchy import (
     HierarchicalReport,
@@ -69,6 +70,7 @@ __all__ = [
     "DistributedRunConfig",
     "DistributedRunner",
     "DistributedRunReport",
+    "RoundPolicy",
     "CentralServer",
     "IncrementalServer",
     "ClientSite",

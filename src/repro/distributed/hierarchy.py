@@ -27,14 +27,14 @@ trade the tests and the hierarchy example quantify.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.global_model import build_global_model
 from repro.core.models import GlobalModel, LocalModel, Representative
 from repro.data.distance import Metric, get_metric
-from repro.distributed.network import SERVER, SimulatedNetwork
+from repro.distributed.network import SERVER, NetworkStats, SimulatedNetwork
 from repro.distributed.site import ClientSite
 
 __all__ = [
@@ -145,6 +145,10 @@ class HierarchicalReport:
             (every site's model crossing the long-haul link).
         long_haul_bytes: long-haul traffic of the hierarchy (one condensed
             model per region).
+        network: aggregated statistics of every message the run put on
+            the network — ``bytes_by_kind`` splits the traffic into the
+            three hops (``local_model`` site→region, ``regional_model``
+            region→top, ``global_model`` broadcast).
     """
 
     sites: list[ClientSite]
@@ -152,6 +156,7 @@ class HierarchicalReport:
     global_model: GlobalModel
     flat_equivalent_bytes: int
     long_haul_bytes: int
+    network: NetworkStats = field(default_factory=NetworkStats)
 
     @property
     def long_haul_saving(self) -> float:
@@ -285,4 +290,5 @@ def run_hierarchical_dbdc(
         global_model=global_model,
         flat_equivalent_bytes=flat_equivalent_bytes,
         long_haul_bytes=long_haul_bytes,
+        network=network.stats(),
     )

@@ -14,7 +14,8 @@ this module models the network as an accounting layer:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 __all__ = ["LinkSpec", "Message", "NetworkStats", "SimulatedNetwork"]
 
@@ -68,6 +69,9 @@ class NetworkStats:
         bytes_upstream: client → server bytes.
         bytes_downstream: server → client bytes.
         sim_seconds_total: total simulated transfer time (sequential sum).
+        bytes_by_kind: payload bytes per message ``kind`` (e.g.
+            ``"local_model"`` vs ``"global_model"``), so reports can show
+            where the traffic actually goes.
     """
 
     n_messages: int = 0
@@ -75,6 +79,7 @@ class NetworkStats:
     bytes_upstream: int = 0
     bytes_downstream: int = 0
     sim_seconds_total: float = 0.0
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
 
 
 SERVER = -1
@@ -90,9 +95,12 @@ class SimulatedNetwork:
     def __init__(self, link: LinkSpec | None = None) -> None:
         self.link = link or LinkSpec()
         self.messages: list[Message] = []
+        # Sites may send from worker threads (parallel local phase); the
+        # log append must not race.
+        self._lock = threading.Lock()
 
     def send(self, sender: int, receiver: int, kind: str, payload: bytes) -> Message:
-        """Record a message and return its metadata.
+        """Record a message and return its metadata (thread-safe).
 
         Args:
             sender: site id or :data:`SERVER`.
@@ -110,16 +118,22 @@ class SimulatedNetwork:
             n_bytes=len(payload),
             sim_seconds=self.link.transfer_seconds(len(payload)),
         )
-        self.messages.append(message)
+        with self._lock:
+            self.messages.append(message)
         return message
 
     def stats(self) -> NetworkStats:
         """Aggregate statistics over all recorded messages."""
         stats = NetworkStats()
-        for message in self.messages:
+        with self._lock:
+            messages = list(self.messages)
+        for message in messages:
             stats.n_messages += 1
             stats.bytes_total += message.n_bytes
             stats.sim_seconds_total += message.sim_seconds
+            stats.bytes_by_kind[message.kind] = (
+                stats.bytes_by_kind.get(message.kind, 0) + message.n_bytes
+            )
             if message.receiver == SERVER:
                 stats.bytes_upstream += message.n_bytes
             else:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
@@ -33,8 +33,15 @@ from repro.distributed.network import SERVER, NetworkStats, SimulatedNetwork
 from repro.distributed.partition import partition, split
 from repro.distributed.server import CentralServer
 from repro.distributed.site import ClientSite
+from repro.faults.plan import FaultPlan
+from repro.faults.transport import ResilientTransport, TransportPolicy, TransportStats
 
-__all__ = ["DistributedRunConfig", "DistributedRunReport", "DistributedRunner"]
+__all__ = [
+    "DistributedRunConfig",
+    "DistributedRunReport",
+    "DistributedRunner",
+    "RoundPolicy",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -94,6 +101,45 @@ class DistributedRunConfig:
             )
 
 
+@dataclass(frozen=True)
+class RoundPolicy:
+    """Server-side round policy for degraded-mode runs.
+
+    Simulated time, not wall time, drives the policy so that runs are
+    reproducible: a site's simulated local phase lasts
+    ``n_objects / compute_rate_objects_per_s`` (times its straggler
+    slowdown), and its model's arrival time adds the transport's
+    simulated delivery delay on top.
+
+    Attributes:
+        deadline_s: simulated time after which the server rejects late
+            local models (``None`` = wait forever, the paper's behavior).
+        quorum: minimum fraction of sites whose models must be admitted
+            for the round to count as healthy.
+        compute_rate_objects_per_s: nominal local clustering throughput
+            used to convert a site's object count into simulated seconds.
+    """
+
+    deadline_s: float | None = None
+    quorum: float = 0.0
+    compute_rate_objects_per_s: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if not 0.0 <= self.quorum <= 1.0:
+            raise ValueError(f"quorum must be in [0, 1], got {self.quorum}")
+        if self.compute_rate_objects_per_s <= 0:
+            raise ValueError(
+                "compute_rate_objects_per_s must be positive, got "
+                f"{self.compute_rate_objects_per_s}"
+            )
+
+    def sim_local_seconds(self, n_objects: int, slowdown: float = 1.0) -> float:
+        """Simulated duration of one site's local phase."""
+        return n_objects / self.compute_rate_objects_per_s * slowdown
+
+
 @dataclass
 class DistributedRunReport:
     """Everything a distributed run produces.
@@ -113,6 +159,17 @@ class DistributedRunReport:
             the max when parallel).
         relabel_wall_seconds: actual elapsed wall time of the step-4
             relabel fan-out.
+        participating_sites: sites whose local model the server admitted
+            into the global model, in arrival order.
+        failed_sites: sites that missed some part of the round (crashed,
+            link failed, deadline missed, or lost the broadcast), sorted.
+            A site can appear in both lists: its model was merged but it
+            never received the global model back.
+        retries: transport retries across all messages of the round.
+        degraded: whether the round was degraded — any site failed, or
+            the server's quorum was missed.
+        transport_stats: detailed transport bookkeeping (``None`` for
+            fault-free runs, which bypass the resilient transport).
     """
 
     sites: list[ClientSite]
@@ -125,6 +182,11 @@ class DistributedRunReport:
     assignment: np.ndarray | None = None
     local_wall_seconds: float = 0.0
     relabel_wall_seconds: float = 0.0
+    participating_sites: list[int] = field(default_factory=list)
+    failed_sites: list[int] = field(default_factory=list)
+    retries: int = 0
+    degraded: bool = False
+    transport_stats: TransportStats | None = None
 
     @property
     def overall_seconds(self) -> float:
@@ -142,11 +204,33 @@ class DistributedRunReport:
         return len(self.global_model)
 
     @property
-    def transmission_saving(self) -> float:
-        """Upstream bytes as a fraction of the raw-data baseline."""
+    def transmission_cost_ratio(self) -> float:
+        """Upstream bytes as a fraction of the raw-data baseline.
+
+        ``0.03`` means the models cost 3% of shipping the raw data — the
+        paper's "low transmission cost" claim.  0.0 for an empty baseline.
+        """
         if self.raw_bytes == 0:
             return 0.0
         return self.network.bytes_upstream / self.raw_bytes
+
+    @property
+    def transmission_saving(self) -> float:
+        """Fraction of the raw-data baseline *saved* by shipping models.
+
+        The complement of :attr:`transmission_cost_ratio`: ``0.97`` means
+        97% of the raw-data bytes never crossed the network.  (Earlier
+        revisions returned the cost ratio under this name.)  0.0 for an
+        empty baseline.
+        """
+        if self.raw_bytes == 0:
+            return 0.0
+        return 1.0 - self.transmission_cost_ratio
+
+    @property
+    def bytes_by_kind(self) -> dict[str, int]:
+        """Traffic per message kind (``local_model`` vs ``global_model``)."""
+        return dict(self.network.bytes_by_kind)
 
     def labels_in_original_order(self) -> np.ndarray:
         """Global labels aligned with the pre-partition object order.
@@ -189,18 +273,37 @@ class DistributedRunReport:
 class DistributedRunner:
     """Executes the four DBDC protocol steps over a simulated network.
 
+    With a ``fault_plan`` the run goes through the degraded-mode protocol
+    instead: messages travel via a :class:`ResilientTransport` (timeouts,
+    retries, backoff), the server applies the ``round_policy``'s deadline
+    and quorum, the global model is built from whichever local models
+    were admitted, and sites that missed the round fall back to their
+    local labels.  Without a plan (or with an inactive one) the runner
+    takes the exact legacy code path — reports are bit-identical to the
+    fault-free implementation.
+
     Args:
         config: run configuration.
         network: optional pre-configured network (fresh default otherwise).
+        fault_plan: faults to inject (``None`` or inactive = clean run).
+        transport_policy: retry/backoff parameters for the fault path.
+        round_policy: server deadline/quorum policy for the fault path.
     """
 
     def __init__(
         self,
         config: DistributedRunConfig,
         network: SimulatedNetwork | None = None,
+        *,
+        fault_plan: FaultPlan | None = None,
+        transport_policy: TransportPolicy | None = None,
+        round_policy: RoundPolicy | None = None,
     ) -> None:
         self.config = config
         self.network = network or SimulatedNetwork()
+        self.fault_plan = fault_plan
+        self.transport_policy = transport_policy or TransportPolicy()
+        self.round_policy = round_policy or RoundPolicy()
 
     def _make_sites(self, site_points: list[np.ndarray]) -> list[ClientSite]:
         return [
@@ -236,6 +339,24 @@ class DistributedRunner:
         if not site_points:
             raise ValueError("at least one site is required")
         sites = self._make_sites(site_points)
+        if self.fault_plan is not None and self.fault_plan.is_active():
+            return self._run_degraded(sites, site_points, assignment)
+        return self._run_fault_free(sites, site_points, assignment)
+
+    def _raw_cost(self, site_points: list[np.ndarray]) -> tuple[int, float]:
+        dim = site_points[0].shape[1] if site_points[0].ndim == 2 else 0
+        return self.network.raw_data_cost(
+            sum(p.shape[0] for p in site_points), dim
+        )
+
+    def _run_fault_free(
+        self,
+        sites: list[ClientSite],
+        site_points: list[np.ndarray],
+        assignment: np.ndarray | None,
+    ) -> DistributedRunReport:
+        """The paper's protocol verbatim: every site answers, every
+        message arrives."""
         server = CentralServer(
             self.config.eps_global,
             metric=self.config.metric,
@@ -264,10 +385,7 @@ class DistributedRunner:
         relabel_wall_seconds = time.perf_counter() - wall_start
         for site, (global_labels, stats, seconds) in zip(sites, relabel_results):
             site.apply_relabel(global_labels, stats, seconds)
-        dim = site_points[0].shape[1] if site_points[0].ndim == 2 else 0
-        raw_bytes, raw_seconds = self.network.raw_data_cost(
-            sum(p.shape[0] for p in site_points), dim
-        )
+        raw_bytes, raw_seconds = self._raw_cost(site_points)
         return DistributedRunReport(
             sites=sites,
             global_model=global_model,
@@ -279,6 +397,140 @@ class DistributedRunner:
             assignment=assignment,
             local_wall_seconds=local_wall_seconds,
             relabel_wall_seconds=relabel_wall_seconds,
+            participating_sites=[site.site_id for site in sites],
+        )
+
+    def _run_degraded(
+        self,
+        sites: list[ClientSite],
+        site_points: list[np.ndarray],
+        assignment: np.ndarray | None,
+    ) -> DistributedRunReport:
+        """The degraded-mode protocol: inject faults, retry, apply the
+        deadline/quorum policy, and fall back to local labels wherever
+        the round could not complete."""
+        plan = self.fault_plan
+        policy = self.round_policy
+        transport = ResilientTransport(self.network, plan, self.transport_policy)
+        server = CentralServer(
+            self.config.eps_global,
+            metric=self.config.metric,
+            index_kind=self.config.index_kind,
+            deadline_s=policy.deadline_s,
+            quorum=policy.quorum,
+            expected_sites=len(sites),
+        )
+        behaviors = {site.site_id: plan.resolve_site(site.site_id) for site in sites}
+        failed: dict[int, str] = {}
+        retries = 0
+
+        # Steps 1+2 over the sites that survive to compute at all.
+        computing = [
+            site
+            for site in sites
+            if not behaviors[site.site_id].crashes_before_local
+        ]
+        for site in sites:
+            if behaviors[site.site_id].crashes_before_local:
+                failed[site.site_id] = "crash_before_local"
+        wall_start = time.perf_counter()
+        local_results = self._map_over(_local_clustering_task, computing)
+        local_wall_seconds = time.perf_counter() - wall_start
+        deliveries: list[tuple[float, int, object]] = []
+        for site, (outcome, seconds) in zip(computing, local_results):
+            model = site.apply_local_outcome(outcome, seconds)
+            sim_local = policy.sim_local_seconds(
+                site.points.shape[0], behaviors[site.site_id].slowdown
+            )
+            delivery = transport.deliver(
+                site.site_id,
+                SERVER,
+                "local_model",
+                model.to_bytes(),
+                start_s=sim_local,
+            )
+            retries += delivery.retries
+            if delivery.delivered:
+                deliveries.append((delivery.arrival_s, site.site_id, model))
+            else:
+                failed[site.site_id] = "link_failed"
+
+        # Step 3: the server admits models in simulated-arrival order and
+        # builds the global model from whatever made the deadline.
+        deliveries.sort(key=lambda entry: (entry[0], entry[1]))
+        for arrival_s, site_id, model in deliveries:
+            if not server.receive_local_model(model, arrival_s=arrival_s):
+                failed[site_id] = "deadline_missed"
+        global_model = server.build(allow_empty=True)
+        participating = server.admitted_site_ids
+        participating_set = set(participating)
+
+        # Broadcast to the admitted sites that are still up; everyone else
+        # keeps local labels.  The broadcast leaves once the server built
+        # the model — after the last admitted arrival.
+        broadcast_start = max(
+            (
+                arrival_s
+                for arrival_s, site_id, __ in deliveries
+                if site_id in participating_set
+            ),
+            default=0.0,
+        )
+        payload = global_model.to_bytes()
+        receivers: list[ClientSite] = []
+        for site in sites:
+            site_id = site.site_id
+            if site_id not in participating_set:
+                continue
+            if behaviors[site_id].crashes_after_send:
+                failed[site_id] = "crash_after_send"
+                continue
+            delivery = transport.deliver(
+                SERVER, site_id, "global_model", payload, start_s=broadcast_start
+            )
+            retries += delivery.retries
+            if delivery.delivered:
+                receivers.append(site)
+            else:
+                failed[site_id] = "broadcast_lost"
+
+        # Step 4 on the sites that actually hold the global model.
+        wall_start = time.perf_counter()
+        relabel_results = self._map_over(
+            _relabel_task, [(site, global_model) for site in receivers]
+        )
+        relabel_wall_seconds = time.perf_counter() - wall_start
+        for site, (global_labels, stats, seconds) in zip(receivers, relabel_results):
+            site.apply_relabel(global_labels, stats, seconds)
+
+        # Degraded fallback, in deterministic site order: fresh global ids
+        # beyond everything the global model handed out.
+        next_id = (
+            int(global_model.global_labels.max()) + 1 if len(global_model) else 0
+        )
+        for site in sites:
+            if site.site_id in failed:
+                next_id = site.apply_degraded_labels(
+                    failed[site.site_id], id_offset=next_id
+                )
+
+        raw_bytes, raw_seconds = self._raw_cost(site_points)
+        return DistributedRunReport(
+            sites=sites,
+            global_model=global_model,
+            network=self.network.stats(),
+            raw_bytes=raw_bytes,
+            raw_sim_seconds=raw_seconds,
+            max_local_seconds=max(site.times.local_seconds for site in sites),
+            global_seconds=server.global_seconds,
+            assignment=assignment,
+            local_wall_seconds=local_wall_seconds,
+            relabel_wall_seconds=relabel_wall_seconds,
+            participating_sites=participating,
+            failed_sites=sorted(failed),
+            retries=retries,
+            degraded=bool(failed) or not server.quorum_met,
+            transport_stats=transport.stats,
         )
 
     def _map_over(self, task: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:

@@ -27,6 +27,7 @@ from repro.core.models import GlobalModel, LocalModel
 from repro.data.distance import Metric, get_metric
 from repro.distributed.incremental_site import IncrementalClientSite
 from repro.distributed.network import SERVER, SimulatedNetwork
+from repro.faults.transport import ResilientTransport
 
 __all__ = ["RoundStats", "StreamingScenario"]
 
@@ -39,10 +40,13 @@ class RoundStats:
         round_index: 0-based round number.
         arrivals: objects inserted this round (across sites).
         departures: objects removed this round.
-        sites_transmitted: sites whose drift exceeded their threshold.
-        bytes_up: model bytes uploaded this round.
+        sites_transmitted: sites whose fresh model reached the server.
+        bytes_up: model bytes put on the upstream wire this round
+            (includes failed/retried attempts when a transport is used).
         n_global_clusters: clusters in the refreshed global model.
         n_representatives: representatives in the refreshed global model.
+        sites_failed: sites whose upload was lost this round (they retry
+            next round; the server keeps their stale model meanwhile).
     """
 
     round_index: int
@@ -52,6 +56,7 @@ class RoundStats:
     bytes_up: int
     n_global_clusters: int
     n_representatives: int
+    sites_failed: int = 0
 
 
 class StreamingScenario:
@@ -68,6 +73,10 @@ class StreamingScenario:
         drift_threshold: per-site retransmission threshold.
         metric: distance metric.
         network: optional pre-configured simulated network.
+        transport: optional fault-injecting transport (built over this
+            scenario's network); when a site's upload is lost despite the
+            retries, the server reuses the site's stale model and the
+            site re-transmits on the next round.
     """
 
     def __init__(
@@ -81,6 +90,7 @@ class StreamingScenario:
         drift_threshold: float = 0.2,
         metric: str | Metric = "euclidean",
         network: SimulatedNetwork | None = None,
+        transport: ResilientTransport | None = None,
     ) -> None:
         if n_sites < 1:
             raise ValueError(f"n_sites must be >= 1, got {n_sites}")
@@ -89,6 +99,13 @@ class StreamingScenario:
             float(eps_global) if eps_global is not None else 2.0 * eps_local
         )
         self.network = network or SimulatedNetwork()
+        if transport is not None and transport.network is not self.network:
+            raise ValueError(
+                "transport must wrap this scenario's network "
+                "(pass the same SimulatedNetwork to both)"
+            )
+        self.transport = transport
+        self._retry_pending: set[int] = set()
         self.sites = [
             IncrementalClientSite(
                 site_id,
@@ -150,19 +167,37 @@ class StreamingScenario:
                 site.remove_object(object_id)
                 n_departed += 1
 
-        # Lazy resync: only drifted sites upload a fresh model.
+        # Lazy resync: only drifted sites upload a fresh model (plus sites
+        # whose previous upload was lost and must retry).
         bytes_up = 0
         transmitted = 0
+        failed = 0
         for site in self.sites:
             model = site.maybe_transmit()
             if model is None:
-                continue
-            transmitted += 1
-            message = self.network.send(
-                site.site_id, SERVER, "local_model", model.to_bytes()
-            )
-            bytes_up += message.n_bytes
-            self._latest_models[site.site_id] = model
+                if site.site_id not in self._retry_pending:
+                    continue
+                model = site.current_model()
+            payload = model.to_bytes()
+            if self.transport is None:
+                message = self.network.send(
+                    site.site_id, SERVER, "local_model", payload
+                )
+                bytes_up += message.n_bytes
+                delivered = True
+            else:
+                outcome = self.transport.deliver(
+                    site.site_id, SERVER, "local_model", payload
+                )
+                bytes_up += outcome.bytes_sent
+                delivered = outcome.delivered
+            if delivered:
+                transmitted += 1
+                self._latest_models[site.site_id] = model
+                self._retry_pending.discard(site.site_id)
+            else:
+                failed += 1
+                self._retry_pending.add(site.site_id)
 
         self._global_model, __ = build_global_model(
             list(self._latest_models.values()),
@@ -177,6 +212,7 @@ class StreamingScenario:
             bytes_up=bytes_up,
             n_global_clusters=self._global_model.n_global_clusters,
             n_representatives=len(self._global_model),
+            sites_failed=failed,
         )
         self.history.append(stats)
         return stats

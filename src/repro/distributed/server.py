@@ -31,10 +31,25 @@ __all__ = ["CentralServer", "IncrementalServer"]
 class CentralServer:
     """Batch server: one global clustering after all models arrived.
 
+    The degraded-mode extension adds a *deadline + quorum* admission
+    policy: models that arrive (in simulated time) after ``deadline_s``
+    are rejected, and :attr:`quorum_met` reports whether enough of the
+    ``expected_sites`` made it.  The server always builds the global model
+    from whichever models were admitted — the paper's server "clusters
+    whatever representatives it receives" — the policy only *classifies*
+    the round as degraded or not.  Defaults keep the legacy behavior: no
+    deadline, no quorum.
+
     Args:
         eps_global: merge radius; ``None`` → the paper's default (max ε_r).
         metric: distance metric.
         index_kind: neighbor index for the server-side DBSCAN.
+        deadline_s: simulated-time admission deadline (``None`` = never
+            reject).
+        quorum: minimum fraction of expected sites that must be admitted
+            for the round to count as healthy (``0`` = any).
+        expected_sites: how many sites should report (``None`` → inferred
+            from the models seen, admitted or rejected).
     """
 
     def __init__(
@@ -43,30 +58,91 @@ class CentralServer:
         *,
         metric: str | Metric = "euclidean",
         index_kind: str = "auto",
+        deadline_s: float | None = None,
+        quorum: float = 0.0,
+        expected_sites: int | None = None,
     ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+        if not 0.0 <= quorum <= 1.0:
+            raise ValueError(f"quorum must be in [0, 1], got {quorum}")
         self.eps_global = eps_global
         self.metric = get_metric(metric)
         self.index_kind = index_kind
+        self.deadline_s = deadline_s
+        self.quorum = quorum
+        self.expected_sites = expected_sites
         self.local_models: list[LocalModel] = []
+        self.rejected_models: list[LocalModel] = []
         self.global_seconds = 0.0
         self._model: GlobalModel | None = None
         self._stats: GlobalClusteringStats | None = None
 
-    def receive_local_model(self, model: LocalModel) -> None:
-        """Store a site's local model (any arrival order)."""
-        self.local_models.append(model)
+    def receive_local_model(
+        self, model: LocalModel, *, arrival_s: float = 0.0
+    ) -> bool:
+        """Store a site's local model (any arrival order).
 
-    def build(self) -> GlobalModel:
-        """Step 3: cluster all representatives into the global model.
+        Args:
+            model: the site's local model.
+            arrival_s: simulated arrival time, checked against the
+                deadline (irrelevant when no deadline is set).
+
+        Returns:
+            Whether the model was admitted into the round.
+        """
+        if self.deadline_s is not None and arrival_s > self.deadline_s:
+            self.rejected_models.append(model)
+            return False
+        self.local_models.append(model)
+        return True
+
+    @property
+    def admitted_site_ids(self) -> list[int]:
+        """Sites whose models made the round, in arrival order."""
+        return [model.site_id for model in self.local_models]
+
+    @property
+    def rejected_site_ids(self) -> list[int]:
+        """Sites whose models missed the deadline, in arrival order."""
+        return [model.site_id for model in self.rejected_models]
+
+    @property
+    def quorum_met(self) -> bool:
+        """Whether enough expected sites were admitted."""
+        expected = self.expected_sites
+        if expected is None:
+            expected = len(self.local_models) + len(self.rejected_models)
+        if expected == 0:
+            return True
+        return len(self.local_models) / expected >= self.quorum
+
+    def build(self, *, allow_empty: bool = False) -> GlobalModel:
+        """Step 3: cluster the admitted representatives into the global model.
+
+        Args:
+            allow_empty: return an empty global model instead of raising
+                when no model was admitted (degraded-mode runs where every
+                site failed).
 
         Returns:
             The :class:`~repro.core.models.GlobalModel` to broadcast.
 
         Raises:
-            RuntimeError: when no local model has arrived.
+            RuntimeError: when no local model has arrived and
+                ``allow_empty`` is false.
         """
         if not self.local_models:
-            raise RuntimeError("no local models received")
+            if not allow_empty:
+                raise RuntimeError("no local models received")
+            self._model = GlobalModel(
+                representatives=[],
+                global_labels=[],
+                eps_global=float(self.eps_global or 0.0),
+            )
+            self._stats = None
+            self.global_seconds = 0.0
+            return self._model
         start = time.perf_counter()
         self._model, self._stats = build_global_model(
             self.local_models,

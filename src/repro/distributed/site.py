@@ -60,6 +60,7 @@ class ClientSite:
         self.metric = get_metric(metric)
         self.index_kind = index_kind
         self.times = _SitePhaseTimes()
+        self.failure: str | None = None
         self._outcome: LocalClusteringOutcome | None = None
         self._global_labels: np.ndarray | None = None
         self._relabel_stats: RelabelStats | None = None
@@ -141,6 +142,52 @@ class ClientSite:
         self._relabel_stats = stats
         self.times.relabel_seconds = seconds
         return stats
+
+    def apply_degraded_labels(self, reason: str, *, id_offset: int) -> int:
+        """Fall back to local labels after missing the global round.
+
+        The degraded-mode guarantee (see ``docs/fault_model.md``): a site
+        that crashed before its local phase has nothing — every object is
+        noise; a site that clustered locally but never merged keeps its
+        local clusters, renumbered into fresh global ids starting at
+        ``id_offset`` so they cannot collide with the global model's ids
+        (or another failed site's).  Local noise stays noise either way.
+
+        Args:
+            reason: why the site missed the round (recorded on
+                :attr:`failure`).
+            id_offset: first global cluster id this site may use.
+
+        Returns:
+            The next free global cluster id.
+        """
+        self.failure = reason
+        n = self.points.shape[0]
+        if self._outcome is None:
+            labels = np.full(n, NOISE, dtype=np.intp)
+            next_offset = id_offset
+        else:
+            labels = np.array(
+                self._outcome.clustering.labels, dtype=np.intp, copy=True
+            )
+            clustered = labels >= 0
+            n_local = int(labels[clustered].max()) + 1 if clustered.any() else 0
+            labels[clustered] += id_offset
+            next_offset = id_offset + n_local
+        n_noise = int((labels == NOISE).sum())
+        self.apply_relabel(
+            labels,
+            RelabelStats(
+                n_objects=n,
+                n_covered=0,
+                n_noise_promoted=0,
+                n_inherited=0,
+                n_still_noise=n_noise,
+                n_local_clusters_merged=0,
+            ),
+            0.0,
+        )
+        return next_offset
 
     def receive_global_model(self, model: GlobalModel) -> RelabelStats:
         """Step 4: relabel local objects with global cluster ids.

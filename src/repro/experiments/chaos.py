@@ -1,0 +1,277 @@
+"""Chaos experiment: Q_DBDC under site failures and lossy links.
+
+The paper argues DBDC tolerates a loosely-coupled federation — the server
+clusters whatever representatives it receives.  This experiment puts a
+number on that: it sweeps a failure probability, runs the degraded-mode
+protocol (``repro.faults`` + :class:`~repro.distributed.runner
+.DistributedRunner`), and reports both quality criteria (``P^I``,
+``P^II``) against the failure-free central reference — overall *and*
+restricted to the surviving sites.  The expected picture: overall quality
+falls roughly with the fraction of failed sites (their objects degrade to
+local labels or noise) while surviving-site quality stays near the
+healthy run's — lost sites cost their own objects, not the others'.
+
+``python -m repro chaos`` runs the sweep and writes a machine-readable
+``BENCH_chaos.json`` next to the repo's other benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import load_dataset
+from repro.distributed.runner import (
+    DistributedRunConfig,
+    DistributedRunner,
+    RoundPolicy,
+)
+from repro.experiments.common import central_reference
+from repro.experiments.reporting import ExperimentTable
+from repro.faults import FaultPlan, TransportPolicy
+from repro.quality.degraded import evaluate_degraded_quality
+
+__all__ = [
+    "ChaosTrial",
+    "run_chaos_sweep",
+    "chaos_table",
+    "write_chaos_report",
+    "DEFAULT_CHAOS_PATH",
+]
+
+DEFAULT_CHAOS_PATH = "BENCH_chaos.json"
+
+_MODES = ("sites", "links", "chaos")
+
+
+@dataclass(frozen=True)
+class ChaosTrial:
+    """One degraded run at one failure probability.
+
+    Attributes:
+        failure_prob: the swept probability.
+        fault_seed: seed of the trial's :class:`FaultPlan`.
+        n_failed_sites: sites that missed the round.
+        n_participating: sites whose model entered the global model.
+        failed_fraction: ``n_failed_sites / n_sites``.
+        retries: transport retries across the round.
+        degraded: the report's degraded flag.
+        q_p1_overall: ``Q_DBDC`` (``P^I``) over all objects, percent.
+        q_p2_overall: ``Q_DBDC`` (``P^II``) over all objects, percent.
+        q_p2_surviving: ``P^II`` over surviving sites' objects, percent
+            (``nan`` when every site failed).
+        bytes_total: bytes the round put on the wire (retries included).
+    """
+
+    failure_prob: float
+    fault_seed: int
+    n_failed_sites: int
+    n_participating: int
+    failed_fraction: float
+    retries: int
+    degraded: bool
+    q_p1_overall: float
+    q_p2_overall: float
+    q_p2_surviving: float
+    bytes_total: int
+
+
+def _plan_for(mode: str, prob: float, seed: int) -> FaultPlan:
+    if mode == "sites":
+        return FaultPlan.site_failures(prob, seed=seed)
+    if mode == "links":
+        return FaultPlan.lossy_links(prob, seed=seed)
+    if mode == "chaos":
+        return FaultPlan.chaos(prob, seed=seed)
+    raise ValueError(f"unknown chaos mode {mode!r}; known: {_MODES}")
+
+
+def run_chaos_sweep(
+    *,
+    dataset: str = "A",
+    cardinality: int | None = None,
+    n_sites: int = 8,
+    failure_probs: tuple[float, ...] = (0.0, 0.125, 0.25, 0.375, 0.5),
+    trials: int = 3,
+    mode: str = "sites",
+    scheme: str = "rep_scor",
+    seed: int = 42,
+    transport_policy: TransportPolicy | None = None,
+    round_policy: RoundPolicy | None = None,
+) -> dict:
+    """Sweep a failure probability and measure quality degradation.
+
+    Args:
+        dataset: one of the paper's data sets (A/B/C, Figure 6).
+        cardinality: optional data set size override.
+        n_sites: client sites per run.
+        failure_probs: the swept probabilities.
+        trials: independent fault seeds per probability (averaged).
+        mode: what fails — ``"sites"`` (crash before local), ``"links"``
+            (message drops, retried) or ``"chaos"`` (everything at once).
+        scheme: local model scheme.
+        seed: partitioning/dataset seed; fault seeds derive from it.
+        transport_policy: retry/backoff override.
+        round_policy: deadline/quorum override.
+
+    Returns:
+        A machine-readable report dict (``write_chaos_report`` writes it,
+        ``chaos_table`` renders it).
+    """
+    if mode not in _MODES:
+        raise ValueError(f"unknown chaos mode {mode!r}; known: {_MODES}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    data = load_dataset(dataset, cardinality=cardinality)
+    central, central_seconds = central_reference(
+        data.points, data.eps_local, data.min_pts
+    )
+    config = DistributedRunConfig(
+        eps_local=data.eps_local,
+        min_pts_local=data.min_pts,
+        scheme=scheme,
+        seed=seed,
+    )
+    sweep = []
+    for prob_index, prob in enumerate(failure_probs):
+        rows: list[ChaosTrial] = []
+        for trial in range(trials):
+            fault_seed = seed + 1000 * prob_index + trial
+            plan = _plan_for(mode, prob, fault_seed)
+            runner = DistributedRunner(
+                config,
+                fault_plan=plan,
+                transport_policy=transport_policy,
+                round_policy=round_policy,
+            )
+            report = runner.run(data.points, n_sites)
+            quality = evaluate_degraded_quality(
+                report.labels_in_original_order(),
+                central.labels,
+                assignment=report.assignment,
+                failed_sites=report.failed_sites,
+                n_sites=n_sites,
+                qp=data.min_pts,
+            )
+            rows.append(
+                ChaosTrial(
+                    failure_prob=prob,
+                    fault_seed=fault_seed,
+                    n_failed_sites=len(report.failed_sites),
+                    n_participating=len(report.participating_sites),
+                    failed_fraction=quality.failed_fraction,
+                    retries=report.retries,
+                    degraded=report.degraded,
+                    q_p1_overall=quality.overall.q_p1_percent,
+                    q_p2_overall=quality.overall.q_p2_percent,
+                    q_p2_surviving=(
+                        quality.surviving.q_p2_percent
+                        if quality.surviving is not None
+                        else float("nan")
+                    ),
+                    bytes_total=report.network.bytes_total,
+                )
+            )
+        surviving_values = [
+            t.q_p2_surviving for t in rows if not np.isnan(t.q_p2_surviving)
+        ]
+        sweep.append(
+            {
+                "failure_prob": float(prob),
+                "trials": [
+                    {
+                        "fault_seed": t.fault_seed,
+                        "n_failed_sites": t.n_failed_sites,
+                        "n_participating": t.n_participating,
+                        "failed_fraction": t.failed_fraction,
+                        "retries": t.retries,
+                        "degraded": t.degraded,
+                        "q_p1_overall": t.q_p1_overall,
+                        "q_p2_overall": t.q_p2_overall,
+                        "q_p2_surviving": (
+                            None
+                            if np.isnan(t.q_p2_surviving)
+                            else t.q_p2_surviving
+                        ),
+                        "bytes_total": t.bytes_total,
+                    }
+                    for t in rows
+                ],
+                "mean_failed_fraction": float(
+                    np.mean([t.failed_fraction for t in rows])
+                ),
+                "mean_q_p1_overall": float(np.mean([t.q_p1_overall for t in rows])),
+                "mean_q_p2_overall": float(np.mean([t.q_p2_overall for t in rows])),
+                "mean_q_p2_surviving": (
+                    float(np.mean(surviving_values)) if surviving_values else None
+                ),
+                "total_retries": int(sum(t.retries for t in rows)),
+                "n_degraded": int(sum(t.degraded for t in rows)),
+            }
+        )
+    return {
+        "bench": "chaos",
+        "meta": {
+            "dataset": data.name,
+            "cardinality": int(data.n),
+            "n_sites": int(n_sites),
+            "mode": mode,
+            "scheme": scheme,
+            "trials": int(trials),
+            "seed": int(seed),
+            "central_seconds": float(central_seconds),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "sweep": sweep,
+    }
+
+
+def chaos_table(report: dict) -> ExperimentTable:
+    """Render a chaos sweep as an experiment table."""
+    meta = report["meta"]
+    table = ExperimentTable(
+        f"Chaos — data set {meta['dataset']} ({meta['n_sites']} sites, "
+        f"mode={meta['mode']}, {meta['trials']} trials/point)",
+        [
+            "failure prob",
+            "failed sites [%]",
+            "P^I overall [%]",
+            "P^II overall [%]",
+            "P^II surviving [%]",
+            "retries",
+            "degraded runs",
+        ],
+    )
+    for point in report["sweep"]:
+        surviving = point["mean_q_p2_surviving"]
+        table.add_row(
+            point["failure_prob"],
+            100.0 * point["mean_failed_fraction"],
+            point["mean_q_p1_overall"],
+            point["mean_q_p2_overall"],
+            surviving if surviving is not None else float("nan"),
+            point["total_retries"],
+            point["n_degraded"],
+        )
+    table.add_note(
+        "overall quality degrades with the failed-site fraction; surviving "
+        "sites keep near-healthy quality (lost sites cost only their own "
+        "objects)"
+    )
+    return table
+
+
+def write_chaos_report(report: dict, path: str = DEFAULT_CHAOS_PATH) -> str:
+    """Write the chaos report as pretty-printed JSON (makes parent dirs)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,271 @@
+"""A transport that survives the faults a :class:`FaultPlan` injects.
+
+:class:`ResilientTransport` wraps the accounting-only
+:class:`~repro.distributed.network.SimulatedNetwork` with the standard
+unreliable-network machinery: per-message timeouts, capped exponential
+backoff with deterministic jitter, and a per-link retry budget.  Every
+attempt — including dropped, truncated and duplicated ones — is recorded
+on the underlying network, so the byte/sim-time accounting reflects what
+the wire actually carried, not just what got through.
+
+Simulated time, not wall time, drives everything: a dropped attempt costs
+the sender its timeout, a retry costs the backoff delay, a delivered
+attempt costs the link's transfer time plus jitter.  All of it derives
+from the plan's seeded RNG streams, so the same plan yields the same
+retry counts and the same simulated clock, every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.distributed.network import SimulatedNetwork
+
+__all__ = [
+    "TransportPolicy",
+    "DeliveryOutcome",
+    "TransportStats",
+    "ResilientTransport",
+]
+
+
+@dataclass(frozen=True)
+class TransportPolicy:
+    """Retry/backoff behavior of the transport.
+
+    Attributes:
+        timeout_s: how long the sender waits before declaring an attempt
+            lost (simulated seconds).
+        max_attempts: per-message attempt budget (1 = no retries).
+        backoff_base_s: first retry delay; attempt ``k`` waits
+            ``min(backoff_cap_s, backoff_base_s · 2^(k-1))``.
+        backoff_cap_s: upper bound on a single backoff delay.
+        backoff_jitter: fraction of the backoff delay added as
+            deterministic jitter (decorrelates retry storms).
+    """
+
+    timeout_s: float = 1.0
+    max_attempts: int = 4
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 2.0
+    backoff_jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+
+    def backoff_seconds(self, attempt: int, jitter_u: float) -> float:
+        """Backoff before retry number ``attempt`` (1-based), with a
+        deterministic jitter draw ``jitter_u`` in ``[0, 1)``."""
+        base = min(self.backoff_cap_s, self.backoff_base_s * 2.0 ** (attempt - 1))
+        return base * (1.0 + self.backoff_jitter * jitter_u)
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """What happened to one logical message.
+
+    Attributes:
+        delivered: whether any attempt got through intact.
+        attempts: attempts made (1 when the first try succeeded).
+        retries: ``attempts - 1``.
+        sim_seconds: simulated time from first send to delivery (or to
+            giving up): transfer times, jitter, timeouts and backoffs.
+        arrival_s: absolute simulated arrival time (``start_s`` +
+            ``sim_seconds``); meaningful only when delivered.
+        n_dropped: attempts lost in flight.
+        n_truncated: attempts that arrived corrupt.
+        n_duplicates: extra copies the receiver saw.
+        bytes_sent: total bytes put on the wire across all attempts and
+            duplicates.
+    """
+
+    delivered: bool
+    attempts: int
+    sim_seconds: float
+    arrival_s: float
+    n_dropped: int = 0
+    n_truncated: int = 0
+    n_duplicates: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first."""
+        return self.attempts - 1
+
+
+@dataclass
+class TransportStats:
+    """Aggregate transport bookkeeping across all messages.
+
+    Attributes:
+        n_messages: logical messages handed to the transport.
+        n_delivered: messages that eventually got through.
+        n_failed: messages that exhausted their attempt budget.
+        n_attempts: wire attempts (includes retries, excludes duplicates).
+        n_retries: attempts beyond each message's first.
+        n_dropped: attempts lost in flight.
+        n_truncated: attempts that arrived corrupt.
+        n_duplicates: duplicate copies delivered.
+    """
+
+    n_messages: int = 0
+    n_delivered: int = 0
+    n_failed: int = 0
+    n_attempts: int = 0
+    n_retries: int = 0
+    n_dropped: int = 0
+    n_truncated: int = 0
+    n_duplicates: int = 0
+
+
+@dataclass
+class _LinkSequence:
+    """Per-link logical-message counter (diversifies the RNG streams)."""
+
+    next_seq: int = 0
+
+    def take(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+
+class ResilientTransport:
+    """Timeout/retry/backoff delivery over a :class:`SimulatedNetwork`.
+
+    Args:
+        network: the accounting network every attempt is recorded on.
+        plan: the fault plan deciding what goes wrong.
+        policy: retry/backoff parameters.
+    """
+
+    def __init__(
+        self,
+        network: "SimulatedNetwork",
+        plan: FaultPlan,
+        policy: TransportPolicy | None = None,
+    ) -> None:
+        self.network = network
+        self.plan = plan
+        self.policy = policy or TransportPolicy()
+        self.stats = TransportStats()
+        self._sequences: dict[tuple[int, int, str], _LinkSequence] = {}
+
+    def _sequence(self, sender: int, receiver: int, kind: str) -> int:
+        key = (sender, receiver, kind)
+        if key not in self._sequences:
+            self._sequences[key] = _LinkSequence()
+        return self._sequences[key].take()
+
+    def deliver(
+        self,
+        sender: int,
+        receiver: int,
+        kind: str,
+        payload: bytes,
+        *,
+        start_s: float = 0.0,
+    ) -> DeliveryOutcome:
+        """Try to move one message, retrying through injected faults.
+
+        Args:
+            sender: site id, or a negative server id.
+            receiver: site id, or a negative server id.
+            kind: message tag (drives the per-kind byte accounting).
+            payload: serialized content.
+            start_s: simulated time at which the first attempt starts.
+
+        Returns:
+            A :class:`DeliveryOutcome`; every attempt was recorded on the
+            underlying network either way.
+        """
+        # The client end identifies the link (the other end is a server).
+        site_end = sender if receiver < 0 else receiver
+        faults = self.plan.link_faults_for(site_end)
+        seq = self._sequence(sender, receiver, kind)
+        policy = self.policy
+
+        elapsed = 0.0
+        n_dropped = 0
+        n_truncated = 0
+        n_duplicates = 0
+        bytes_sent = 0
+        delivered = False
+        attempts = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            attempts = attempt
+            rng = self.plan.rng_for("link", site_end, kind, seq, attempt)
+            # Fixed draw order keeps decisions independent of which fault
+            # rates are enabled.
+            u_drop, u_trunc, u_dup, u_jitter, u_reorder, u_backoff = rng.random(6)
+            jitter = faults.jitter_s * u_jitter
+
+            if u_drop < faults.drop_prob:
+                # Lost in flight: the bytes left the sender, the receiver
+                # saw nothing, the sender burns its timeout.
+                self.network.send(sender, receiver, kind, payload)
+                bytes_sent += len(payload)
+                n_dropped += 1
+                elapsed += policy.timeout_s
+            elif u_trunc < faults.truncate_prob:
+                # Short read: fraction of the payload arrives, receiver
+                # detects the corruption after the (partial) transfer.
+                keep = max(1, int(len(payload) * (0.1 + 0.8 * rng.random())))
+                message = self.network.send(sender, receiver, kind, payload[:keep])
+                bytes_sent += message.n_bytes
+                n_truncated += 1
+                elapsed += message.sim_seconds + jitter
+            else:
+                message = self.network.send(sender, receiver, kind, payload)
+                bytes_sent += message.n_bytes
+                elapsed += message.sim_seconds + jitter
+                if u_reorder < faults.reorder_prob:
+                    # Slow route: arrives late enough to land behind
+                    # messages sent after it.
+                    elapsed += faults.reorder_delay_s
+                if u_dup < faults.duplicate_prob:
+                    duplicate = self.network.send(sender, receiver, kind, payload)
+                    bytes_sent += duplicate.n_bytes
+                    n_duplicates += 1
+                delivered = True
+                break
+
+            if attempt < policy.max_attempts:
+                elapsed += policy.backoff_seconds(attempt, u_backoff)
+
+        self.stats.n_messages += 1
+        self.stats.n_attempts += attempts
+        self.stats.n_retries += attempts - 1
+        self.stats.n_dropped += n_dropped
+        self.stats.n_truncated += n_truncated
+        self.stats.n_duplicates += n_duplicates
+        if delivered:
+            self.stats.n_delivered += 1
+        else:
+            self.stats.n_failed += 1
+        return DeliveryOutcome(
+            delivered=delivered,
+            attempts=attempts,
+            sim_seconds=elapsed,
+            arrival_s=start_s + elapsed,
+            n_dropped=n_dropped,
+            n_truncated=n_truncated,
+            n_duplicates=n_duplicates,
+            bytes_sent=bytes_sent,
+        )

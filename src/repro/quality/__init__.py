@@ -7,6 +7,10 @@ from repro.quality.breakdown import (
     QualityBreakdown,
     quality_breakdown,
 )
+from repro.quality.degraded import (
+    DegradedQualityReport,
+    evaluate_degraded_quality,
+)
 from repro.quality.external import (
     adjusted_rand_index,
     jaccard_index,
@@ -27,6 +31,8 @@ __all__ = [
     "ClusterMatch",
     "QualityBreakdown",
     "quality_breakdown",
+    "DegradedQualityReport",
+    "evaluate_degraded_quality",
     "OverlapTables",
     "object_quality_p1",
     "object_quality_p2",

@@ -1,0 +1,87 @@
+"""Quality scoring for degraded (partial-participation) DBDC rounds.
+
+A degraded run has two interesting qualities, mirroring the site-failure
+ablation: how good the clustering is *overall* (failed sites' objects kept
+their local labels or stayed noise, and are scored as-is against the
+central reference) and how good it is *on the surviving sites alone* —
+the paper's architecture argument predicts that lost sites should cost
+only their own objects, never the others' clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.quality.qdbdc import QualityReport, evaluate_quality
+
+__all__ = ["DegradedQualityReport", "evaluate_degraded_quality"]
+
+
+@dataclass(frozen=True)
+class DegradedQualityReport:
+    """Overall and surviving-sites quality of one degraded run.
+
+    Attributes:
+        overall: both criteria over *all* objects (failed sites' objects
+            carry their degraded labels).
+        surviving: both criteria over the surviving sites' objects only
+            (``None`` when every site failed).
+        n_sites: total sites in the round.
+        n_failed_sites: sites that missed some part of the round.
+    """
+
+    overall: QualityReport
+    surviving: QualityReport | None
+    n_sites: int
+    n_failed_sites: int
+
+    @property
+    def failed_fraction(self) -> float:
+        """Fraction of sites that failed."""
+        if self.n_sites == 0:
+            return 0.0
+        return self.n_failed_sites / self.n_sites
+
+
+def evaluate_degraded_quality(
+    distributed: np.ndarray,
+    central: np.ndarray,
+    *,
+    assignment: np.ndarray,
+    failed_sites: Iterable[int],
+    n_sites: int,
+    qp: int,
+) -> DegradedQualityReport:
+    """Score a degraded run overall and on its surviving sites.
+
+    Args:
+        distributed: distributed labels in original object order.
+        central: central reference labels (same order).
+        assignment: per object, the site it lived on.
+        failed_sites: sites that missed the round.
+        n_sites: total sites.
+        qp: quality parameter for ``P^I``.
+
+    Returns:
+        A :class:`DegradedQualityReport`.
+    """
+    distributed = np.asarray(distributed)
+    central = np.asarray(central)
+    assignment = np.asarray(assignment, dtype=np.intp)
+    failed = set(int(s) for s in failed_sites)
+    overall = evaluate_quality(distributed, central, qp=qp)
+    surviving_mask = ~np.isin(assignment, sorted(failed))
+    surviving = None
+    if surviving_mask.any():
+        surviving = evaluate_quality(
+            distributed[surviving_mask], central[surviving_mask], qp=qp
+        )
+    return DegradedQualityReport(
+        overall=overall,
+        surviving=surviving,
+        n_sites=n_sites,
+        n_failed_sites=len(failed),
+    )

@@ -1,0 +1,138 @@
+"""Chaos sweep tests: end-to-end run, quality degradation shape, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.chaos import chaos_table, run_chaos_sweep, write_chaos_report
+
+# Small fig. 6 data set A slice — enough structure for stable quality
+# numbers, small enough for the fast tier.
+SWEEP_KWARGS = dict(
+    dataset="A",
+    cardinality=1200,
+    n_sites=8,
+    failure_probs=(0.0, 0.25, 0.5),
+    trials=2,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_chaos_sweep(**SWEEP_KWARGS)
+
+
+class TestRunChaosSweep:
+    def test_report_structure(self, sweep):
+        assert sweep["bench"] == "chaos"
+        assert sweep["meta"]["dataset"] == "A"
+        assert sweep["meta"]["n_sites"] == 8
+        assert len(sweep["sweep"]) == 3
+        for point in sweep["sweep"]:
+            assert len(point["trials"]) == 2
+            for trial in point["trials"]:
+                assert 0 <= trial["n_failed_sites"] <= 8
+                assert trial["n_participating"] + trial["n_failed_sites"] == 8
+
+    def test_zero_probability_is_healthy(self, sweep):
+        clean = sweep["sweep"][0]
+        assert clean["failure_prob"] == 0.0
+        assert clean["mean_failed_fraction"] == 0.0
+        assert clean["n_degraded"] == 0
+        assert clean["total_retries"] == 0
+        assert clean["mean_q_p2_overall"] > 50.0
+
+    def test_quality_degrades_with_failures_noncatastrophically(self, sweep):
+        """Sorted by failed-site fraction, overall P^II must decrease
+        monotonically-ish: each step loses roughly the failed sites'
+        share of the objects, never collapses below the surviving share."""
+        points = sorted(
+            sweep["sweep"], key=lambda p: p["mean_failed_fraction"]
+        )
+        fractions = [p["mean_failed_fraction"] for p in points]
+        q_overall = [p["mean_q_p2_overall"] for p in points]
+        assert fractions[0] < fractions[-1], "sweep injected no failures"
+        healthy = q_overall[0]
+        for prev, cur in zip(q_overall, q_overall[1:]):
+            assert cur <= prev + 5.0  # monotone up to trial noise
+        for frac, q in zip(fractions, q_overall):
+            # Non-catastrophic: the surviving (1 - frac) share of objects
+            # keeps most of its quality, so overall quality tracks that
+            # share instead of collapsing.  Generous slack: the quality
+            # criteria match clusters globally, so heavy degradation also
+            # shaves a few points off the surviving objects' scores.
+            assert q >= healthy * (1.0 - frac) - 20.0
+
+    def test_surviving_sites_keep_quality(self, sweep):
+        points = [
+            p for p in sweep["sweep"] if p["mean_q_p2_surviving"] is not None
+        ]
+        healthy = sweep["sweep"][0]["mean_q_p2_overall"]
+        for point in points:
+            assert point["mean_q_p2_surviving"] > healthy - 15.0
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(SWEEP_KWARGS, failure_probs=(0.5,), trials=1)
+        # meta carries wall-clock timing; the measured sweep must repeat.
+        assert run_chaos_sweep(**kwargs)["sweep"] == run_chaos_sweep(**kwargs)["sweep"]
+
+    def test_links_mode_retries(self):
+        report = run_chaos_sweep(
+            **dict(
+                SWEEP_KWARGS,
+                mode="links",
+                failure_probs=(0.5,),
+                trials=1,
+                n_sites=4,
+                cardinality=600,
+            )
+        )
+        assert report["sweep"][0]["total_retries"] > 0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_chaos_sweep(**dict(SWEEP_KWARGS, mode="gremlins"))
+        with pytest.raises(ValueError, match="trials"):
+            run_chaos_sweep(**dict(SWEEP_KWARGS, trials=0))
+
+    def test_table_renders(self, sweep):
+        text = chaos_table(sweep).to_text()
+        assert "Chaos" in text
+        assert "P^II overall" in text
+
+    def test_write_report_round_trips(self, sweep, tmp_path):
+        path = write_chaos_report(sweep, str(tmp_path / "sub" / "chaos.json"))
+        with open(path, encoding="utf-8") as handle:
+            restored = json.load(handle)
+        assert restored == sweep
+
+
+class TestChaosCli:
+    def test_chaos_command_end_to_end(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_chaos.json"
+        code = main(
+            [
+                "chaos",
+                "--cardinality",
+                "600",
+                "--sites",
+                "4",
+                "--trials",
+                "1",
+                "--failure-probs",
+                "0,0.5",
+                "--chaos-out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Chaos" in out
+        assert f"wrote {out_path}" in out
+        report = json.loads(out_path.read_text(encoding="utf-8"))
+        assert report["bench"] == "chaos"
+        assert [p["failure_prob"] for p in report["sweep"]] == [0.0, 0.5]

@@ -1,0 +1,267 @@
+"""Unit tests for the fault-injection runtime (plan + transport)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.distributed.network import SERVER, SimulatedNetwork
+from repro.faults import (
+    FaultPlan,
+    LinkFaults,
+    ResilientTransport,
+    SiteFaults,
+    TransportPolicy,
+)
+
+
+class TestFaultPlanValidation:
+    def test_probabilities_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            LinkFaults(drop_prob=1.5)
+        with pytest.raises(ValueError, match="truncate_prob"):
+            LinkFaults(truncate_prob=-0.1)
+        with pytest.raises(ValueError, match="crash_before_local_prob"):
+            SiteFaults(crash_before_local_prob=2.0)
+        with pytest.raises(ValueError, match="straggler_factor"):
+            SiteFaults(straggler_factor=0.5)
+        with pytest.raises(ValueError, match="jitter_s"):
+            LinkFaults(jitter_s=-1.0)
+        with pytest.raises(ValueError, match="intensity"):
+            FaultPlan.chaos(1.2)
+
+    def test_none_plan_is_inactive(self):
+        assert not FaultPlan.none().is_active()
+        assert not FaultPlan(seed=9).is_active()
+
+    def test_any_nonzero_rate_activates(self):
+        assert FaultPlan.lossy_links(0.1).is_active()
+        assert FaultPlan.site_failures(0.1).is_active()
+        assert FaultPlan.chaos(0.3).is_active()
+        assert FaultPlan(
+            link_overrides={2: LinkFaults(drop_prob=0.5)}
+        ).is_active()
+        assert FaultPlan(
+            site_overrides={0: SiteFaults(straggler_prob=1.0)}
+        ).is_active()
+
+    def test_overrides_take_precedence(self):
+        plan = FaultPlan(
+            link=LinkFaults(drop_prob=0.1),
+            link_overrides={3: LinkFaults(drop_prob=0.9)},
+            site=SiteFaults(straggler_prob=0.2),
+            site_overrides={3: SiteFaults(straggler_prob=0.8)},
+        )
+        assert plan.link_faults_for(3).drop_prob == 0.9
+        assert plan.link_faults_for(0).drop_prob == 0.1
+        assert plan.site_faults_for(3).straggler_prob == 0.8
+        assert plan.site_faults_for(1).straggler_prob == 0.2
+
+
+class TestFaultPlanDeterminism:
+    def test_rng_streams_keyed_not_sequenced(self):
+        """The stream for one event does not depend on which other events
+        were resolved before it."""
+        plan = FaultPlan(seed=5)
+        first = plan.rng_for("link", 2, "local_model", 0, 1).random(4)
+        plan.rng_for("site", 0).random(10)  # unrelated consumption
+        second = plan.rng_for("link", 2, "local_model", 0, 1).random(4)
+        assert (first == second).all()
+
+    def test_distinct_keys_distinct_streams(self):
+        plan = FaultPlan(seed=5)
+        a = plan.rng_for("link", 0, "local_model", 0, 1).random(4)
+        b = plan.rng_for("link", 1, "local_model", 0, 1).random(4)
+        assert (a != b).any()
+
+    def test_resolve_site_is_stable(self):
+        plan = FaultPlan.chaos(0.7, seed=13)
+        for site_id in range(20):
+            assert plan.resolve_site(site_id) == plan.resolve_site(site_id)
+
+    def test_crash_before_wins_over_crash_after(self):
+        plan = FaultPlan(
+            seed=1,
+            site=SiteFaults(
+                crash_before_local_prob=1.0, crash_after_send_prob=1.0
+            ),
+        )
+        behavior = plan.resolve_site(4)
+        assert behavior.crashes_before_local
+        assert not behavior.crashes_after_send
+        assert not behavior.alive_for_broadcast
+
+    def test_certain_straggler_slowdown(self):
+        plan = FaultPlan(
+            seed=1, site=SiteFaults(straggler_prob=1.0, straggler_factor=6.0)
+        )
+        assert plan.resolve_site(0).slowdown == 6.0
+        clean = FaultPlan.none().resolve_site(0)
+        assert clean.slowdown == 1.0
+        assert clean.alive_for_broadcast
+
+
+class TestTransportPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            TransportPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            TransportPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            TransportPolicy(backoff_jitter=1.5)
+
+    def test_backoff_doubles_then_caps(self):
+        policy = TransportPolicy(
+            backoff_base_s=0.1, backoff_cap_s=0.35, backoff_jitter=0.0
+        )
+        assert policy.backoff_seconds(1, 0.0) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2, 0.0) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3, 0.0) == pytest.approx(0.35)  # capped
+        assert policy.backoff_seconds(4, 0.0) == pytest.approx(0.35)
+
+    def test_backoff_jitter_scales(self):
+        policy = TransportPolicy(backoff_base_s=0.1, backoff_jitter=0.5)
+        assert policy.backoff_seconds(1, 1.0) == pytest.approx(0.15)
+
+
+class TestResilientTransport:
+    def _transport(self, plan, **policy_kwargs):
+        network = SimulatedNetwork()
+        policy = TransportPolicy(**policy_kwargs) if policy_kwargs else None
+        return network, ResilientTransport(network, plan, policy)
+
+    def test_clean_link_first_attempt(self):
+        network, transport = self._transport(FaultPlan.none())
+        outcome = transport.deliver(0, SERVER, "local_model", b"x" * 64)
+        assert outcome.delivered
+        assert outcome.attempts == 1
+        assert outcome.retries == 0
+        assert outcome.bytes_sent == 64
+        assert len(network.messages) == 1
+        assert transport.stats.n_delivered == 1
+        assert transport.stats.n_retries == 0
+
+    def test_certain_drop_exhausts_budget(self):
+        network, transport = self._transport(
+            FaultPlan.lossy_links(1.0, seed=2), max_attempts=3
+        )
+        outcome = transport.deliver(0, SERVER, "local_model", b"x" * 10)
+        assert not outcome.delivered
+        assert outcome.attempts == 3
+        assert outcome.n_dropped == 3
+        # Every attempt hit the wire and was accounted.
+        assert len(network.messages) == 3
+        assert outcome.bytes_sent == 30
+        assert transport.stats.n_failed == 1
+        assert transport.stats.n_attempts == 3
+
+    def test_drop_costs_timeout_and_backoff(self):
+        plan = FaultPlan.lossy_links(1.0, seed=2)
+        __, transport = self._transport(
+            plan,
+            timeout_s=2.0,
+            max_attempts=2,
+            backoff_base_s=0.5,
+            backoff_cap_s=0.5,
+            backoff_jitter=0.0,
+        )
+        outcome = transport.deliver(0, SERVER, "local_model", b"x")
+        # 2 timeouts + 1 backoff between the attempts, no transfer time.
+        assert outcome.sim_seconds == pytest.approx(2.0 + 0.5 + 2.0)
+        assert outcome.arrival_s == pytest.approx(outcome.sim_seconds)
+
+    def test_truncated_attempt_retried_and_accounted(self):
+        plan = FaultPlan(seed=3, link=LinkFaults(truncate_prob=1.0))
+        network, transport = self._transport(plan, max_attempts=2)
+        outcome = transport.deliver(0, SERVER, "local_model", b"x" * 100)
+        assert not outcome.delivered
+        assert outcome.n_truncated == 2
+        # Truncated attempts carry a strict prefix of the payload.
+        assert all(0 < m.n_bytes < 100 for m in network.messages)
+        assert outcome.bytes_sent == sum(m.n_bytes for m in network.messages)
+
+    def test_duplicates_counted_once_delivered(self):
+        plan = FaultPlan(seed=4, link=LinkFaults(duplicate_prob=1.0))
+        network, transport = self._transport(plan)
+        outcome = transport.deliver(0, SERVER, "local_model", b"x" * 50)
+        assert outcome.delivered
+        assert outcome.n_duplicates == 1
+        assert outcome.bytes_sent == 100
+        assert len(network.messages) == 2
+        assert transport.stats.n_duplicates == 1
+
+    def test_reorder_delays_arrival(self):
+        plan = FaultPlan(
+            seed=5, link=LinkFaults(reorder_prob=1.0, reorder_delay_s=3.0)
+        )
+        __, fast = self._transport(FaultPlan.none())
+        __, slow = self._transport(plan)
+        clean = fast.deliver(0, SERVER, "local_model", b"x" * 50)
+        delayed = slow.deliver(0, SERVER, "local_model", b"x" * 50)
+        assert delayed.delivered
+        assert delayed.arrival_s == pytest.approx(clean.arrival_s + 3.0)
+
+    def test_start_s_offsets_arrival(self):
+        __, transport = self._transport(FaultPlan.none())
+        outcome = transport.deliver(
+            0, SERVER, "local_model", b"x" * 50, start_s=10.0
+        )
+        assert outcome.arrival_s == pytest.approx(10.0 + outcome.sim_seconds)
+
+    def test_retry_sequence_deterministic_under_fixed_seed(self):
+        """Same plan + same message sequence ⇒ identical outcomes,
+        attempt counts and byte accounting, run after run."""
+        def run() -> list[tuple]:
+            network, transport = self._transport(
+                FaultPlan.chaos(0.5, seed=11), max_attempts=5
+            )
+            outcomes = []
+            for seq in range(10):
+                for site in range(3):
+                    outcome = transport.deliver(
+                        site, SERVER, "local_model", b"m" * (20 + seq)
+                    )
+                    outcomes.append(dataclasses.astuple(outcome))
+            outcomes.append(
+                tuple(m.n_bytes for m in network.messages)
+            )
+            return outcomes
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        def totals(seed: int) -> int:
+            __, transport = self._transport(FaultPlan.lossy_links(0.5, seed=seed))
+            for seq in range(20):
+                transport.deliver(0, SERVER, "local_model", b"x" * 30)
+            return transport.stats.n_dropped
+
+        assert totals(1) != totals(2)
+
+    def test_per_link_sequences_are_independent(self):
+        """Message sequence numbers are per (sender, receiver, kind), so
+        traffic on one link does not perturb another link's faults."""
+        plan = FaultPlan.lossy_links(0.5, seed=6)
+        __, lone = self._transport(plan)
+        lone_outcome = lone.deliver(1, SERVER, "local_model", b"x" * 30)
+
+        __, busy = self._transport(plan)
+        busy.deliver(0, SERVER, "local_model", b"x" * 30)
+        busy.deliver(2, SERVER, "other_kind", b"x" * 30)
+        busy_outcome = busy.deliver(1, SERVER, "local_model", b"x" * 30)
+        assert dataclasses.astuple(busy_outcome) == dataclasses.astuple(
+            lone_outcome
+        )
+
+    def test_link_identified_by_client_end(self):
+        """Broadcast faults key on the receiving site, so a per-site
+        override affects both directions of that site's link."""
+        plan = FaultPlan(
+            seed=7, link_overrides={2: LinkFaults(drop_prob=1.0)}
+        )
+        __, transport = self._transport(plan, max_attempts=1)
+        down_bad = transport.deliver(SERVER, 2, "global_model", b"g" * 10)
+        down_ok = transport.deliver(SERVER, 0, "global_model", b"g" * 10)
+        assert not down_bad.delivered
+        assert down_ok.delivered

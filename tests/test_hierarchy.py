@@ -164,3 +164,33 @@ class TestHierarchicalRun:
         for labels in report.labels_per_site():
             assert (labels >= -1).all()
             assert (labels >= 0).any()
+
+
+class TestHierarchyTrafficAccounting:
+    def test_network_stats_match_region_reports(self, workload):
+        """The network layer's per-kind accounting must agree with the
+        per-region bookkeeping the report carries."""
+        regions, __ = _regions(workload)
+        report = run_hierarchical_dbdc(
+            regions, eps_local=EPS, min_pts_local=MIN_PTS
+        )
+        by_kind = report.network.bytes_by_kind
+        assert set(by_kind) == {"local_model", "regional_model", "global_model"}
+        assert by_kind["local_model"] == sum(
+            r.bytes_up_sites for r in report.regions
+        )
+        assert by_kind["regional_model"] == sum(
+            r.bytes_up_region for r in report.regions
+        )
+        assert by_kind["regional_model"] == report.long_haul_bytes
+        assert sum(by_kind.values()) == report.network.bytes_total
+
+    def test_message_count_matches_topology(self, workload):
+        regions, __ = _regions(workload)
+        report = run_hierarchical_dbdc(
+            regions, eps_local=EPS, min_pts_local=MIN_PTS
+        )
+        n_sites = len(report.sites)
+        n_regions = len(report.regions)
+        # site->region uploads + region->top uploads + broadcasts.
+        assert report.network.n_messages == n_sites + n_regions + n_sites

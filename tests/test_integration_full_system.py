@@ -79,4 +79,7 @@ class TestFullSystem:
     def test_traffic_was_recorded(self, system):
         __, report = system
         assert report.network.n_messages == 8  # 4 up + 4 down
-        assert 0 < report.transmission_saving < 1
+        assert 0 < report.transmission_cost_ratio < 1
+        assert report.transmission_saving == pytest.approx(
+            1.0 - report.transmission_cost_ratio
+        )

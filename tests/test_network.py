@@ -51,3 +51,39 @@ class TestSimulatedNetwork:
         stats = SimulatedNetwork().stats()
         assert stats.n_messages == 0
         assert stats.bytes_total == 0
+
+    def test_bytes_by_kind_breakdown(self):
+        net = SimulatedNetwork()
+        net.send(0, SERVER, "local_model", b"a" * 10)
+        net.send(1, SERVER, "local_model", b"b" * 20)
+        net.send(SERVER, 0, "global_model", b"c" * 5)
+        stats = net.stats()
+        assert stats.bytes_by_kind == {"local_model": 30, "global_model": 5}
+        assert sum(stats.bytes_by_kind.values()) == stats.bytes_total
+
+    def test_empty_network_has_no_kinds(self):
+        assert SimulatedNetwork().stats().bytes_by_kind == {}
+
+    def test_concurrent_sends_all_recorded(self):
+        """send() is thread-safe: a parallel local phase must not lose
+        or corrupt accounting records."""
+        import threading
+
+        net = SimulatedNetwork()
+        n_threads, per_thread = 8, 200
+
+        def upload(site_id: int) -> None:
+            for __ in range(per_thread):
+                net.send(site_id, SERVER, "local_model", b"x" * 10)
+
+        threads = [
+            threading.Thread(target=upload, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = net.stats()
+        assert stats.n_messages == n_threads * per_thread
+        assert stats.bytes_upstream == n_threads * per_thread * 10
+        assert stats.bytes_by_kind == {"local_model": n_threads * per_thread * 10}

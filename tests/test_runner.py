@@ -41,9 +41,30 @@ class TestRun:
         assert stats.bytes_upstream > 0
         assert stats.bytes_downstream > 0
 
-    def test_transmission_saving_below_one(self, blobs, config):
+    def test_transmission_saving_complements_cost_ratio(self, blobs, config):
         report = DistributedRunner(config).run(blobs, n_sites=3)
-        assert 0 < report.transmission_saving < 1.0
+        cost = report.transmission_cost_ratio
+        assert cost == pytest.approx(
+            report.network.bytes_upstream / report.raw_bytes
+        )
+        assert 0 < cost < 1.0
+        assert report.transmission_saving == pytest.approx(1.0 - cost)
+        # Models are far cheaper than the raw data — the saving dominates.
+        assert report.transmission_saving > 0.5
+
+    def test_transmission_ratios_zero_for_empty_baseline(self, blobs, config):
+        report = DistributedRunner(config).run(blobs, n_sites=3)
+        report.raw_bytes = 0
+        assert report.transmission_cost_ratio == 0.0
+        assert report.transmission_saving == 0.0
+
+    def test_bytes_by_kind_covers_all_traffic(self, blobs, config):
+        report = DistributedRunner(config).run(blobs, n_sites=3)
+        by_kind = report.bytes_by_kind
+        assert set(by_kind) == {"local_model", "global_model"}
+        assert by_kind["local_model"] == report.network.bytes_upstream
+        assert by_kind["global_model"] == report.network.bytes_downstream
+        assert sum(by_kind.values()) == report.network.bytes_total
 
     def test_labels_realigned(self, blobs, config):
         report = DistributedRunner(config).run(blobs, n_sites=3)

@@ -97,3 +97,57 @@ class TestRounds:
         stats = scenario.run_round(_arrivals(2, [[5.0, 5.0]], seed=3))
         assert stats.n_global_clusters == 1
         assert stats.n_representatives >= 2  # at least one rep per site
+
+
+class TestScenarioTransport:
+    def _scenario(self, plan, **policy_kwargs):
+        from repro.distributed.network import SimulatedNetwork
+        from repro.faults.transport import ResilientTransport, TransportPolicy
+
+        network = SimulatedNetwork()
+        policy = TransportPolicy(**policy_kwargs) if policy_kwargs else None
+        return StreamingScenario(
+            2,
+            eps_local=1.0,
+            min_pts_local=4,
+            network=network,
+            transport=ResilientTransport(network, plan, policy),
+        )
+
+    def test_rejects_transport_on_foreign_network(self):
+        from repro.distributed.network import SimulatedNetwork
+        from repro.faults.plan import FaultPlan
+        from repro.faults.transport import ResilientTransport
+
+        with pytest.raises(ValueError, match="network"):
+            StreamingScenario(
+                2,
+                eps_local=1.0,
+                min_pts_local=4,
+                transport=ResilientTransport(SimulatedNetwork(), FaultPlan.none()),
+            )
+
+    def test_clean_transport_matches_plain_rounds(self):
+        from repro.faults.plan import FaultPlan
+
+        scenario = self._scenario(FaultPlan.none())
+        stats = scenario.run_round(_arrivals(2, [[0.0, 0.0]]))
+        assert stats.sites_transmitted == 2
+        assert stats.sites_failed == 0
+        assert stats.bytes_up > 0
+
+    def test_lost_upload_retried_next_round(self):
+        """A site whose upload exhausts its retry budget is served from
+        its stale model and re-transmits on the next round."""
+        from repro.faults.plan import FaultPlan
+
+        scenario = self._scenario(
+            FaultPlan.lossy_links(0.995, seed=5), max_attempts=2
+        )
+        first = scenario.run_round(_arrivals(2, [[0.0, 0.0]]))
+        assert first.sites_failed > 0
+        # Failed attempts still hit the wire and were accounted.
+        assert first.bytes_up > 0
+        # No arrivals, no drift — yet the failed sites retransmit.
+        quiet = scenario.run_round([np.zeros((0, 2)), np.zeros((0, 2))])
+        assert quiet.sites_transmitted + quiet.sites_failed == first.sites_failed
