@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli run --dataset A --sites 4 --scheme rep_kmeans
     python -m repro.cli bench           # hot-path perf -> BENCH_hotpaths.json
     python -m repro chaos               # fault sweep  -> BENCH_chaos.json
+    python -m repro trace               # traced run   -> TRACE_run.json
+    python -m repro trace --smoke       # CI gate: schema + reconciliation
 
 The figure commands print the same rows the paper reports;
 ``EXPERIMENTS.md`` records a captured run side by side with the paper's
@@ -67,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
             "run",
             "bench",
             "chaos",
+            "trace",
         ],
         help="experiments to regenerate",
     )
@@ -130,6 +133,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-out",
         default="BENCH_chaos.json",
         help="output JSON path for 'chaos'",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="'trace': tiny run + schema/reconciliation validation (CI gate)",
+    )
+    parser.add_argument(
+        "--fault-intensity",
+        type=float,
+        default=0.0,
+        help="'trace': run the degraded protocol under chaos(intensity)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default="TRACE_run.json",
+        help="output JSON path for 'trace'",
+    )
+    parser.add_argument(
+        "--chrome-out",
+        default=None,
+        help="'trace': also write Chrome trace_event JSON here",
     )
     return parser
 
@@ -291,6 +315,12 @@ def main(argv: list[str] | None = None) -> int:
             print(chaos_table(chaos_report).to_text())
             path = write_chaos_report(chaos_report, args.chaos_out)
             print(f"wrote {path}")
+        elif command == "trace":
+            from repro.perf.tracing import run_trace_command
+
+            status = run_trace_command(args)
+            if status:
+                return status
         print()
     return 0
 

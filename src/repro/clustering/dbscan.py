@@ -159,6 +159,7 @@ class DBSCAN:
         index: NeighborIndex | None = None,
         observer: DBSCANObserver | None = None,
         order: Sequence[int] | None = None,
+        metrics=None,
     ) -> DBSCANResult:
         """Cluster ``points``.
 
@@ -169,6 +170,11 @@ class DBSCAN:
             observer: optional event sink (see :class:`DBSCANObserver`).
             order: processing order of start objects; defaults to
                 ascending index.  Must be a permutation of ``range(n)``.
+            metrics: optional :class:`~repro.obs.MetricsRegistry`.  The
+                run records its counters (``dbscan.*``) and attaches the
+                registry to the index for the duration of the fit so the
+                per-query metrics (``index.*``) are captured too.  Labels
+                and query counts are identical with or without it.
 
         Returns:
             A :class:`DBSCANResult`.
@@ -189,26 +195,46 @@ class DBSCAN:
                 raise ValueError("order must be a permutation of range(n)")
         queries = 0
         next_cluster = 0
+        observe_index = metrics is not None and hasattr(index, "attach_metrics")
+        if observe_index:
+            index.attach_metrics(metrics)
         expand = self._expand_batched if self.batched else self._expand_sequential
-        for start in start_order:
-            if labels[start] != UNCLASSIFIED:
-                continue
-            neighbors = index.region_query(start, self.eps)
-            queries += 1
-            if neighbors.size < self.min_pts:
-                labels[start] = NOISE
-                continue
-            cluster_id = next_cluster
-            next_cluster += 1
-            if observer is not None:
-                observer.on_cluster_start(cluster_id, int(start))
-            labels[start] = cluster_id
-            core_mask[start] = True
-            if observer is not None:
-                observer.on_core_point(int(start), cluster_id, neighbors)
-            queries += expand(
-                index, neighbors, int(start), cluster_id, labels, core_mask, observer
-            )
+        try:
+            for start in start_order:
+                if labels[start] != UNCLASSIFIED:
+                    continue
+                neighbors = index.region_query(start, self.eps)
+                queries += 1
+                if neighbors.size < self.min_pts:
+                    labels[start] = NOISE
+                    continue
+                cluster_id = next_cluster
+                next_cluster += 1
+                if observer is not None:
+                    observer.on_cluster_start(cluster_id, int(start))
+                labels[start] = cluster_id
+                core_mask[start] = True
+                if observer is not None:
+                    observer.on_core_point(int(start), cluster_id, neighbors)
+                queries += expand(
+                    index,
+                    neighbors,
+                    int(start),
+                    cluster_id,
+                    labels,
+                    core_mask,
+                    observer,
+                    metrics,
+                )
+        finally:
+            if observe_index:
+                # Detached so the registry (which holds a lock) never
+                # rides along when the result's index is pickled.
+                index.detach_metrics()
+        if metrics is not None:
+            metrics.inc("dbscan.runs")
+            metrics.inc("dbscan.region_queries", queries)
+            metrics.observe("dbscan.clusters", next_cluster)
         return DBSCANResult(
             labels=labels,
             core_mask=core_mask,
@@ -227,6 +253,7 @@ class DBSCAN:
         labels: np.ndarray,
         core_mask: np.ndarray,
         observer: DBSCANObserver | None,
+        metrics=None,
     ) -> int:
         """Classic expansion: one region query per popped seed.
 
@@ -259,6 +286,7 @@ class DBSCAN:
         labels: np.ndarray,
         core_mask: np.ndarray,
         observer: DBSCANObserver | None,
+        metrics=None,
     ) -> int:
         """Frontier expansion: one batched region query per BFS round.
 
@@ -276,6 +304,8 @@ class DBSCAN:
         self._absorb_vectorized(neighbors, cluster_id, labels, frontier)
         queries = 0
         while frontier:
+            if metrics is not None:
+                metrics.observe("dbscan.frontier_batch_size", len(frontier))
             batch = index.region_query_batch(
                 np.asarray(frontier, dtype=np.intp), self.eps
             )
@@ -355,6 +385,7 @@ def dbscan(
     index: NeighborIndex | None = None,
     observer: DBSCANObserver | None = None,
     batched: bool = True,
+    metrics=None,
 ) -> DBSCANResult:
     """Functional one-shot wrapper around :class:`DBSCAN`.
 
@@ -368,9 +399,11 @@ def dbscan(
         observer: optional run observer.
         batched: frontier-at-a-time expansion (default) or the classic
             one-query-per-seed loop; results are bit-identical.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` (see
+            :meth:`DBSCAN.fit`).
 
     Returns:
         A :class:`DBSCANResult`.
     """
     runner = DBSCAN(eps, min_pts, metric=metric, index_kind=index_kind, batched=batched)
-    return runner.fit(points, index=index, observer=observer)
+    return runner.fit(points, index=index, observer=observer, metrics=metrics)

@@ -20,6 +20,7 @@ which the paper points out explicitly.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -181,11 +182,54 @@ def _run_local_dbscan(
     metric: Metric,
     index_kind: str,
     index: NeighborIndex | None,
+    tracer=None,
+    metrics=None,
 ) -> tuple[DBSCANResult, dict[int, np.ndarray]]:
     collector = SpecificCorePointCollector(points, eps, metric)
     runner = DBSCAN(eps, min_pts, metric=metric, index_kind=index_kind)
-    result = runner.fit(points, observer=collector, index=index)
+    if tracer is None and metrics is None:
+        result = runner.fit(points, observer=collector, index=index)
+        return result, collector.specific_core_points()
+    query_s0 = metrics.value("index.query_seconds") if metrics is not None else 0.0
+    start = time.perf_counter()
+    result = runner.fit(points, observer=collector, index=index, metrics=metrics)
+    end = time.perf_counter()
+    if tracer is not None:
+        span = tracer.record(
+            "dbscan",
+            wall_start=start,
+            wall_end=end,
+            attrs={
+                "n_points": int(points.shape[0]),
+                "n_region_queries": result.n_region_queries,
+                "n_clusters": result.n_clusters,
+            },
+        )
+        if metrics is not None and span is not None:
+            # A synthetic child summarizing the time spent inside the
+            # index: anchored at the dbscan start, its duration is the
+            # accumulated per-query seconds measured during this fit
+            # (clamped so it can never outgrow its parent).
+            query_seconds = metrics.value("index.query_seconds") - query_s0
+            tracer.record(
+                "region_queries",
+                wall_start=start,
+                wall_end=min(end, start + query_seconds),
+                attrs={"n_queries": result.n_region_queries},
+                parent=span,
+            )
     return result, collector.specific_core_points()
+
+
+def _record_derive_span(tracer, start: float, scheme: str, n: int) -> None:
+    """Close a ``derive_model`` span opened at ``start`` (no-op untraced)."""
+    if tracer is not None:
+        tracer.record(
+            "derive_model",
+            wall_start=start,
+            wall_end=time.perf_counter(),
+            attrs={"scheme": scheme, "n_representatives": n},
+        )
 
 
 def build_rep_scor_model(
@@ -197,6 +241,8 @@ def build_rep_scor_model(
     metric: str | Metric = "euclidean",
     index_kind: str = "auto",
     index: NeighborIndex | None = None,
+    tracer=None,
+    metrics=None,
 ) -> LocalClusteringOutcome:
     """Cluster a site's data and build its ``REP_Scor`` local model (§5.1).
 
@@ -208,6 +254,9 @@ def build_rep_scor_model(
         metric: distance metric.
         index_kind: neighbor index kind.
         index: optional pre-built index over ``points``.
+        tracer: optional :class:`~repro.obs.Tracer`; records ``dbscan``
+            (with a ``region_queries`` child) and ``derive_model`` spans.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`.
 
     Returns:
         A :class:`LocalClusteringOutcome` whose model holds, per local
@@ -216,8 +265,9 @@ def build_rep_scor_model(
     resolved = get_metric(metric)
     points = np.asarray(points, dtype=float)
     result, scor_map = _run_local_dbscan(
-        points, eps, min_pts, resolved, index_kind, index
+        points, eps, min_pts, resolved, index_kind, index, tracer, metrics
     )
+    derive_start = time.perf_counter() if tracer is not None else 0.0
     representatives = []
     for cid in sorted(scor_map):
         for s in scor_map[cid]:
@@ -229,6 +279,7 @@ def build_rep_scor_model(
                     local_cluster_id=cid,
                 )
             )
+    _record_derive_span(tracer, derive_start, "rep_scor", len(representatives))
     model = LocalModel(
         site_id=site_id,
         representatives=representatives,
@@ -250,6 +301,8 @@ def build_rep_kmeans_model(
     index_kind: str = "auto",
     index: NeighborIndex | None = None,
     max_iter: int = 100,
+    tracer=None,
+    metrics=None,
 ) -> LocalClusteringOutcome:
     """Cluster a site's data and build its ``REP_kMeans`` local model (§5.2).
 
@@ -266,8 +319,9 @@ def build_rep_kmeans_model(
     resolved = get_metric(metric)
     points = np.asarray(points, dtype=float)
     result, scor_map = _run_local_dbscan(
-        points, eps, min_pts, resolved, index_kind, index
+        points, eps, min_pts, resolved, index_kind, index, tracer, metrics
     )
+    derive_start = time.perf_counter() if tracer is not None else 0.0
     representatives = []
     for cid in sorted(scor_map):
         members = result.members(cid)
@@ -284,6 +338,7 @@ def build_rep_kmeans_model(
                     local_cluster_id=cid,
                 )
             )
+    _record_derive_span(tracer, derive_start, "rep_kmeans", len(representatives))
     model = LocalModel(
         site_id=site_id,
         representatives=representatives,
@@ -409,6 +464,8 @@ def build_local_model(
     metric: str | Metric = "euclidean",
     index_kind: str = "auto",
     index: NeighborIndex | None = None,
+    tracer=None,
+    metrics=None,
 ) -> LocalClusteringOutcome:
     """Dispatch to the configured local-model scheme.
 
@@ -421,6 +478,8 @@ def build_local_model(
         metric: distance metric.
         index_kind: neighbor index kind.
         index: optional pre-built index.
+        tracer: optional :class:`~repro.obs.Tracer`.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`.
 
     Returns:
         A :class:`LocalClusteringOutcome`.
@@ -437,6 +496,8 @@ def build_local_model(
             metric=metric,
             index_kind=index_kind,
             index=index,
+            tracer=tracer,
+            metrics=metrics,
         )
     if scheme == "rep_kmeans":
         return build_rep_kmeans_model(
@@ -447,6 +508,8 @@ def build_local_model(
             metric=metric,
             index_kind=index_kind,
             index=index,
+            tracer=tracer,
+            metrics=metrics,
         )
     raise ValueError(
         f"unknown local model scheme {scheme!r}; known: {LOCAL_MODEL_SCHEMES}"

@@ -35,6 +35,7 @@ from repro.distributed.server import CentralServer
 from repro.distributed.site import ClientSite
 from repro.faults.plan import FaultPlan
 from repro.faults.transport import ResilientTransport, TransportPolicy, TransportStats
+from repro.obs import MetricsRegistry, Span, Tracer, trace_document
 
 __all__ = [
     "DistributedRunConfig",
@@ -56,6 +57,55 @@ def _relabel_task(item: tuple[ClientSite, GlobalModel]):
     """Worker task: a site's pure relabel compute (picklable)."""
     site, model = item
     return site.compute_relabel(model)
+
+
+def _observed_local_task(site: ClientSite):
+    """Observed worker task: local clustering under a worker-local tracer
+    and metrics registry, whose exports ride back with the result so the
+    driver can graft/merge them (works for thread *and* process pools)."""
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with tracer.span(
+        f"site[{site.site_id}].local",
+        attrs={"site": site.site_id, "n_objects": int(site.points.shape[0])},
+    ):
+        outcome, wall_s, cpu_s = site.compute_local_clustering(
+            tracer=tracer, metrics=metrics
+        )
+    return outcome, wall_s, cpu_s, tracer.export_spans(origin=0.0), metrics.to_dict()
+
+
+def _observed_relabel_task(item: tuple[ClientSite, GlobalModel]):
+    """Observed worker task: relabel with a worker-local tracer."""
+    site, model = item
+    tracer = Tracer()
+    with tracer.span(
+        f"site[{site.site_id}].relabel", attrs={"site": site.site_id}
+    ):
+        labels, stats, wall_s, cpu_s = site.compute_relabel(model)
+    return labels, stats, wall_s, cpu_s, tracer.export_spans(origin=0.0)
+
+
+def _shift_span_dict(span: dict, delta: float) -> None:
+    """Shift an exported span tree's wall timestamps by ``delta``."""
+    span["wall_start"] += delta
+    span["wall_end"] += delta
+    for child in span.get("children", []):
+        _shift_span_dict(child, delta)
+
+
+def _graft_worker_spans(parent: Span, exported: list[dict]) -> None:
+    """Attach worker-exported span trees under ``parent``.
+
+    Thread workers share the driver's ``perf_counter`` clock, so their
+    timestamps land inside the parent window as-is.  Process workers have
+    their own clock epoch; a span starting outside the parent window is
+    re-anchored at the window start (durations are preserved).
+    """
+    for data in exported:
+        if not parent.wall_start <= data["wall_start"] <= parent.wall_end:
+            _shift_span_dict(data, parent.wall_start - data["wall_start"])
+        parent.children.append(Span.from_dict(data))
 
 
 @dataclass(frozen=True)
@@ -144,21 +194,39 @@ class RoundPolicy:
 class DistributedRunReport:
     """Everything a distributed run produces.
 
+    Every timing field names its clock: ``*_wall_seconds`` is real
+    elapsed ``perf_counter`` time on the driver or a worker,
+    ``*_cpu_seconds`` is accumulated per-thread CPU time, and
+    ``*_sim_seconds`` is the deterministic simulated protocol clock
+    (the one ``RoundPolicy`` deadlines and transport delays run on).
+    The legacy un-clocked names (``max_local_seconds`` …) remain as
+    read-only aliases.
+
     Attributes:
         sites: the client sites (holding their labels and stats).
         global_model: the broadcast model.
         network: traffic statistics.
         raw_bytes: what centralizing the raw data would have transmitted.
         raw_sim_seconds: simulated transfer time of the raw data.
-        max_local_seconds: slowest site's local phase.
-        global_seconds: server clustering time.
+        max_local_wall_seconds: slowest site's local phase (wall clock,
+            measured on whichever worker ran the site).
+        global_wall_seconds: server clustering time (wall clock).
         assignment: per original object, its site (when partitioned by the
             runner; ``None`` when sites were handed in pre-split).
         local_wall_seconds: actual elapsed wall time of the whole local
-            phase on the driver (= sum of sites when sequential, ideally
-            the max when parallel).
+            compute fan-out on the driver (= sum of sites when
+            sequential, ideally the max when parallel).
+        local_cpu_seconds: CPU time summed over all sites' local phases —
+            unlike wall time, this is additive under parallelism.
         relabel_wall_seconds: actual elapsed wall time of the step-4
             relabel fan-out.
+        relabel_cpu_seconds: CPU time summed over all sites' relabels.
+        local_sim_seconds: simulated time at which the last *admitted*
+            local model arrived at the server (0 on the fault-free path,
+            which has no simulated timeline).
+        round_sim_seconds: simulated time at which the round's last
+            transport activity finished — uploads, retries and broadcast
+            included (0 on the fault-free path).
         participating_sites: sites whose local model the server admitted
             into the global model, in arrival order.
         failed_sites: sites that missed some part of the round (crashed,
@@ -170,6 +238,9 @@ class DistributedRunReport:
             the server's quorum was missed.
         transport_stats: detailed transport bookkeeping (``None`` for
             fault-free runs, which bypass the resilient transport).
+        trace: the run's trace document (spans + metrics, see
+            ``docs/observability.md``) when the runner was handed a
+            tracer; ``None`` otherwise.
     """
 
     sites: list[ClientSite]
@@ -177,21 +248,41 @@ class DistributedRunReport:
     network: NetworkStats
     raw_bytes: int
     raw_sim_seconds: float
-    max_local_seconds: float
-    global_seconds: float
+    max_local_wall_seconds: float
+    global_wall_seconds: float
     assignment: np.ndarray | None = None
     local_wall_seconds: float = 0.0
+    local_cpu_seconds: float = 0.0
     relabel_wall_seconds: float = 0.0
+    relabel_cpu_seconds: float = 0.0
+    local_sim_seconds: float = 0.0
+    round_sim_seconds: float = 0.0
     participating_sites: list[int] = field(default_factory=list)
     failed_sites: list[int] = field(default_factory=list)
     retries: int = 0
     degraded: bool = False
     transport_stats: TransportStats | None = None
+    trace: dict | None = None
+
+    @property
+    def max_local_seconds(self) -> float:
+        """Back-compat alias for :attr:`max_local_wall_seconds`."""
+        return self.max_local_wall_seconds
+
+    @property
+    def global_seconds(self) -> float:
+        """Back-compat alias for :attr:`global_wall_seconds`."""
+        return self.global_wall_seconds
 
     @property
     def overall_seconds(self) -> float:
-        """The paper's overall runtime (max local + global)."""
-        return self.max_local_seconds + self.global_seconds
+        """The paper's overall runtime (max local + global, wall clock)."""
+        return self.max_local_wall_seconds + self.global_wall_seconds
+
+    @property
+    def overall_wall_seconds(self) -> float:
+        """Clock-named alias for :attr:`overall_seconds`."""
+        return self.overall_seconds
 
     @property
     def n_objects(self) -> int:
@@ -288,6 +379,13 @@ class DistributedRunner:
         fault_plan: faults to inject (``None`` or inactive = clean run).
         transport_policy: retry/backoff parameters for the fault path.
         round_policy: server deadline/quorum policy for the fault path.
+        tracer: optional :class:`~repro.obs.Tracer`.  When given, the run
+            produces the full span tree (``run > local_phase > site[i]
+            …``) and the report carries the trace document.  ``None``
+            (the default) leaves the hot path untouched: no spans, no
+            allocations, bit-identical output.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` threaded
+            through the index layer, DBSCAN, server and transport.
     """
 
     def __init__(
@@ -298,12 +396,16 @@ class DistributedRunner:
         fault_plan: FaultPlan | None = None,
         transport_policy: TransportPolicy | None = None,
         round_policy: RoundPolicy | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config
         self.network = network or SimulatedNetwork()
         self.fault_plan = fault_plan
         self.transport_policy = transport_policy or TransportPolicy()
         self.round_policy = round_policy or RoundPolicy()
+        self.tracer = tracer
+        self.metrics = metrics
 
     def _make_sites(self, site_points: list[np.ndarray]) -> list[ClientSite]:
         return [
@@ -357,34 +459,116 @@ class DistributedRunner:
     ) -> DistributedRunReport:
         """The paper's protocol verbatim: every site answers, every
         message arrives."""
+        tracer = self.tracer
+        metrics = self.metrics
+        observing = tracer is not None or metrics is not None
         server = CentralServer(
             self.config.eps_global,
             metric=self.config.metric,
             index_kind=self.config.index_kind,
+            metrics=metrics,
         )
+        run_start = time.perf_counter()
         # Steps 1+2: local clustering (possibly parallel) and model
         # transmission.  The compute fans out; results are applied and sent
         # in deterministic site order so reports match sequential runs.
-        wall_start = time.perf_counter()
-        local_results = self._map_over(_local_clustering_task, sites)
-        local_wall_seconds = time.perf_counter() - wall_start
-        for site, (outcome, seconds) in zip(sites, local_results):
-            model = site.apply_local_outcome(outcome, seconds)
-            self.network.send(site.site_id, SERVER, "local_model", model.to_bytes())
+        local_task = _observed_local_task if observing else _local_clustering_task
+        local_start = time.perf_counter()
+        local_results = self._map_over(local_task, sites)
+        compute_end = time.perf_counter()
+        local_wall_seconds = compute_end - local_start
+        local_cpu_seconds = 0.0
+        site_local_spans: list[dict] = []
+        upload_entries: list[tuple] = []
+        for site, result in zip(sites, local_results):
+            if observing:
+                outcome, wall_s, cpu_s, spans, worker_metrics = result
+                if metrics is not None:
+                    metrics.merge(worker_metrics)
+                site_local_spans.extend(spans)
+            else:
+                outcome, wall_s, cpu_s = result
+            local_cpu_seconds += cpu_s
+            model = site.apply_local_outcome(outcome, wall_s, cpu_s)
+            send_start = time.perf_counter() if tracer is not None else 0.0
+            message = self.network.send(
+                site.site_id, SERVER, "local_model", model.to_bytes()
+            )
+            if tracer is not None:
+                upload_entries.append(
+                    (
+                        send_start,
+                        time.perf_counter(),
+                        0.0,
+                        message.sim_seconds,
+                        {"site": site.site_id, "bytes": message.n_bytes},
+                    )
+                )
             server.receive_local_model(model)
+        upload_end = time.perf_counter()
         # Step 3: global model.
+        global_start = time.perf_counter()
         global_model = server.build()
         # Broadcast + step 4: every site relabels (possibly parallel).
         payload = global_model.to_bytes()
+        broadcast_start = time.perf_counter()
+        broadcast_entries: list[tuple] = []
         for site in sites:
-            self.network.send(SERVER, site.site_id, "global_model", payload)
-        wall_start = time.perf_counter()
+            send_start = time.perf_counter() if tracer is not None else 0.0
+            message = self.network.send(
+                SERVER, site.site_id, "global_model", payload
+            )
+            if tracer is not None:
+                broadcast_entries.append(
+                    (
+                        send_start,
+                        time.perf_counter(),
+                        0.0,
+                        message.sim_seconds,
+                        {"site": site.site_id, "bytes": message.n_bytes},
+                    )
+                )
+        broadcast_end = time.perf_counter()
+        relabel_task = _observed_relabel_task if observing else _relabel_task
+        relabel_start = time.perf_counter()
         relabel_results = self._map_over(
-            _relabel_task, [(site, global_model) for site in sites]
+            relabel_task, [(site, global_model) for site in sites]
         )
-        relabel_wall_seconds = time.perf_counter() - wall_start
-        for site, (global_labels, stats, seconds) in zip(sites, relabel_results):
-            site.apply_relabel(global_labels, stats, seconds)
+        relabel_end = time.perf_counter()
+        relabel_wall_seconds = relabel_end - relabel_start
+        relabel_cpu_seconds = 0.0
+        site_relabel_spans: list[dict] = []
+        for site, result in zip(sites, relabel_results):
+            if observing:
+                global_labels, stats, wall_s, cpu_s, spans = result
+                site_relabel_spans.extend(spans)
+            else:
+                global_labels, stats, wall_s, cpu_s = result
+            relabel_cpu_seconds += cpu_s
+            site.apply_relabel(global_labels, stats, wall_s, cpu_s)
+        run_end = time.perf_counter()
+
+        if metrics is not None:
+            metrics.set("runner.participating_sites", len(sites))
+            metrics.set("runner.failed_sites", 0)
+        trace = None
+        if tracer is not None:
+            self._record_run_spans(
+                mode="fault_free",
+                n_sites=len(sites),
+                run_window=(run_start, run_end),
+                local_window=(local_start, compute_end, upload_end),
+                site_local_spans=site_local_spans,
+                upload_entries=upload_entries,
+                global_window=(global_start, server.global_seconds),
+                n_representatives=len(global_model),
+                broadcast_window=(broadcast_start, broadcast_end),
+                broadcast_entries=broadcast_entries,
+                relabel_window=(relabel_start, relabel_end, run_end),
+                site_relabel_spans=site_relabel_spans,
+            )
+            trace = trace_document(tracer, metrics)
+
         raw_bytes, raw_seconds = self._raw_cost(site_points)
         return DistributedRunReport(
             sites=sites,
@@ -392,13 +576,127 @@ class DistributedRunner:
             network=self.network.stats(),
             raw_bytes=raw_bytes,
             raw_sim_seconds=raw_seconds,
-            max_local_seconds=max(site.times.local_seconds for site in sites),
-            global_seconds=server.global_seconds,
+            max_local_wall_seconds=max(
+                site.times.local_wall_seconds for site in sites
+            ),
+            global_wall_seconds=server.global_seconds,
             assignment=assignment,
             local_wall_seconds=local_wall_seconds,
+            local_cpu_seconds=local_cpu_seconds,
             relabel_wall_seconds=relabel_wall_seconds,
+            relabel_cpu_seconds=relabel_cpu_seconds,
             participating_sites=[site.site_id for site in sites],
+            trace=trace,
         )
+
+    def _record_run_spans(
+        self,
+        *,
+        mode: str,
+        n_sites: int,
+        run_window: tuple[float, float],
+        local_window: tuple[float, float, float],
+        site_local_spans: list[dict],
+        upload_entries: list[tuple],
+        global_window: tuple[float, float],
+        n_representatives: int,
+        broadcast_window: tuple[float, float],
+        broadcast_entries: list[tuple],
+        relabel_window: tuple[float, float, float],
+        site_relabel_spans: list[dict],
+        fallback_window: tuple[float, float] | None = None,
+    ) -> None:
+        """Assemble the run's span tree post-hoc from the *same*
+        ``perf_counter`` reads that produced the report's timing fields,
+        so trace and report reconcile exactly.
+
+        ``local_window`` / ``relabel_window`` are ``(start, compute_end,
+        phase_end)``; ``global_window`` is ``(start, duration)`` — the
+        duration is the server's own measurement.  Message entries are
+        ``(wall_start, wall_end, sim_start, sim_end, attrs)`` tuples.
+        """
+        tracer = self.tracer
+        run_span = tracer.record(
+            "run",
+            wall_start=run_window[0],
+            wall_end=run_window[1],
+            attrs={"mode": mode, "n_sites": n_sites},
+        )
+        local_start, compute_end, upload_end = local_window
+        local_span = tracer.record(
+            "local_phase",
+            wall_start=local_start,
+            wall_end=upload_end,
+            parent=run_span,
+        )
+        compute_span = tracer.record(
+            "compute",
+            wall_start=local_start,
+            wall_end=compute_end,
+            parent=local_span,
+        )
+        _graft_worker_spans(compute_span, site_local_spans)
+        upload_span = tracer.record(
+            "upload",
+            wall_start=compute_end,
+            wall_end=upload_end,
+            parent=local_span,
+        )
+        for w0, w1, s0, s1, attrs in upload_entries:
+            tracer.record(
+                "send[local_model]",
+                wall_start=w0,
+                wall_end=w1,
+                sim_start=s0,
+                sim_end=s1,
+                attrs=attrs,
+                parent=upload_span,
+            )
+        global_start, global_seconds = global_window
+        tracer.record(
+            "global_phase",
+            wall_start=global_start,
+            wall_end=global_start + global_seconds,
+            attrs={"n_representatives": n_representatives},
+            parent=run_span,
+        )
+        broadcast_span = tracer.record(
+            "broadcast",
+            wall_start=broadcast_window[0],
+            wall_end=broadcast_window[1],
+            parent=run_span,
+        )
+        for w0, w1, s0, s1, attrs in broadcast_entries:
+            tracer.record(
+                "send[global_model]",
+                wall_start=w0,
+                wall_end=w1,
+                sim_start=s0,
+                sim_end=s1,
+                attrs=attrs,
+                parent=broadcast_span,
+            )
+        relabel_start, relabel_compute_end, relabel_end = relabel_window
+        relabel_span = tracer.record(
+            "relabel",
+            wall_start=relabel_start,
+            wall_end=relabel_end,
+            parent=run_span,
+        )
+        relabel_compute = tracer.record(
+            "compute",
+            wall_start=relabel_start,
+            wall_end=relabel_compute_end,
+            parent=relabel_span,
+        )
+        _graft_worker_spans(relabel_compute, site_relabel_spans)
+        if fallback_window is not None:
+            tracer.record(
+                "degraded_fallback",
+                wall_start=fallback_window[0],
+                wall_end=fallback_window[1],
+                parent=run_span,
+            )
 
     def _run_degraded(
         self,
@@ -411,7 +709,12 @@ class DistributedRunner:
         the round could not complete."""
         plan = self.fault_plan
         policy = self.round_policy
-        transport = ResilientTransport(self.network, plan, self.transport_policy)
+        tracer = self.tracer
+        metrics = self.metrics
+        observing = tracer is not None or metrics is not None
+        transport = ResilientTransport(
+            self.network, plan, self.transport_policy, metrics=metrics
+        )
         server = CentralServer(
             self.config.eps_global,
             metric=self.config.metric,
@@ -419,11 +722,14 @@ class DistributedRunner:
             deadline_s=policy.deadline_s,
             quorum=policy.quorum,
             expected_sites=len(sites),
+            metrics=metrics,
         )
         behaviors = {site.site_id: plan.resolve_site(site.site_id) for site in sites}
         failed: dict[int, str] = {}
         retries = 0
+        round_sim_end = 0.0
 
+        run_start = time.perf_counter()
         # Steps 1+2 over the sites that survive to compute at all.
         computing = [
             site
@@ -433,15 +739,29 @@ class DistributedRunner:
         for site in sites:
             if behaviors[site.site_id].crashes_before_local:
                 failed[site.site_id] = "crash_before_local"
-        wall_start = time.perf_counter()
-        local_results = self._map_over(_local_clustering_task, computing)
-        local_wall_seconds = time.perf_counter() - wall_start
+        local_task = _observed_local_task if observing else _local_clustering_task
+        local_start = time.perf_counter()
+        local_results = self._map_over(local_task, computing)
+        compute_end = time.perf_counter()
+        local_wall_seconds = compute_end - local_start
+        local_cpu_seconds = 0.0
+        site_local_spans: list[dict] = []
+        upload_entries: list[tuple] = []
         deliveries: list[tuple[float, int, object]] = []
-        for site, (outcome, seconds) in zip(computing, local_results):
-            model = site.apply_local_outcome(outcome, seconds)
+        for site, result in zip(computing, local_results):
+            if observing:
+                outcome, wall_s, cpu_s, spans, worker_metrics = result
+                if metrics is not None:
+                    metrics.merge(worker_metrics)
+                site_local_spans.extend(spans)
+            else:
+                outcome, wall_s, cpu_s = result
+            local_cpu_seconds += cpu_s
+            model = site.apply_local_outcome(outcome, wall_s, cpu_s)
             sim_local = policy.sim_local_seconds(
                 site.points.shape[0], behaviors[site.site_id].slowdown
             )
+            send_start = time.perf_counter() if tracer is not None else 0.0
             delivery = transport.deliver(
                 site.site_id,
                 SERVER,
@@ -449,11 +769,28 @@ class DistributedRunner:
                 model.to_bytes(),
                 start_s=sim_local,
             )
+            if tracer is not None:
+                upload_entries.append(
+                    (
+                        send_start,
+                        time.perf_counter(),
+                        sim_local,
+                        delivery.arrival_s,
+                        {
+                            "site": site.site_id,
+                            "bytes": delivery.bytes_sent,
+                            "delivered": delivery.delivered,
+                            "attempts": delivery.attempts,
+                        },
+                    )
+                )
             retries += delivery.retries
+            round_sim_end = max(round_sim_end, delivery.arrival_s)
             if delivery.delivered:
                 deliveries.append((delivery.arrival_s, site.site_id, model))
             else:
                 failed[site.site_id] = "link_failed"
+        upload_end = time.perf_counter()
 
         # Step 3: the server admits models in simulated-arrival order and
         # builds the global model from whatever made the deadline.
@@ -461,13 +798,14 @@ class DistributedRunner:
         for arrival_s, site_id, model in deliveries:
             if not server.receive_local_model(model, arrival_s=arrival_s):
                 failed[site_id] = "deadline_missed"
+        global_start = time.perf_counter()
         global_model = server.build(allow_empty=True)
         participating = server.admitted_site_ids
         participating_set = set(participating)
 
         # Broadcast to the admitted sites that are still up; everyone else
         # keeps local labels.  The broadcast leaves once the server built
-        # the model — after the last admitted arrival.
+        # the model — after the last admitted arrival (simulated clock).
         broadcast_start = max(
             (
                 arrival_s
@@ -476,35 +814,75 @@ class DistributedRunner:
             ),
             default=0.0,
         )
+        local_sim_seconds = broadcast_start
         payload = global_model.to_bytes()
+        broadcast_wall_start = time.perf_counter()
+        broadcast_entries: list[tuple] = []
         receivers: list[ClientSite] = []
         for site in sites:
             site_id = site.site_id
             if site_id not in participating_set:
                 continue
-            if behaviors[site_id].crashes_after_send:
-                failed[site_id] = "crash_after_send"
-                continue
+            # A crash-after-send site still gets its broadcast attempts —
+            # the server is not omniscient — they just can never land.
+            receiver_down = behaviors[site_id].crashes_after_send
+            send_start = time.perf_counter() if tracer is not None else 0.0
             delivery = transport.deliver(
-                SERVER, site_id, "global_model", payload, start_s=broadcast_start
+                SERVER,
+                site_id,
+                "global_model",
+                payload,
+                start_s=broadcast_start,
+                receiver_down=receiver_down,
             )
+            if tracer is not None:
+                broadcast_entries.append(
+                    (
+                        send_start,
+                        time.perf_counter(),
+                        broadcast_start,
+                        delivery.arrival_s,
+                        {
+                            "site": site_id,
+                            "bytes": delivery.bytes_sent,
+                            "delivered": delivery.delivered,
+                            "attempts": delivery.attempts,
+                        },
+                    )
+                )
             retries += delivery.retries
-            if delivery.delivered:
+            round_sim_end = max(round_sim_end, delivery.arrival_s)
+            if receiver_down:
+                failed[site_id] = "crash_after_send"
+            elif delivery.delivered:
                 receivers.append(site)
             else:
                 failed[site_id] = "broadcast_lost"
+        broadcast_wall_end = time.perf_counter()
 
         # Step 4 on the sites that actually hold the global model.
-        wall_start = time.perf_counter()
+        relabel_task = _observed_relabel_task if observing else _relabel_task
+        relabel_start = time.perf_counter()
         relabel_results = self._map_over(
-            _relabel_task, [(site, global_model) for site in receivers]
+            relabel_task, [(site, global_model) for site in receivers]
         )
-        relabel_wall_seconds = time.perf_counter() - wall_start
-        for site, (global_labels, stats, seconds) in zip(receivers, relabel_results):
-            site.apply_relabel(global_labels, stats, seconds)
+        relabel_compute_end = time.perf_counter()
+        relabel_wall_seconds = relabel_compute_end - relabel_start
+        relabel_cpu_seconds = 0.0
+        site_relabel_spans: list[dict] = []
+        for site, result in zip(receivers, relabel_results):
+            if observing:
+                global_labels, stats, wall_s, cpu_s, spans = result
+                site_relabel_spans.extend(spans)
+            else:
+                global_labels, stats, wall_s, cpu_s = result
+            relabel_cpu_seconds += cpu_s
+            site.apply_relabel(global_labels, stats, wall_s, cpu_s)
+        relabel_end = time.perf_counter()
 
         # Degraded fallback, in deterministic site order: fresh global ids
         # beyond everything the global model handed out.
+        fallback_start = time.perf_counter()
         next_id = (
             int(global_model.global_labels.max()) + 1 if len(global_model) else 0
         )
@@ -513,6 +891,32 @@ class DistributedRunner:
                 next_id = site.apply_degraded_labels(
                     failed[site.site_id], id_offset=next_id
                 )
+        run_end = time.perf_counter()
+
+        degraded = bool(failed) or not server.quorum_met
+        if metrics is not None:
+            metrics.set("runner.participating_sites", len(participating))
+            metrics.set("runner.failed_sites", len(failed))
+            if degraded:
+                metrics.inc("runner.degraded_rounds")
+        trace = None
+        if tracer is not None:
+            self._record_run_spans(
+                mode="degraded",
+                n_sites=len(sites),
+                run_window=(run_start, run_end),
+                local_window=(local_start, compute_end, upload_end),
+                site_local_spans=site_local_spans,
+                upload_entries=upload_entries,
+                global_window=(global_start, server.global_seconds),
+                n_representatives=len(global_model),
+                broadcast_window=(broadcast_wall_start, broadcast_wall_end),
+                broadcast_entries=broadcast_entries,
+                relabel_window=(relabel_start, relabel_compute_end, relabel_end),
+                site_relabel_spans=site_relabel_spans,
+                fallback_window=(fallback_start, run_end),
+            )
+            trace = trace_document(tracer, metrics)
 
         raw_bytes, raw_seconds = self._raw_cost(site_points)
         return DistributedRunReport(
@@ -521,16 +925,23 @@ class DistributedRunner:
             network=self.network.stats(),
             raw_bytes=raw_bytes,
             raw_sim_seconds=raw_seconds,
-            max_local_seconds=max(site.times.local_seconds for site in sites),
-            global_seconds=server.global_seconds,
+            max_local_wall_seconds=max(
+                site.times.local_wall_seconds for site in sites
+            ),
+            global_wall_seconds=server.global_seconds,
             assignment=assignment,
             local_wall_seconds=local_wall_seconds,
+            local_cpu_seconds=local_cpu_seconds,
             relabel_wall_seconds=relabel_wall_seconds,
+            relabel_cpu_seconds=relabel_cpu_seconds,
+            local_sim_seconds=local_sim_seconds,
+            round_sim_seconds=round_sim_end,
             participating_sites=participating,
             failed_sites=sorted(failed),
             retries=retries,
-            degraded=bool(failed) or not server.quorum_met,
+            degraded=degraded,
             transport_stats=transport.stats,
+            trace=trace,
         )
 
     def _map_over(self, task: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:

@@ -50,6 +50,8 @@ class CentralServer:
             for the round to count as healthy (``0`` = any).
         expected_sites: how many sites should report (``None`` → inferred
             from the models seen, admitted or rejected).
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; admission
+            decisions and the global build record ``server.*`` metrics.
     """
 
     def __init__(
@@ -61,6 +63,7 @@ class CentralServer:
         deadline_s: float | None = None,
         quorum: float = 0.0,
         expected_sites: int | None = None,
+        metrics=None,
     ) -> None:
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be positive, got {deadline_s}")
@@ -72,8 +75,10 @@ class CentralServer:
         self.deadline_s = deadline_s
         self.quorum = quorum
         self.expected_sites = expected_sites
+        self.metrics = metrics
         self.local_models: list[LocalModel] = []
         self.rejected_models: list[LocalModel] = []
+        # Wall-clock seconds of the global DBSCAN (perf_counter delta).
         self.global_seconds = 0.0
         self._model: GlobalModel | None = None
         self._stats: GlobalClusteringStats | None = None
@@ -93,8 +98,15 @@ class CentralServer:
         """
         if self.deadline_s is not None and arrival_s > self.deadline_s:
             self.rejected_models.append(model)
+            if self.metrics is not None:
+                self.metrics.inc("server.models_rejected")
             return False
         self.local_models.append(model)
+        if self.metrics is not None:
+            self.metrics.inc("server.models_admitted")
+            self.metrics.observe(
+                "server.representatives_per_model", len(model.representatives)
+            )
         return True
 
     @property
@@ -151,6 +163,12 @@ class CentralServer:
             index_kind=self.index_kind,
         )
         self.global_seconds = time.perf_counter() - start
+        if self.metrics is not None:
+            self.metrics.inc("server.builds")
+            self.metrics.set("server.representatives", len(self._model))
+            self.metrics.set(
+                "server.global_build_wall_seconds", self.global_seconds
+            )
         return self._model
 
     @property

@@ -24,8 +24,25 @@ __all__ = ["ClientSite"]
 
 @dataclass
 class _SitePhaseTimes:
-    local_seconds: float = 0.0
-    relabel_seconds: float = 0.0
+    """Per-site phase timings, clock-named: ``*_wall_seconds`` is elapsed
+    ``perf_counter`` time, ``*_cpu_seconds`` is this-thread CPU time
+    (``time.thread_time``) — the two diverge whenever the phase ran in a
+    contended worker pool."""
+
+    local_wall_seconds: float = 0.0
+    local_cpu_seconds: float = 0.0
+    relabel_wall_seconds: float = 0.0
+    relabel_cpu_seconds: float = 0.0
+
+    @property
+    def local_seconds(self) -> float:
+        """Back-compat alias for :attr:`local_wall_seconds`."""
+        return self.local_wall_seconds
+
+    @property
+    def relabel_seconds(self) -> float:
+        """Back-compat alias for :attr:`relabel_wall_seconds`."""
+        return self.relabel_wall_seconds
 
 
 class ClientSite:
@@ -74,13 +91,22 @@ class ClientSite:
     # processes* (where mutations of a pickled copy would be lost) and
     # apply the returned results to the driver's site objects.
     # ------------------------------------------------------------------
-    def compute_local_clustering(self) -> tuple[LocalClusteringOutcome, float]:
+    def compute_local_clustering(
+        self, *, tracer=None, metrics=None
+    ) -> tuple[LocalClusteringOutcome, float, float]:
         """Pure part of steps 1+2: cluster locally, derive the local model.
 
+        Args:
+            tracer: optional :class:`~repro.obs.Tracer` receiving the
+                ``dbscan`` / ``derive_model`` spans of this site.
+            metrics: optional :class:`~repro.obs.MetricsRegistry`.
+
         Returns:
-            ``(outcome, seconds)`` — nothing is stored on the site.
+            ``(outcome, wall_seconds, cpu_seconds)`` — elapsed wall time
+            and this-thread CPU time; nothing is stored on the site.
         """
-        start = time.perf_counter()
+        wall_start = time.perf_counter()
+        cpu_start = time.thread_time()
         outcome = build_local_model(
             self.points,
             self.eps_local,
@@ -89,15 +115,25 @@ class ClientSite:
             site_id=self.site_id,
             metric=self.metric,
             index_kind=self.index_kind,
+            tracer=tracer,
+            metrics=metrics,
         )
-        return outcome, time.perf_counter() - start
+        return (
+            outcome,
+            time.perf_counter() - wall_start,
+            time.thread_time() - cpu_start,
+        )
 
     def apply_local_outcome(
-        self, outcome: LocalClusteringOutcome, seconds: float
+        self,
+        outcome: LocalClusteringOutcome,
+        wall_seconds: float,
+        cpu_seconds: float = 0.0,
     ) -> LocalModel:
         """Store a local clustering outcome and return the model to ship."""
         self._outcome = outcome
-        self.times.local_seconds = seconds
+        self.times.local_wall_seconds = wall_seconds
+        self.times.local_cpu_seconds = cpu_seconds
         return outcome.model
 
     def run_local_clustering(self) -> LocalModel:
@@ -110,21 +146,23 @@ class ClientSite:
 
     def compute_relabel(
         self, model: GlobalModel
-    ) -> tuple[np.ndarray, RelabelStats, float]:
+    ) -> tuple[np.ndarray, RelabelStats, float, float]:
         """Pure part of step 4: compute global labels for this site.
 
         Args:
             model: the broadcast global model.
 
         Returns:
-            ``(global_labels, stats, seconds)`` — nothing is stored.
+            ``(global_labels, stats, wall_seconds, cpu_seconds)`` —
+            nothing is stored.
 
         Raises:
             RuntimeError: when called before :meth:`run_local_clustering`.
         """
         if self._outcome is None:
             raise RuntimeError("run_local_clustering must run before relabeling")
-        start = time.perf_counter()
+        wall_start = time.perf_counter()
+        cpu_start = time.thread_time()
         global_labels, stats = relabel_site(
             self.points,
             self._outcome.clustering.labels,
@@ -132,15 +170,25 @@ class ClientSite:
             site_id=self.site_id,
             metric=self.metric,
         )
-        return global_labels, stats, time.perf_counter() - start
+        return (
+            global_labels,
+            stats,
+            time.perf_counter() - wall_start,
+            time.thread_time() - cpu_start,
+        )
 
     def apply_relabel(
-        self, global_labels: np.ndarray, stats: RelabelStats, seconds: float
+        self,
+        global_labels: np.ndarray,
+        stats: RelabelStats,
+        wall_seconds: float,
+        cpu_seconds: float = 0.0,
     ) -> RelabelStats:
         """Store a relabeling result on the site."""
         self._global_labels = global_labels
         self._relabel_stats = stats
-        self.times.relabel_seconds = seconds
+        self.times.relabel_wall_seconds = wall_seconds
+        self.times.relabel_cpu_seconds = cpu_seconds
         return stats
 
     def apply_degraded_labels(self, reason: str, *, id_offset: int) -> int:

@@ -33,6 +33,7 @@ from repro.distributed.runner import (
 from repro.experiments.common import central_reference
 from repro.experiments.reporting import ExperimentTable
 from repro.faults import FaultPlan, TransportPolicy
+from repro.obs import MetricsRegistry, Tracer, phase_totals
 from repro.quality.degraded import evaluate_degraded_quality
 
 __all__ = [
@@ -46,6 +47,27 @@ __all__ = [
 DEFAULT_CHAOS_PATH = "BENCH_chaos.json"
 
 _MODES = ("sites", "links", "chaos")
+
+# Protocol phases whose wall-clock totals the report breaks out per trial.
+_REPORTED_PHASES = (
+    "local_phase",
+    "global_phase",
+    "broadcast",
+    "relabel",
+    "degraded_fallback",
+)
+
+
+def _phase_breakdown(trace: dict | None) -> dict[str, float]:
+    """Per-phase wall seconds of one traced run (empty without a trace)."""
+    if trace is None:
+        return {}
+    totals = phase_totals(trace)
+    return {
+        name: totals[name]["wall_seconds"]
+        for name in _REPORTED_PHASES
+        if name in totals
+    }
 
 
 @dataclass(frozen=True)
@@ -65,6 +87,8 @@ class ChaosTrial:
         q_p2_surviving: ``P^II`` over surviving sites' objects, percent
             (``nan`` when every site failed).
         bytes_total: bytes the round put on the wire (retries included).
+        phase_wall_seconds: per-phase wall-clock breakdown from the
+            run's trace (``local_phase`` / ``global_phase`` / …).
     """
 
     failure_prob: float
@@ -78,6 +102,7 @@ class ChaosTrial:
     q_p2_overall: float
     q_p2_surviving: float
     bytes_total: int
+    phase_wall_seconds: dict
 
 
 def _plan_for(mode: str, prob: float, seed: int) -> FaultPlan:
@@ -147,6 +172,8 @@ def run_chaos_sweep(
                 fault_plan=plan,
                 transport_policy=transport_policy,
                 round_policy=round_policy,
+                tracer=Tracer(),
+                metrics=MetricsRegistry(),
             )
             report = runner.run(data.points, n_sites)
             quality = evaluate_degraded_quality(
@@ -174,6 +201,7 @@ def run_chaos_sweep(
                         else float("nan")
                     ),
                     bytes_total=report.network.bytes_total,
+                    phase_wall_seconds=_phase_breakdown(report.trace),
                 )
             )
         surviving_values = [
@@ -198,6 +226,7 @@ def run_chaos_sweep(
                             else t.q_p2_surviving
                         ),
                         "bytes_total": t.bytes_total,
+                        "phase_wall_seconds": t.phase_wall_seconds,
                     }
                     for t in rows
                 ],
@@ -211,6 +240,16 @@ def run_chaos_sweep(
                 ),
                 "total_retries": int(sum(t.retries for t in rows)),
                 "n_degraded": int(sum(t.degraded for t in rows)),
+                "mean_phase_wall_seconds": {
+                    name: float(
+                        np.mean(
+                            [t.phase_wall_seconds.get(name, 0.0) for t in rows]
+                        )
+                    )
+                    for name in sorted(
+                        {k for t in rows for k in t.phase_wall_seconds}
+                    )
+                },
             }
         )
     return {

@@ -153,6 +153,9 @@ class ResilientTransport:
         network: the accounting network every attempt is recorded on.
         plan: the fault plan deciding what goes wrong.
         policy: retry/backoff parameters.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; every
+            delivery records ``transport.*`` counters (attempts, retries,
+            drops, truncations, duplicates, bytes per message kind).
     """
 
     def __init__(
@@ -160,10 +163,13 @@ class ResilientTransport:
         network: "SimulatedNetwork",
         plan: FaultPlan,
         policy: TransportPolicy | None = None,
+        *,
+        metrics=None,
     ) -> None:
         self.network = network
         self.plan = plan
         self.policy = policy or TransportPolicy()
+        self.metrics = metrics
         self.stats = TransportStats()
         self._sequences: dict[tuple[int, int, str], _LinkSequence] = {}
 
@@ -181,6 +187,7 @@ class ResilientTransport:
         payload: bytes,
         *,
         start_s: float = 0.0,
+        receiver_down: bool = False,
     ) -> DeliveryOutcome:
         """Try to move one message, retrying through injected faults.
 
@@ -190,6 +197,13 @@ class ResilientTransport:
             kind: message tag (drives the per-kind byte accounting).
             payload: serialized content.
             start_s: simulated time at which the first attempt starts.
+            receiver_down: the receiver has already crashed but the
+                sender does not know.  Every attempt still reaches the
+                wire (and is charged bytes and a timeout, like an
+                in-flight drop), the full retry budget burns, and the
+                message can never be delivered.  This is how a broadcast
+                to a crash-after-send site is accounted: the server is
+                not omniscient, so the bytes still hit the network.
 
         Returns:
             A :class:`DeliveryOutcome`; every attempt was recorded on the
@@ -216,7 +230,16 @@ class ResilientTransport:
             u_drop, u_trunc, u_dup, u_jitter, u_reorder, u_backoff = rng.random(6)
             jitter = faults.jitter_s * u_jitter
 
-            if u_drop < faults.drop_prob:
+            if receiver_down:
+                # Dead receiver: the attempt is sent and charged like any
+                # other, no ack ever comes back, the sender burns its
+                # timeout.  (The RNG was still drawn above so the link's
+                # other messages keep their streams.)
+                self.network.send(sender, receiver, kind, payload)
+                bytes_sent += len(payload)
+                n_dropped += 1
+                elapsed += policy.timeout_s
+            elif u_drop < faults.drop_prob:
                 # Lost in flight: the bytes left the sender, the receiver
                 # saw nothing, the sender burns its timeout.
                 self.network.send(sender, receiver, kind, payload)
@@ -259,6 +282,22 @@ class ResilientTransport:
             self.stats.n_delivered += 1
         else:
             self.stats.n_failed += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("transport.messages")
+            metrics.inc("transport.attempts", attempts)
+            metrics.inc("transport.retries", attempts - 1)
+            if n_dropped:
+                metrics.inc("transport.drops", n_dropped)
+            if n_truncated:
+                metrics.inc("transport.truncated", n_truncated)
+            if n_duplicates:
+                metrics.inc("transport.duplicates", n_duplicates)
+            metrics.inc(
+                "transport.delivered" if delivered else "transport.failed"
+            )
+            metrics.inc(f"transport.bytes[{kind}]", bytes_sent)
+            metrics.observe("transport.sim_seconds", elapsed)
         return DeliveryOutcome(
             delivered=delivered,
             attempts=attempts,

@@ -1,0 +1,39 @@
+"""Zero-dependency observability: nested-span tracing + a metrics
+registry, with JSON / Chrome ``trace_event`` exports.
+
+The package is a leaf — nothing in here imports the rest of ``repro`` —
+so every layer of the pipeline can depend on it without cycles.  See
+``docs/observability.md`` for the span taxonomy, metric name/unit
+contract, and the wall-vs-simulated clock rules.
+"""
+
+from repro.obs.export import (
+    TRACE_FORMAT_VERSION,
+    load_trace_schema,
+    phase_totals,
+    to_chrome_trace,
+    trace_document,
+    validate_trace,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "trace_document",
+    "to_chrome_trace",
+    "write_trace",
+    "write_chrome_trace",
+    "phase_totals",
+    "load_trace_schema",
+    "validate_trace",
+]

@@ -1,0 +1,242 @@
+"""Trace exports: the JSON trace document, Chrome ``trace_event`` files,
+per-phase totals and schema validation.
+
+The canonical artifact is the *trace document* — a plain dict with the
+span forest, the metrics snapshot and clock metadata — written by
+``python -m repro trace`` and embedded in ``DistributedRunReport.trace``.
+:func:`to_chrome_trace` converts it to the Chrome ``trace_event`` format
+(open in ``chrome://tracing`` or Perfetto): pid 1 shows the wall clock,
+pid 2 shows the simulated clock, and site-attributed spans get their own
+thread lanes.
+
+:func:`validate_trace` checks a document against the checked-in JSON
+schema (``trace_schema.json``) with a small built-in validator — the
+subset of JSON Schema the schema actually uses — so CI can gate on trace
+shape without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "trace_document",
+    "to_chrome_trace",
+    "write_trace",
+    "write_chrome_trace",
+    "phase_totals",
+    "load_trace_schema",
+    "validate_trace",
+]
+
+TRACE_FORMAT_VERSION = 1
+
+_SCHEMA_PATH = Path(__file__).with_name("trace_schema.json")
+
+
+def trace_document(tracer, metrics=None) -> dict:
+    """Assemble the canonical trace document from a tracer (and optional
+    metrics registry)."""
+    return {
+        "version": TRACE_FORMAT_VERSION,
+        "clocks": {
+            "wall": "time.perf_counter seconds, origin-normalized",
+            "sim": "simulated protocol seconds (RoundPolicy / network clock)",
+        },
+        "origin": {"wall": tracer.wall_origin},
+        "spans": tracer.export_spans(),
+        "metrics": (
+            metrics.to_dict()
+            if metrics is not None
+            else {"counters": {}, "gauges": {}, "histograms": {}}
+        ),
+    }
+
+
+def _walk(spans, depth=0, site=None, parent_name=None):
+    """Yield ``(span_dict, depth, site_id, parent_name)`` over a forest."""
+    for span in spans:
+        span_site = site
+        attrs = span.get("attrs", {})
+        if "site" in attrs:
+            span_site = attrs["site"]
+        yield span, depth, span_site, parent_name
+        yield from _walk(
+            span.get("children", []), depth + 1, span_site, span["name"]
+        )
+
+
+def to_chrome_trace(doc: dict) -> dict:
+    """Convert a trace document to Chrome ``trace_event`` JSON.
+
+    Two process lanes: pid 1 replays the wall clock, pid 2 replays the
+    simulated clock (only spans that carry sim timestamps appear there).
+    Within each pid, tid 1 is the driver and tid ``2 + site`` is one lane
+    per site.  Timestamps/durations are microseconds per the format.
+    """
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "wall clock"},
+        },
+        {
+            "ph": "M",
+            "pid": 2,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "simulated clock"},
+        },
+    ]
+    for span, __, site, __parent in _walk(doc.get("spans", [])):
+        tid = 1 if site is None else 2 + int(site)
+        args = {
+            key: value
+            for key, value in span.get("attrs", {}).items()
+            if isinstance(value, (str, int, float, bool))
+        }
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "name": span["name"],
+                "ts": span["wall_start"] * 1e6,
+                "dur": max(0.0, span["wall_end"] - span["wall_start"]) * 1e6,
+                "args": args,
+            }
+        )
+        if span.get("sim_start") is not None and span.get("sim_end") is not None:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 2,
+                    "tid": tid,
+                    "name": span["name"],
+                    "ts": span["sim_start"] * 1e6,
+                    "dur": max(0.0, span["sim_end"] - span["sim_start"]) * 1e6,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(doc: dict, path) -> Path:
+    """Write the trace document to ``path`` as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_chrome_trace(doc: dict, path) -> Path:
+    """Write the Chrome ``trace_event`` conversion of ``doc`` to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(doc)) + "\n")
+    return path
+
+
+def phase_totals(doc: dict) -> dict:
+    """Sum span durations by span name across the document.
+
+    Returns ``{name: {"count", "wall_seconds", "sim_seconds"}}`` where
+    ``sim_seconds`` is ``None`` for names that never carry sim stamps.
+    Used by the benchmarks and the reconciliation test to compare trace
+    contents against report timing fields.
+    """
+    totals: dict[str, dict] = {}
+    for span, __, __site, __parent in _walk(doc.get("spans", [])):
+        entry = totals.setdefault(
+            span["name"], {"count": 0, "wall_seconds": 0.0, "sim_seconds": None}
+        )
+        entry["count"] += 1
+        entry["wall_seconds"] += span["wall_end"] - span["wall_start"]
+        if span.get("sim_start") is not None and span.get("sim_end") is not None:
+            if entry["sim_seconds"] is None:
+                entry["sim_seconds"] = 0.0
+            entry["sim_seconds"] += span["sim_end"] - span["sim_start"]
+    return totals
+
+
+def load_trace_schema() -> dict:
+    """Load the checked-in trace document schema."""
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+def validate_trace(doc, schema: dict | None = None) -> list[str]:
+    """Validate ``doc`` against the trace schema.
+
+    Returns a list of human-readable problems (empty means valid).  The
+    validator implements the JSON Schema subset the checked-in schema
+    uses: ``type``, ``properties``, ``required``, ``additionalProperties``,
+    ``items``, ``enum``, ``minimum``, ``$ref`` into ``$defs``.
+    """
+    if schema is None:
+        schema = load_trace_schema()
+    errors: list[str] = []
+    _validate(doc, schema, schema, "$", errors)
+    return errors
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, type_name: str) -> bool:
+    if type_name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if type_name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[type_name])
+
+
+def _validate(value, schema: dict, root: dict, path: str, errors: list[str]):
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        if not ref.startswith("#/$defs/"):
+            errors.append(f"{path}: unsupported $ref {ref!r}")
+            return
+        schema = root["$defs"][ref[len("#/$defs/") :]]
+
+    expected = schema.get("type")
+    if expected is not None:
+        names = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(value, name) for name in names):
+            errors.append(
+                f"{path}: expected {'/'.join(names)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']!r}")
+
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            errors.append(f"{path}: {value!r} < minimum {schema['minimum']!r}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in props:
+                _validate(item, props[key], root, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                _validate(item, extra, root, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], root, f"{path}[{index}]", errors)

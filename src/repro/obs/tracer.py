@@ -1,0 +1,250 @@
+"""Nested-span tracer with two clocks (wall + simulated).
+
+A :class:`Tracer` builds a forest of :class:`Span` objects.  Spans carry
+*wall* timestamps (``time.perf_counter`` seconds, always present) and
+optionally *simulated* timestamps (the protocol clock used by
+``RoundPolicy`` deadlines and ``SimulatedNetwork`` transfer times).  The
+two clocks are independent axes of the same span — a transport span's
+wall duration is how long the driver spent computing it (microseconds)
+while its sim duration is the modeled link time (possibly minutes).
+
+Spans are created three ways:
+
+* ``with tracer.span("local_phase"):`` — live timing around a block;
+* ``tracer.record("global_phase", wall_start=a, wall_end=b)`` — post-hoc
+  from timestamps measured elsewhere (how the runner reuses the *same*
+  ``perf_counter`` reads that feed the report fields, so the trace and
+  the report reconcile exactly);
+* grafting — ``record(..., children=[...])`` accepts exported span dicts
+  from worker threads/processes and re-hydrates them under the new span.
+
+The disabled path is a single shared :data:`NULL_TRACER` whose ``span``
+returns one reusable context-manager singleton: entering a null span
+performs no allocation, keeping the fault-free fast path cost-free.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One timed region.  ``wall_*`` are ``perf_counter`` seconds;
+    ``sim_*`` (optional) are simulated-clock seconds."""
+
+    name: str
+    wall_start: float
+    wall_end: float = math.nan
+    sim_start: float | None = None
+    sim_end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_seconds(self) -> float | None:
+        if self.sim_start is None or self.sim_end is None:
+            return None
+        return self.sim_end - self.sim_start
+
+    def set_sim(self, start: float, end: float) -> None:
+        """Attach the simulated-clock interval of this span."""
+        self.sim_start = float(start)
+        self.sim_end = float(end)
+
+    def to_dict(self, origin: float = 0.0) -> dict:
+        """JSON-ready form; wall timestamps are shifted by ``origin`` so
+        exported traces start near zero instead of at an arbitrary
+        ``perf_counter`` epoch."""
+        out: dict = {
+            "name": self.name,
+            "wall_start": self.wall_start - origin,
+            "wall_end": self.wall_end - origin,
+        }
+        if self.sim_start is not None:
+            out["sim_start"] = self.sim_start
+        if self.sim_end is not None:
+            out["sim_end"] = self.sim_end
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict(origin) for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Inverse of :meth:`to_dict` (origin-relative timestamps kept
+        as-is); used to graft worker-exported spans into a driver trace."""
+        return cls(
+            name=data["name"],
+            wall_start=float(data["wall_start"]),
+            wall_end=float(data["wall_end"]),
+            sim_start=data.get("sim_start"),
+            sim_end=data.get("sim_end"),
+            attrs=dict(data.get("attrs", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+
+class _LiveSpan:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.span.wall_end = time.perf_counter()
+        self._tracer._pop(self.span)
+
+
+class Tracer:
+    """Collects a forest of nested spans on one thread of control.
+
+    The open-span stack is not synchronized: each worker creates its own
+    tracer and the driver grafts the exported spans afterwards, so a
+    tracer never sees concurrent ``span()`` calls.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        # Recorded at construction so exports can normalize wall
+        # timestamps to a near-zero origin.
+        self.wall_origin = time.perf_counter()
+
+    def span(self, name: str, attrs: dict | None = None) -> _LiveSpan:
+        """Open a live span; close it by exiting the ``with`` block."""
+        span = Span(name=name, wall_start=time.perf_counter())
+        if attrs:
+            span.attrs.update(attrs)
+        self._push(span)
+        return _LiveSpan(self, span)
+
+    def record(
+        self,
+        name: str,
+        *,
+        wall_start: float,
+        wall_end: float,
+        sim_start: float | None = None,
+        sim_end: float | None = None,
+        attrs: dict | None = None,
+        parent: Span | None = None,
+        children: list | None = None,
+    ) -> Span:
+        """Append an already-measured span.
+
+        ``children`` may mix :class:`Span` objects and exported dicts
+        (worker output); dicts are re-hydrated.  With no explicit
+        ``parent`` the span nests under the innermost open live span, or
+        becomes a root.
+        """
+        span = Span(name=name, wall_start=wall_start, wall_end=wall_end)
+        if sim_start is not None or sim_end is not None:
+            span.sim_start = sim_start
+            span.sim_end = sim_end
+        if attrs:
+            span.attrs.update(attrs)
+        if children:
+            for child in children:
+                if isinstance(child, dict):
+                    child = Span.from_dict(child)
+                span.children.append(child)
+        if parent is not None:
+            parent.children.append(span)
+        elif self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (an inner `with` leaked) rather
+        # than corrupting the stack: unwind down to the closed span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    def export_spans(self, origin: float | None = None) -> list[dict]:
+        """The span forest as JSON-ready dicts, origin-normalized."""
+        if origin is None:
+            origin = self.wall_origin
+        return [root.to_dict(origin) for root in self.roots]
+
+    def export(self) -> dict:
+        """Spans plus the origin, for cross-process grafting."""
+        return {"wall_origin": self.wall_origin, "spans": self.export_spans()}
+
+
+class _NullSpanHandle:
+    """Shared no-op context manager; ``enter`` yields ``None``."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class NullTracer:
+    """The disabled tracer: ``span`` hands back one shared context
+    manager, ``record`` returns ``None`` — no allocations either way."""
+
+    enabled = False
+    wall_origin = 0.0
+    roots: list = []
+
+    def span(self, name: str, attrs: dict | None = None) -> _NullSpanHandle:
+        return _NULL_SPAN
+
+    def record(
+        self,
+        name: str,
+        *,
+        wall_start: float,
+        wall_end: float,
+        sim_start: float | None = None,
+        sim_end: float | None = None,
+        attrs: dict | None = None,
+        parent: Span | None = None,
+        children: list | None = None,
+    ) -> None:
+        return None
+
+    def export_spans(self, origin: float | None = None) -> list[dict]:
+        return []
+
+    def export(self) -> dict:
+        return {"wall_origin": 0.0, "spans": []}
+
+
+NULL_TRACER = NullTracer()

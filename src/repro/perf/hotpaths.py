@@ -36,6 +36,7 @@ from repro.clustering.dbscan import DBSCAN
 from repro.data.datasets import dataset_a
 from repro.distributed.runner import DistributedRunConfig, DistributedRunner
 from repro.index import build_index
+from repro.obs import MetricsRegistry, Tracer, phase_totals
 
 __all__ = ["run_hotpath_bench", "write_report", "format_summary", "main"]
 
@@ -149,14 +150,30 @@ def bench_local_phase(
         config = DistributedRunConfig(
             eps_local=eps, min_pts_local=min_pts, seed=seed, **overrides
         )
-        report = DistributedRunner(config).run(points, n_sites)
+        # Tracing is on so the report breaks each variant down per phase;
+        # timing fields and trace spans come from the same clock reads.
+        report = DistributedRunner(
+            config, tracer=Tracer(), metrics=MetricsRegistry()
+        ).run(points, n_sites)
+        totals = phase_totals(report.trace)
         out[name] = {
             "local_wall_seconds": report.local_wall_seconds,
+            "local_cpu_seconds": report.local_cpu_seconds,
             "relabel_wall_seconds": report.relabel_wall_seconds,
-            "max_local_seconds": report.max_local_seconds,
+            "max_local_wall_seconds": report.max_local_wall_seconds,
             "n_global_clusters": len(
                 set(int(g) for g in report.global_model.global_labels)
             ),
+            "phase_wall_seconds": {
+                phase: totals[phase]["wall_seconds"]
+                for phase in (
+                    "local_phase",
+                    "global_phase",
+                    "broadcast",
+                    "relabel",
+                )
+                if phase in totals
+            },
         }
     sequential = out["sequential"]["local_wall_seconds"]
     for name in variants:

@@ -1,0 +1,266 @@
+"""Traced pipeline runs: the ``trace`` command of the experiment harness.
+
+Runs one distributed DBDC round with the :mod:`repro.obs` tracer and
+metrics registry attached, then exports the result two ways:
+
+* the repo's own trace JSON (``--trace-out``), validated against the
+  checked-in ``repro/obs/trace_schema.json``;
+* Chrome's ``trace_event`` JSON (``--chrome-out``), loadable in
+  ``chrome://tracing`` / Perfetto.
+
+``--smoke`` runs a tiny round and verifies the whole chain end to end —
+schema validity, span nesting, and that the trace's per-phase wall totals
+reconcile with the run report's timing fields within 1% — which is what
+the CI smoke step executes::
+
+    python -m repro trace --smoke
+
+See ``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.distributed.runner import (
+    DistributedRunConfig,
+    DistributedRunner,
+    DistributedRunReport,
+)
+from repro.faults import FaultPlan
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    phase_totals,
+    to_chrome_trace,
+    validate_trace,
+    write_chrome_trace,
+    write_trace,
+)
+
+__all__ = [
+    "run_traced",
+    "reconcile_trace",
+    "smoke_check",
+    "format_trace_summary",
+    "main",
+]
+
+DEFAULT_TRACE_PATH = "TRACE_run.json"
+
+# (phase span name, report attribute) pairs whose wall durations must agree.
+_RECONCILED_FIELDS = (
+    ("run > local_phase > compute", "local_wall_seconds"),
+    ("run > relabel > compute", "relabel_wall_seconds"),
+    ("run > global_phase", "global_wall_seconds"),
+)
+
+
+def run_traced(
+    *,
+    dataset: str = "A",
+    cardinality: int | None = None,
+    n_sites: int = 4,
+    scheme: str = "rep_scor",
+    seed: int = 42,
+    parallelism: int = 1,
+    fault_intensity: float = 0.0,
+    fault_seed: int = 0,
+) -> DistributedRunReport:
+    """One distributed round with tracing on; the report carries the trace.
+
+    Args:
+        dataset: paper data set name (``A``/``B``/``C``).
+        cardinality: optional cardinality override.
+        n_sites: number of client sites.
+        scheme: local model scheme.
+        seed: partitioning seed.
+        parallelism: local-phase width.
+        fault_intensity: ``> 0`` runs the degraded-mode protocol under
+            ``FaultPlan.chaos(fault_intensity)``.
+        fault_seed: seed of that fault plan.
+
+    Returns:
+        The run's :class:`~repro.distributed.runner.DistributedRunReport`
+        with :attr:`~repro.distributed.runner.DistributedRunReport.trace`
+        populated.
+    """
+    from repro.data.datasets import load_dataset
+
+    data = load_dataset(dataset, cardinality=cardinality)
+    config = DistributedRunConfig(
+        eps_local=data.eps_local,
+        min_pts_local=data.min_pts,
+        scheme=scheme,
+        seed=seed,
+        parallelism=parallelism,
+    )
+    plan = (
+        FaultPlan.chaos(fault_intensity, seed=fault_seed)
+        if fault_intensity > 0
+        else None
+    )
+    runner = DistributedRunner(
+        config,
+        fault_plan=plan,
+        tracer=Tracer(),
+        metrics=MetricsRegistry(),
+    )
+    return runner.run(data.points, n_sites)
+
+
+def _span_path_duration(doc: dict, path: str) -> float | None:
+    """Wall duration of the first span matching ``a > b > c`` from a root."""
+    names = [part.strip() for part in path.split(">")]
+    spans = doc["spans"]
+    found = None
+    for name in names:
+        found = next((s for s in spans if s["name"] == name), None)
+        if found is None:
+            return None
+        spans = found.get("children", [])
+    return found["wall_end"] - found["wall_start"]
+
+
+def reconcile_trace(
+    doc: dict, report: DistributedRunReport, *, tolerance: float = 0.01
+) -> list[str]:
+    """Check the trace's phase durations against the report's fields.
+
+    The spans are recorded from the very ``perf_counter`` reads that
+    produced the report, so agreement should be exact; ``tolerance`` (a
+    relative fraction) only absorbs float round-trips through JSON.
+
+    Returns:
+        Human-readable mismatch descriptions (empty = reconciled).
+    """
+    problems: list[str] = []
+    for path, field in _RECONCILED_FIELDS:
+        span_seconds = _span_path_duration(doc, path)
+        report_seconds = getattr(report, field)
+        if span_seconds is None:
+            problems.append(f"span {path!r} missing from trace")
+            continue
+        if abs(span_seconds - report_seconds) > tolerance * max(
+            report_seconds, 1e-9
+        ):
+            problems.append(
+                f"span {path!r} = {span_seconds:.6f}s but report.{field} "
+                f"= {report_seconds:.6f}s (tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def smoke_check(*, n_sites: int = 3, seed: int = 7) -> list[str]:
+    """End-to-end validation of the tracing chain on a tiny round.
+
+    Returns:
+        All problems found (empty = the smoke test passes).
+    """
+    report = run_traced(
+        dataset="A",
+        cardinality=1200,
+        n_sites=n_sites,
+        seed=seed,
+        fault_intensity=0.0,
+    )
+    doc = report.trace
+    problems = [f"schema: {err}" for err in validate_trace(doc)]
+    problems += reconcile_trace(doc, report)
+    # The JSON round-trip must preserve validity.
+    rehydrated = json.loads(json.dumps(doc))
+    problems += [f"round-trip: {err}" for err in validate_trace(rehydrated)]
+    chrome = to_chrome_trace(doc)
+    events = chrome.get("traceEvents", [])
+    if not events:
+        problems.append("chrome trace has no events")
+    for event in events:
+        if event.get("ph") == "X" and event.get("dur", 0) < 0:
+            problems.append(f"chrome event {event.get('name')!r} negative dur")
+    totals = phase_totals(doc)
+    for required in ("run", "local_phase", "global_phase", "relabel"):
+        if required not in totals:
+            problems.append(f"phase totals missing {required!r}")
+    return problems
+
+
+def format_trace_summary(doc: dict) -> str:
+    """Human-readable per-phase breakdown of one trace document."""
+    totals = phase_totals(doc)
+    lines = ["per-phase totals (wall seconds):"]
+    for name in sorted(totals, key=lambda n: -totals[n]["wall_seconds"]):
+        row = totals[name]
+        sim = (
+            f"  sim={row['sim_seconds']:.3f}s"
+            if row.get("sim_seconds") is not None
+            else ""
+        )
+        lines.append(
+            f"  {name:24s} {row['wall_seconds']:8.4f}s  x{row['count']}{sim}"
+        )
+    counters = doc.get("metrics", {}).get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:32s} {counters[name]:g}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Stand-alone entry point (also reachable as ``repro.cli trace``)."""
+    parser = argparse.ArgumentParser(description="Traced DBDC pipeline run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny run + schema/reconciliation validation")
+    parser.add_argument("--dataset", default="A")
+    parser.add_argument("--cardinality", type=int, default=None)
+    parser.add_argument("--sites", type=int, default=4)
+    parser.add_argument("--scheme", default="rep_scor",
+                        choices=["rep_scor", "rep_kmeans"])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--parallelism", type=int, default=1)
+    parser.add_argument("--fault-intensity", type=float, default=0.0)
+    parser.add_argument("--trace-out", default=DEFAULT_TRACE_PATH)
+    parser.add_argument("--chrome-out", default=None,
+                        help="also write Chrome trace_event JSON here")
+    args = parser.parse_args(argv)
+    return run_trace_command(args)
+
+
+def run_trace_command(args: argparse.Namespace) -> int:
+    """Execute the ``trace`` command from parsed arguments."""
+    if args.smoke:
+        problems = smoke_check()
+        if problems:
+            for problem in problems:
+                print(f"SMOKE FAIL: {problem}")
+            return 1
+        print("trace smoke: ok (schema valid, phases reconcile with report)")
+        return 0
+    report = run_traced(
+        dataset=args.dataset,
+        cardinality=args.cardinality,
+        n_sites=args.sites,
+        scheme=args.scheme,
+        seed=args.seed,
+        parallelism=args.parallelism,
+        fault_intensity=args.fault_intensity,
+    )
+    doc = report.trace
+    errors = validate_trace(doc)
+    if errors:
+        for error in errors:
+            print(f"INVALID TRACE: {error}")
+        return 1
+    print(format_trace_summary(doc))
+    path = write_trace(doc, args.trace_out)
+    print(f"wrote {path}")
+    if args.chrome_out:
+        chrome_path = write_chrome_trace(doc, args.chrome_out)
+        print(f"wrote {chrome_path} (load in chrome://tracing)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

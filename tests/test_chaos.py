@@ -77,8 +77,28 @@ class TestRunChaosSweep:
 
     def test_deterministic_given_seed(self):
         kwargs = dict(SWEEP_KWARGS, failure_probs=(0.5,), trials=1)
-        # meta carries wall-clock timing; the measured sweep must repeat.
-        assert run_chaos_sweep(**kwargs)["sweep"] == run_chaos_sweep(**kwargs)["sweep"]
+
+        def deterministic_part(report):
+            # meta and the per-phase breakdowns carry wall-clock timing;
+            # everything else in the sweep must repeat exactly.
+            sweep = []
+            for point in report["sweep"]:
+                point = dict(point)
+                point.pop("mean_phase_wall_seconds", None)
+                point["trials"] = [
+                    {
+                        k: v
+                        for k, v in trial.items()
+                        if k != "phase_wall_seconds"
+                    }
+                    for trial in point["trials"]
+                ]
+                sweep.append(point)
+            return sweep
+
+        assert deterministic_part(run_chaos_sweep(**kwargs)) == (
+            deterministic_part(run_chaos_sweep(**kwargs))
+        )
 
     def test_links_mode_retries(self):
         report = run_chaos_sweep(

@@ -33,6 +33,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--scheme", "medoid"])
 
+    def test_trace_options(self):
+        args = build_parser().parse_args(
+            ["trace", "--smoke", "--trace-out", "/tmp/t.json",
+             "--chrome-out", "/tmp/c.json", "--fault-intensity", "0.3"]
+        )
+        assert args.commands == ["trace"]
+        assert args.smoke is True
+        assert args.trace_out == "/tmp/t.json"
+        assert args.chrome_out == "/tmp/c.json"
+        assert args.fault_intensity == 0.3
+
 
 class TestExecution:
     def test_fig6_without_sketch(self, capsys):
@@ -70,3 +81,35 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "quality: P^I" in out
         assert "DBDC(rep_scor)" in out
+
+    def test_trace_smoke_command(self, capsys):
+        assert main(["trace", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "trace smoke: ok" in out
+
+    def test_trace_writes_valid_documents(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_trace
+
+        trace_path = tmp_path / "trace.json"
+        chrome_path = tmp_path / "chrome.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--dataset", "C",
+                    "--cardinality", "600",
+                    "--sites", "2",
+                    "--trace-out", str(trace_path),
+                    "--chrome-out", str(chrome_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "per-phase totals" in out
+        doc = json.loads(trace_path.read_text())
+        assert validate_trace(doc) == []
+        chrome = json.loads(chrome_path.read_text())
+        assert any(e.get("ph") == "X" for e in chrome["traceEvents"])

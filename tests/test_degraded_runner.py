@@ -244,6 +244,65 @@ class TestDeadlineAndQuorum:
         assert degraded_path.transport_stats.n_failed == 0
 
 
+class TestClockNamedReportFields:
+    """Satellite of the observability sweep: every timing field names its
+    clock (``*_wall_seconds`` / ``*_cpu_seconds`` / ``*_sim_seconds``) and
+    the simulated-clock fields actually carry the simulated round."""
+
+    def test_fault_free_run_has_zero_sim_fields(self, workload, config):
+        site_points, assignment = workload
+        report = DistributedRunner(config).run_on_sites(site_points, assignment)
+        assert report.local_sim_seconds == 0.0
+        assert report.round_sim_seconds == 0.0
+        assert report.max_local_wall_seconds > 0
+        assert report.global_wall_seconds > 0
+        # Back-compat aliases resolve to the wall-clock fields.
+        assert report.max_local_seconds == report.max_local_wall_seconds
+        assert report.global_seconds == report.global_wall_seconds
+        assert report.overall_seconds == report.overall_wall_seconds
+
+    def test_degraded_run_reports_simulated_round(self, workload, config):
+        site_points, assignment = workload
+        plan = FaultPlan(
+            seed=4, site=SiteFaults(straggler_prob=1.0, straggler_factor=2.0)
+        )
+        report = DistributedRunner(config, fault_plan=plan).run_on_sites(
+            site_points, assignment
+        )
+        # The simulated clock is a different clock: local compute plus
+        # transfer times, not perf_counter deltas.
+        assert report.local_sim_seconds > 0
+        assert report.round_sim_seconds >= report.local_sim_seconds
+        # And the wall-clock fields still measure the real execution.
+        assert report.max_local_wall_seconds > 0
+        assert report.local_cpu_seconds > 0
+
+    def test_crash_after_send_broadcast_still_hits_the_wire(
+        self, workload, config
+    ):
+        """Regression: the server is not omniscient — a broadcast to a
+        crash-after-send site burns attempts and bytes on the network even
+        though it can never be delivered."""
+        site_points, assignment = workload
+        plan = FaultPlan(
+            seed=1, site_overrides={0: SiteFaults(crash_after_send_prob=1.0)}
+        )
+        report = DistributedRunner(config, fault_plan=plan).run_on_sites(
+            site_points, assignment
+        )
+        clean = DistributedRunner(config).run_on_sites(site_points, assignment)
+        assert report.sites[0].failure == "crash_after_send"
+        # All four admitted sites got broadcast traffic; the dead site's
+        # share burned the full retry budget, so downstream bytes exceed
+        # the clean run's.
+        assert (
+            report.network.bytes_by_kind["global_model"]
+            > clean.network.bytes_by_kind["global_model"]
+        )
+        assert report.transport_stats.n_failed >= 1
+        assert report.retries >= 1
+
+
 def _report_fingerprint(report):
     return (
         [site.global_labels.tolist() for site in report.sites],

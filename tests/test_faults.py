@@ -265,3 +265,104 @@ class TestResilientTransport:
         down_ok = transport.deliver(SERVER, 0, "global_model", b"g" * 10)
         assert not down_bad.delivered
         assert down_ok.delivered
+
+
+class TestByteAccountingRegressions:
+    """Pins of the retry/duplicate byte accounting audited in the
+    observability sweep: bytes_sent on the outcome, bytes_by_kind on the
+    network, and the ``transport.bytes[*]`` metric must all agree — no
+    path may double-count a duplicated, reordered or dropped attempt."""
+
+    def _transport(self, plan, metrics=None, **policy_kwargs):
+        network = SimulatedNetwork()
+        policy = TransportPolicy(**policy_kwargs) if policy_kwargs else None
+        return network, ResilientTransport(
+            network, plan, policy, metrics=metrics
+        )
+
+    def test_duplicate_bytes_counted_exactly_once_per_copy(self):
+        """A duplicated delivery charges exactly two payloads: one for the
+        attempt, one for the extra copy — not three (the historical
+        double-count risk: attempt + duplicate + 'delivered' charge)."""
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        plan = FaultPlan(seed=4, link=LinkFaults(duplicate_prob=1.0))
+        network, transport = self._transport(plan, metrics=metrics)
+        outcome = transport.deliver(0, SERVER, "local_model", b"x" * 50)
+        assert outcome.delivered
+        assert outcome.bytes_sent == 100
+        assert network.stats().bytes_by_kind["local_model"] == 100
+        assert metrics.value("transport.bytes[local_model]") == 100
+
+    def test_reordered_bytes_not_double_counted(self):
+        """A reordered message is late, not resent: one payload of bytes."""
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        plan = FaultPlan(
+            seed=5, link=LinkFaults(reorder_prob=1.0, reorder_delay_s=2.0)
+        )
+        network, transport = self._transport(plan, metrics=metrics)
+        outcome = transport.deliver(0, SERVER, "local_model", b"x" * 40)
+        assert outcome.delivered
+        assert outcome.bytes_sent == 40
+        assert network.stats().bytes_by_kind["local_model"] == 40
+        assert metrics.value("transport.bytes[local_model]") == 40
+
+    def test_outcome_bytes_match_wire_bytes_under_chaos(self):
+        """Across a chaotic mix of drops/truncations/duplicates, the sum
+        of per-outcome bytes equals what the network saw on the wire."""
+        network, transport = self._transport(
+            FaultPlan.chaos(0.5, seed=11), max_attempts=5
+        )
+        total = 0
+        for seq in range(12):
+            for site in range(3):
+                outcome = transport.deliver(
+                    site, SERVER, "local_model", b"m" * (25 + seq)
+                )
+                total += outcome.bytes_sent
+        assert total == network.stats().bytes_total
+
+    def test_receiver_down_still_charges_bytes(self):
+        """Sending to a crashed receiver burns the full retry budget and
+        charges every attempt's bytes — the sender is not omniscient.
+        Regression for the crash-after-send broadcast that historically
+        skipped the wire entirely."""
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        network, transport = self._transport(
+            FaultPlan.none(), metrics=metrics, max_attempts=3, timeout_s=1.0
+        )
+        outcome = transport.deliver(
+            SERVER, 2, "global_model", b"g" * 20, receiver_down=True
+        )
+        assert not outcome.delivered
+        assert outcome.attempts == 3
+        assert outcome.n_dropped == 3
+        assert outcome.bytes_sent == 60
+        assert len(network.messages) == 3
+        assert network.stats().bytes_by_kind["global_model"] == 60
+        assert metrics.value("transport.bytes[global_model]") == 60
+        assert metrics.value("transport.failed") == 1
+        # Each attempt burns its timeout (plus backoffs between attempts).
+        assert outcome.sim_seconds >= 3 * 1.0
+
+    def test_receiver_down_does_not_perturb_other_streams(self):
+        """The RNG draws still happen for a receiver-down delivery, so the
+        link's *other* messages see identical fault decisions either way."""
+        plan = FaultPlan.lossy_links(0.5, seed=6)
+
+        __, a = self._transport(plan)
+        a.deliver(SERVER, 1, "global_model", b"g" * 30, receiver_down=True)
+        after_down = a.deliver(SERVER, 1, "global_model", b"g" * 30)
+
+        __, b = self._transport(plan)
+        b.deliver(SERVER, 1, "global_model", b"g" * 30)  # same seq, alive
+        after_alive = b.deliver(SERVER, 1, "global_model", b"g" * 30)
+
+        assert dataclasses.astuple(after_down) == dataclasses.astuple(
+            after_alive
+        )

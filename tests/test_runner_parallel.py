@@ -89,6 +89,40 @@ def test_wall_times_recorded(blobs):
     assert report.overall_seconds > 0
 
 
+def test_parallel_report_separates_wall_and_cpu(blobs):
+    """Satellite of the observability sweep: a parallel local phase must
+    report max-over-sites *wall* time and aggregate *CPU* time as
+    separate, clock-named fields — the historical single number silently
+    mixed the two."""
+    report = _run(blobs, _config(parallelism=4))
+    # max_local_wall_seconds is a max, not a sum: it can never exceed the
+    # whole phase's wall time but must cover the slowest site.
+    slowest = max(site.times.local_wall_seconds for site in report.sites)
+    assert report.max_local_wall_seconds == slowest
+    assert report.max_local_wall_seconds <= report.local_wall_seconds
+    # CPU time aggregates across sites and is attributed per site too.
+    assert report.local_cpu_seconds > 0
+    assert report.local_cpu_seconds == pytest.approx(
+        sum(site.times.local_cpu_seconds for site in report.sites)
+    )
+    assert report.relabel_cpu_seconds == pytest.approx(
+        sum(site.times.relabel_cpu_seconds for site in report.sites)
+    )
+    # Clock-named aliases agree with the legacy field names.
+    assert report.max_local_seconds == report.max_local_wall_seconds
+    assert report.global_seconds == report.global_wall_seconds
+    assert report.overall_seconds == report.overall_wall_seconds
+
+
+def test_per_site_times_name_their_clock(blobs):
+    report = _run(blobs, _config(parallelism=2))
+    for site in report.sites:
+        assert site.times.local_wall_seconds > 0
+        assert site.times.local_cpu_seconds >= 0
+        assert site.times.local_seconds == site.times.local_wall_seconds
+        assert site.times.relabel_seconds == site.times.relabel_wall_seconds
+
+
 def test_config_rejects_bad_parallelism():
     with pytest.raises(ValueError, match="parallelism"):
         _config(parallelism=0)
