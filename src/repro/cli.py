@@ -13,8 +13,13 @@ Usage::
     python -m repro chaos               # fault sweep  -> BENCH_chaos.json
     python -m repro trace               # traced run   -> TRACE_run.json
     python -m repro trace --smoke       # CI gate: schema + reconciliation
+    python -m repro runs list           # the run registry (.runs/)
+    python -m repro runs regress --baseline baselines/run_smoke.json
 
-The figure commands print the same rows the paper reports;
+Every command (except ``runs`` itself and ``trace --smoke``) appends a
+schema-validated RunRecord to the registry (``.runs/``, gitignored) so
+perf and quality trajectories survive; ``--no-registry`` opts out.  The
+figure commands print the same rows the paper reports;
 ``EXPERIMENTS.md`` records a captured run side by side with the paper's
 numbers.
 """
@@ -23,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.experiments import (
     run_compression_tradeoff,
@@ -155,11 +161,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="'trace': also write Chrome trace_event JSON here",
     )
+    parser.add_argument(
+        "--registry",
+        default=".runs",
+        help="run registry root (RunRecords + artifacts)",
+    )
+    parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="do not append a RunRecord to the registry",
+    )
     return parser
 
 
-def _run_single(args: argparse.Namespace) -> None:
-    """The 'run' command: one DBDC execution with a quality report."""
+def _run_single(args: argparse.Namespace) -> dict:
+    """The 'run' command: one DBDC execution with a quality report.
+
+    Returns:
+        The run's flat RunRecord metrics (timings, quality, bytes).
+    """
     from repro.data.datasets import load_dataset
     from repro.experiments.common import central_reference, dataset_trial
 
@@ -200,6 +220,54 @@ def _run_single(args: argparse.Namespace) -> None:
         f"transmission: {result.bytes_up} bytes up / "
         f"{result.bytes_down} bytes down per site"
     )
+    return {
+        "quality.q_p1_percent": trial.quality.q_p1_percent,
+        "quality.q_p2_percent": trial.quality.q_p2_percent,
+        "model.global_clusters_count": result.n_global_clusters,
+        "model.representatives_count": result.n_representatives,
+        "model.representative_fraction": result.representative_fraction,
+        "local.max_wall_seconds": result.max_local_seconds,
+        "global.wall_seconds": result.global_seconds,
+        "overall.wall_seconds": result.overall_seconds,
+        "central.wall_seconds": central_seconds,
+        "net.bytes_up_per_site": result.bytes_up,
+        "net.bytes_down_per_site": result.bytes_down,
+    }
+
+
+def _record_command(
+    args: argparse.Namespace,
+    command: str,
+    *,
+    metrics: dict | None = None,
+    wall_seconds: float | None = None,
+) -> None:
+    """Append one RunRecord for a CLI command (best effort).
+
+    Recording is observability, so it must never break the run: any
+    failure prints a warning and the command still succeeds.
+    """
+    if args.no_registry:
+        return
+    from repro.obs.registry import RunRegistry
+
+    metrics = dict(metrics or {})
+    if wall_seconds is not None:
+        metrics.setdefault("command.wall_seconds", wall_seconds)
+    try:
+        RunRegistry(args.registry).record(
+            command,
+            config={
+                "dataset": args.dataset,
+                "cardinality": args.cardinality,
+                "n_sites": args.sites,
+                "scheme": args.scheme,
+                "seed": args.seed,
+            },
+            metrics=metrics,
+        )
+    except Exception as error:  # never fail the run over bookkeeping
+        print(f"warning: could not record run: {error}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -211,6 +279,13 @@ def main(argv: list[str] | None = None) -> int:
     Returns:
         Process exit code.
     """
+    if argv is None:
+        argv = sys.argv[1:]
+    # The registry CLI is its own subcommand family with its own parser.
+    if argv and argv[0] == "runs":
+        from repro.obs.runs_cli import main as runs_main
+
+        return runs_main(argv[1:])
     args = build_parser().parse_args(argv)
     commands = list(args.commands)
     if "all" in commands:
@@ -220,6 +295,7 @@ def main(argv: list[str] | None = None) -> int:
         ]
 
     for command in commands:
+        command_start = time.perf_counter()
         if command == "fig6":
             table, sketches = run_fig6(sketch=not args.no_sketch)
             print(table.to_text())
@@ -274,10 +350,17 @@ def main(argv: list[str] | None = None) -> int:
 
             print(run_baseline_comparison(seed=args.seed).to_text())
         elif command == "run":
-            _run_single(args)
+            run_metrics = _run_single(args)
+            _record_command(
+                args,
+                "run",
+                metrics=run_metrics,
+                wall_seconds=time.perf_counter() - command_start,
+            )
         elif command == "bench":
             from repro.perf.hotpaths import (
                 format_summary,
+                record_bench_run,
                 run_hotpath_bench,
                 write_report,
             )
@@ -290,11 +373,23 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
             )
             print(format_summary(report))
+            # Registry first (durable history), then the generated
+            # "latest" view with the run id stamped into its meta.
+            if not args.no_registry:
+                try:
+                    record = record_bench_run(report, args.registry)
+                    print(f"recorded {record['run_id']} in {args.registry}")
+                except Exception as error:
+                    print(
+                        f"warning: could not record run: {error}",
+                        file=sys.stderr,
+                    )
             path = write_report(report, args.bench_out)
             print(f"wrote {path}")
         elif command == "chaos":
             from repro.experiments.chaos import (
                 chaos_table,
+                record_chaos_run,
                 run_chaos_sweep,
                 write_chaos_report,
             )
@@ -313,6 +408,15 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
             )
             print(chaos_table(chaos_report).to_text())
+            if not args.no_registry:
+                try:
+                    record = record_chaos_run(chaos_report, args.registry)
+                    print(f"recorded {record['run_id']} in {args.registry}")
+                except Exception as error:
+                    print(
+                        f"warning: could not record run: {error}",
+                        file=sys.stderr,
+                    )
             path = write_chaos_report(chaos_report, args.chaos_out)
             print(f"wrote {path}")
         elif command == "trace":
@@ -321,6 +425,15 @@ def main(argv: list[str] | None = None) -> int:
             status = run_trace_command(args)
             if status:
                 return status
+        if command in (
+            "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11",
+            "ablations", "baselines", "figures",
+        ):
+            _record_command(
+                args,
+                command,
+                wall_seconds=time.perf_counter() - command_start,
+            )
         print()
     return 0
 

@@ -323,6 +323,40 @@ class DistributedRunReport:
         """Traffic per message kind (``local_model`` vs ``global_model``)."""
         return dict(self.network.bytes_by_kind)
 
+    def flat_metrics(self) -> dict[str, float]:
+        """The report as the flat metric dict a RunRecord stores.
+
+        Names follow the :mod:`repro.obs` contract (dotted, units in the
+        name, per-kind variants in brackets); the run registry appends
+        them and ``python -m repro runs regress`` compares them under the
+        direction-aware rules of :mod:`repro.obs.regress`.
+        """
+        metrics: dict[str, float] = {
+            "local.wall_seconds": self.local_wall_seconds,
+            "local.cpu_seconds": self.local_cpu_seconds,
+            "local.max_wall_seconds": self.max_local_wall_seconds,
+            "global.wall_seconds": self.global_wall_seconds,
+            "relabel.wall_seconds": self.relabel_wall_seconds,
+            "relabel.cpu_seconds": self.relabel_cpu_seconds,
+            "overall.wall_seconds": self.overall_wall_seconds,
+            "local.admitted_sim_seconds": self.local_sim_seconds,
+            "round.round_sim_seconds": self.round_sim_seconds,
+            "raw.baseline_sim_seconds": self.raw_sim_seconds,
+            "net.bytes_total": float(self.network.bytes_total),
+            "net.bytes_upstream": float(self.network.bytes_upstream),
+            "net.bytes_downstream": float(self.network.bytes_downstream),
+            "transport.retries": float(self.retries),
+            "transmission.cost_ratio": self.transmission_cost_ratio,
+            "sites.participating_count": float(len(self.participating_sites)),
+            "sites.failed": float(len(self.failed_sites)),
+            "run.degraded_count": float(self.degraded),
+            "model.representatives_count": float(self.n_representatives),
+            "model.objects_count": float(self.n_objects),
+        }
+        for kind, n_bytes in sorted(self.bytes_by_kind.items()):
+            metrics[f"net.bytes[{kind}]"] = float(n_bytes)
+        return metrics
+
     def labels_in_original_order(self) -> np.ndarray:
         """Global labels aligned with the pre-partition object order.
 

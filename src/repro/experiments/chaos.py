@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,11 +33,14 @@ from repro.experiments.common import central_reference
 from repro.experiments.reporting import ExperimentTable
 from repro.faults import FaultPlan, TransportPolicy
 from repro.obs import MetricsRegistry, Tracer, phase_totals
+from repro.obs.registry import run_environment, utc_now_iso
 from repro.quality.degraded import evaluate_degraded_quality
 
 __all__ = [
     "ChaosTrial",
     "run_chaos_sweep",
+    "flat_metrics",
+    "record_chaos_run",
     "chaos_table",
     "write_chaos_report",
     "DEFAULT_CHAOS_PATH",
@@ -252,8 +254,11 @@ def run_chaos_sweep(
                 },
             }
         )
+    environment = run_environment()
     return {
         "bench": "chaos",
+        # Provenance rides in every report (shared RunRecord helper), so
+        # trajectory comparisons across machines/checkouts stay meaningful.
         "meta": {
             "dataset": data.name,
             "cardinality": int(data.n),
@@ -263,11 +268,64 @@ def run_chaos_sweep(
             "trials": int(trials),
             "seed": int(seed),
             "central_seconds": float(central_seconds),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
+            "created_utc": utc_now_iso(),
+            "git_rev": environment["git_rev"],
+            "git_dirty": environment["git_dirty"],
+            "cpu_count": environment["cpu_count"],
+            "python": environment["python"],
+            "numpy": environment["numpy"],
+            "platform": environment["platform"],
         },
         "sweep": sweep,
     }
+
+
+def flat_metrics(report: dict) -> dict[str, float]:
+    """Flatten a chaos sweep into RunRecord metrics.
+
+    One entry per swept probability, the probability as a bracketed
+    label (``"chaos.q_p2_overall_percent[p=0.25]"``); quality names end
+    in ``percent`` so the regression gate treats a drop as a regression.
+    """
+    out: dict[str, float] = {}
+    for point in report["sweep"]:
+        p = f"p={point['failure_prob']:g}"
+        out[f"chaos.q_p1_overall_percent[{p}]"] = point["mean_q_p1_overall"]
+        out[f"chaos.q_p2_overall_percent[{p}]"] = point["mean_q_p2_overall"]
+        if point["mean_q_p2_surviving"] is not None:
+            out[f"chaos.q_p2_surviving_percent[{p}]"] = point[
+                "mean_q_p2_surviving"
+            ]
+        out[f"chaos.failed_fraction[{p}]"] = point["mean_failed_fraction"]
+        out[f"chaos.retries[{p}]"] = point["total_retries"]
+        out[f"chaos.degraded_runs[{p}]"] = point["n_degraded"]
+    out["chaos.central_wall_seconds"] = report["meta"]["central_seconds"]
+    return out
+
+
+def record_chaos_run(report: dict, registry_root: str) -> dict:
+    """Append one chaos report to the run registry.
+
+    The registry is the durable history; ``BENCH_chaos.json`` remains
+    the generated "latest" view, stamped with the record's run id.
+    """
+    from repro.obs.registry import RunRegistry
+
+    meta = report["meta"]
+    record = RunRegistry(registry_root).record(
+        "chaos",
+        config={
+            key: meta[key]
+            for key in (
+                "dataset", "cardinality", "n_sites", "mode", "scheme",
+                "trials", "seed",
+            )
+        },
+        metrics=flat_metrics(report),
+        artifacts={"BENCH_chaos.json": report},
+    )
+    meta["run_id"] = record["run_id"]
+    return record
 
 
 def chaos_table(report: dict) -> ExperimentTable:

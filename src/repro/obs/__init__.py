@@ -13,11 +13,34 @@ from repro.obs.export import (
     phase_totals,
     to_chrome_trace,
     trace_document,
+    validate_document,
     validate_trace,
     write_chrome_trace,
     write_trace,
 )
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.openmetrics import (
+    parse_openmetrics,
+    render_registry,
+    render_run_record,
+)
+from repro.obs.regress import (
+    DEFAULT_RULES,
+    MetricRule,
+    RegressionReport,
+    detect_regressions,
+    diff_records,
+)
+from repro.obs.registry import (
+    DEFAULT_REGISTRY_ROOT,
+    RUNRECORD_VERSION,
+    RunRegistry,
+    build_run_record,
+    config_digest,
+    load_runrecord_schema,
+    run_environment,
+    validate_run_record,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -36,4 +59,21 @@ __all__ = [
     "phase_totals",
     "load_trace_schema",
     "validate_trace",
+    "validate_document",
+    "RUNRECORD_VERSION",
+    "DEFAULT_REGISTRY_ROOT",
+    "RunRegistry",
+    "build_run_record",
+    "config_digest",
+    "run_environment",
+    "load_runrecord_schema",
+    "validate_run_record",
+    "MetricRule",
+    "DEFAULT_RULES",
+    "RegressionReport",
+    "diff_records",
+    "detect_regressions",
+    "render_run_record",
+    "render_registry",
+    "parse_openmetrics",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "phase_totals",
     "load_trace_schema",
     "validate_trace",
+    "validate_document",
 ]
 
 TRACE_FORMAT_VERSION = 1
@@ -176,6 +177,16 @@ def validate_trace(doc, schema: dict | None = None) -> list[str]:
     """
     if schema is None:
         schema = load_trace_schema()
+    return validate_document(doc, schema)
+
+
+def validate_document(doc, schema: dict) -> list[str]:
+    """Validate any document against a JSON Schema (the supported subset).
+
+    The generic entry point behind :func:`validate_trace`; the run
+    registry reuses it for ``runrecord_schema.json``.  Returns a list of
+    human-readable problems (empty means valid).
+    """
     errors: list[str] = []
     _validate(doc, schema, schema, "$", errors)
     return errors

@@ -1,0 +1,330 @@
+"""OpenMetrics / Prometheus textfile export of RunRecords and metric
+registries.
+
+External scrapers and dashboards should not have to parse DBDC's JSON:
+:func:`render_run_record` serializes a RunRecord (and
+:func:`render_registry` a live ``MetricsRegistry.to_dict()`` snapshot)
+to the OpenMetrics text exposition format — ``# TYPE`` / ``# HELP``
+lines, sanitized names, escaped labels, cumulative histogram buckets
+with ``le`` labels and a closing ``# EOF`` — ready for the Prometheus
+node-exporter textfile collector or a plain HTTP endpoint.
+
+The repo's dotted metric names map mechanically: dots become
+underscores under a ``dbdc_`` prefix, and the bracketed per-kind
+variants become labels::
+
+    transport.bytes[local_model]  ->  dbdc_transport_bytes_total{kind="local_model"}
+    chaos.q_p2_overall_percent[p=0.25]
+                                  ->  dbdc_chaos_q_p2_overall_percent{p="0.25"}
+
+:func:`parse_openmetrics` is a strict reader of the subset this module
+emits (legal names per the OpenMetrics ABNF, one ``# TYPE`` per family,
+``# EOF`` required) used by the round-trip tests and the CI gate.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "sanitize_name",
+    "sanitize_label_name",
+    "escape_label_value",
+    "split_label_suffix",
+    "render_registry",
+    "render_run_record",
+    "parse_openmetrics",
+]
+
+#: Metric names per the OpenMetrics ABNF.
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: Label names per the OpenMetrics ABNF.
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_ILLEGAL_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_ILLEGAL_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str, prefix: str = "dbdc") -> str:
+    """Map a dotted repo metric name to a legal OpenMetrics name."""
+    flat = _ILLEGAL_NAME_CHARS.sub("_", name.replace(".", "_"))
+    full = f"{prefix}_{flat}" if prefix else flat
+    if not full or not METRIC_NAME_RE.match(full):
+        full = "_" + full
+    return full
+
+
+def sanitize_label_name(name: str) -> str:
+    """Map an arbitrary string to a legal OpenMetrics label name."""
+    flat = _ILLEGAL_LABEL_CHARS.sub("_", name)
+    if not flat or not LABEL_NAME_RE.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def split_label_suffix(name: str) -> tuple[str, dict[str, str]]:
+    """Split the repo's bracketed variant off a metric name.
+
+    ``"transport.bytes[local_model]"`` → ``("transport.bytes",
+    {"kind": "local_model"})``; a ``key=value`` bracket body names its
+    own label (``"q[p=0.25]"`` → ``("q", {"p": "0.25"})``).
+    """
+    if not name.endswith("]") or "[" not in name:
+        return name, {}
+    base, body = name[:-1].split("[", 1)
+    if "=" in body:
+        key, value = body.split("=", 1)
+        return base, {sanitize_label_name(key): value}
+    return base, {"kind": body}
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _sample(name: str, labels: dict[str, str], value: float) -> str:
+    return f"{name}{_render_labels(labels)} {_format_value(value)}"
+
+
+def render_registry(
+    snapshot: dict,
+    *,
+    prefix: str = "dbdc",
+    labels: dict[str, str] | None = None,
+    terminate: bool = True,
+) -> str:
+    """Render a ``MetricsRegistry.to_dict()`` snapshot as OpenMetrics text.
+
+    Counters become ``counter`` families (``_total`` suffix), gauges
+    ``gauge``, histograms ``histogram`` with *cumulative* power-of-two
+    ``le`` buckets plus the mandatory ``+Inf`` bucket, ``_sum`` and
+    ``_count`` samples.
+
+    Args:
+        snapshot: ``{"counters": …, "gauges": …, "histograms": …}``.
+        prefix: metric-name prefix.
+        labels: labels stamped on every sample (e.g. the run id).
+        terminate: append the ``# EOF`` terminator (disable when the
+            caller embeds this block in a larger exposition).
+    """
+    labels = labels or {}
+    lines: list[str] = []
+    families: set[str] = set()
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        if name in families:
+            return
+        families.add(name)
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for raw in sorted(snapshot.get("counters", {})):
+        base, extra = split_label_suffix(raw)
+        name = sanitize_name(base, prefix)
+        if not name.endswith("_total"):
+            name += "_total"
+        family(name, "counter", f"DBDC counter {base}")
+        lines.append(_sample(name, {**labels, **extra},
+                             snapshot["counters"][raw]))
+    for raw in sorted(snapshot.get("gauges", {})):
+        base, extra = split_label_suffix(raw)
+        name = sanitize_name(base, prefix)
+        family(name, "gauge", f"DBDC gauge {base}")
+        lines.append(_sample(name, {**labels, **extra},
+                             snapshot["gauges"][raw]))
+    for raw in sorted(snapshot.get("histograms", {})):
+        base, extra = split_label_suffix(raw)
+        name = sanitize_name(base, prefix)
+        family(name, "histogram", f"DBDC histogram {base}")
+        hist = snapshot["histograms"][raw]
+        row_labels = {**labels, **extra}
+        cumulative = 0
+        for bound in sorted(hist.get("buckets", {}), key=float):
+            cumulative += hist["buckets"][bound]
+            lines.append(
+                _sample(
+                    name + "_bucket",
+                    {**row_labels, "le": _format_value(float(bound))},
+                    cumulative,
+                )
+            )
+        lines.append(
+            _sample(name + "_bucket", {**row_labels, "le": "+Inf"},
+                    hist["count"])
+        )
+        lines.append(_sample(name + "_sum", row_labels, hist["sum"]))
+        lines.append(_sample(name + "_count", row_labels, hist["count"]))
+    if terminate:
+        lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def render_run_record(record: dict, *, prefix: str = "dbdc") -> str:
+    """Render one RunRecord as OpenMetrics text.
+
+    Emits a ``<prefix>_run_info`` gauge carrying the provenance as
+    labels, one gauge family per flat metric (labelled with the run id
+    and command), and — when the record carries a ``metrics_registry``
+    snapshot — the full registry under the same labels.
+    """
+    env = record.get("environment", {})
+    base_labels = {
+        "run_id": record["run_id"],
+        "command": record["command"],
+    }
+    lines: list[str] = []
+    info = f"{prefix}_run_info"
+    lines.append(f"# HELP {info} DBDC run provenance (value is always 1).")
+    lines.append(f"# TYPE {info} gauge")
+    lines.append(
+        _sample(
+            info,
+            {
+                **base_labels,
+                "created_utc": record.get("created_utc", ""),
+                "git_rev": str(env.get("git_rev", "")),
+                "python": str(env.get("python", "")),
+                "numpy": str(env.get("numpy", "")),
+                "cpu_count": str(env.get("cpu_count", "")),
+                "config_digest": record.get("config_digest", ""),
+            },
+            1,
+        )
+    )
+    seen_families: set[str] = set()
+    for raw in sorted(record.get("metrics", {})):
+        value = record["metrics"][raw]
+        if value is None:
+            continue
+        base, extra = split_label_suffix(raw)
+        name = sanitize_name(base, prefix)
+        if name not in seen_families:
+            seen_families.add(name)
+            lines.append(
+                f"# HELP {name} {_escape_help(f'DBDC run metric {base}')}"
+            )
+            lines.append(f"# TYPE {name} gauge")
+        lines.append(_sample(name, {**base_labels, **extra}, value))
+    body = "\n".join(lines) + "\n"
+    registry_snapshot = record.get("metrics_registry")
+    if registry_snapshot:
+        body += render_registry(
+            registry_snapshot,
+            prefix=prefix + "_reg",
+            labels=base_labels,
+            terminate=False,
+        )
+    return body + "# EOF\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Parse the exposition subset this module emits.
+
+    Returns ``{family_name: {"type": str, "help": str, "samples":
+    [(sample_name, labels_dict, value), …]}}``.  Samples attach to the
+    family whose name prefixes theirs (``_bucket``/``_sum``/``_count``
+    fold into their histogram).
+
+    Raises:
+        ValueError: on illegal metric/label names, duplicate ``# TYPE``
+            declarations, unparseable samples, or a missing ``# EOF``.
+    """
+    families: dict[str, dict] = {}
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    for line in lines[:-1]:
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            __, keyword, rest = line.split(" ", 2)
+            name, __, payload = rest.partition(" ")
+            if not METRIC_NAME_RE.match(name):
+                raise ValueError(f"illegal metric name {name!r}")
+            entry = families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )
+            if keyword == "TYPE":
+                if entry["type"] is not None:
+                    raise ValueError(f"duplicate # TYPE for {name!r}")
+                entry["type"] = payload
+            else:
+                entry["help"] = payload
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"unexpected comment line {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"unparseable sample line {line!r}")
+        sample_name = match.group("name")
+        labels: dict[str, str] = {}
+        label_blob = match.group("labels")
+        if label_blob:
+            pairs = list(_LABEL_PAIR_RE.finditer(label_blob))
+            rebuilt = ",".join(pair.group(0) for pair in pairs)
+            if rebuilt != label_blob:
+                raise ValueError(f"illegal label syntax in {line!r}")
+            for pair in pairs:
+                labels[pair.group("name")] = _unescape(pair.group("value"))
+        value = float(match.group("value"))
+        # Histogram samples fold into their family; counters are already
+        # declared under their `_total` name, gauges under their own.
+        family_name = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)]
+            if sample_name.endswith(suffix) and trimmed in families:
+                family_name = trimmed
+                break
+        entry = families.get(family_name)
+        if entry is None:
+            raise ValueError(
+                f"sample {sample_name!r} has no preceding # TYPE family"
+            )
+        entry["samples"].append((sample_name, labels, value))
+    for name, entry in families.items():
+        if entry["type"] is None:
+            raise ValueError(f"family {name!r} missing # TYPE")
+    return families

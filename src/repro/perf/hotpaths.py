@@ -25,7 +25,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 from typing import Callable
@@ -37,8 +36,16 @@ from repro.data.datasets import dataset_a
 from repro.distributed.runner import DistributedRunConfig, DistributedRunner
 from repro.index import build_index
 from repro.obs import MetricsRegistry, Tracer, phase_totals
+from repro.obs.registry import run_environment, utc_now_iso
 
-__all__ = ["run_hotpath_bench", "write_report", "format_summary", "main"]
+__all__ = [
+    "run_hotpath_bench",
+    "flat_metrics",
+    "record_bench_run",
+    "write_report",
+    "format_summary",
+    "main",
+]
 
 DEFAULT_REPORT_PATH = "BENCH_hotpaths.json"
 
@@ -197,8 +204,11 @@ def run_hotpath_bench(
     """Run all hot-path benchmarks on data set A and return the report."""
     data = dataset_a(cardinality=cardinality, seed=seed)
     points, eps, min_pts = data.points, data.eps_local, data.min_pts
+    environment = run_environment()
     return {
         "bench": "hotpaths",
+        # Provenance rides in every report (shared RunRecord helper), so
+        # trajectory comparisons across machines/checkouts stay meaningful.
         "meta": {
             "cardinality": int(points.shape[0]),
             "dim": int(points.shape[1]),
@@ -206,9 +216,13 @@ def run_hotpath_bench(
             "min_pts": int(min_pts),
             "repeats": int(repeats),
             "seed": int(seed),
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
+            "created_utc": utc_now_iso(),
+            "git_rev": environment["git_rev"],
+            "git_dirty": environment["git_dirty"],
+            "cpu_count": environment["cpu_count"],
+            "python": environment["python"],
+            "numpy": environment["numpy"],
+            "platform": environment["platform"],
         },
         "region_queries": bench_region_queries(
             points, eps, kinds=kinds, repeats=repeats, seed=seed
@@ -218,6 +232,37 @@ def run_hotpath_bench(
             points, eps, min_pts, n_sites=n_sites, parallelism=parallelism, seed=seed
         ),
     }
+
+
+def flat_metrics(report: dict) -> dict[str, float]:
+    """Flatten a hot-path report into RunRecord metrics.
+
+    Per-kind numbers keep the kind in brackets
+    (``"dbscan.speedup[grid]"``) per the :mod:`repro.obs` name contract;
+    the regression gate treats ``*speedup*`` as higher-is-better and
+    ``*seconds*`` as lower-is-better.
+    """
+    out: dict[str, float] = {}
+    for kind, row in report["region_queries"].items():
+        out[f"region_queries.single_seconds[{kind}]"] = row["single_seconds"]
+        out[f"region_queries.batched_seconds[{kind}]"] = row["batched_seconds"]
+        if row["speedup"] is not None:
+            out[f"region_queries.speedup[{kind}]"] = row["speedup"]
+    for kind, row in report["dbscan"].items():
+        out[f"dbscan.single_seconds[{kind}]"] = row["single_seconds"]
+        out[f"dbscan.batched_seconds[{kind}]"] = row["batched_seconds"]
+        if row["speedup"] is not None:
+            out[f"dbscan.speedup[{kind}]"] = row["speedup"]
+        out[f"dbscan.clusters_count[{kind}]"] = row["n_clusters"]
+        out[f"dbscan.region_queries_count[{kind}]"] = row["n_region_queries"]
+    for name, row in report["local_phase"].items():
+        if name == "n_sites":
+            continue
+        out[f"local_phase.wall_seconds[{name}]"] = row["local_wall_seconds"]
+        out[f"local_phase.cpu_seconds[{name}]"] = row["local_cpu_seconds"]
+        if "speedup_vs_sequential" in row and row["speedup_vs_sequential"]:
+            out[f"local_phase.speedup[{name}]"] = row["speedup_vs_sequential"]
+    return out
 
 
 def write_report(report: dict, path: str = DEFAULT_REPORT_PATH) -> str:
@@ -264,6 +309,30 @@ def format_summary(report: dict) -> str:
     return "\n".join(lines)
 
 
+def record_bench_run(report: dict, registry_root: str) -> dict:
+    """Append one hot-path report to the run registry.
+
+    The registry holds the durable history; the top-level
+    ``BENCH_hotpaths.json`` is just the generated "latest" view.  The
+    record's run id is stamped back into ``report["meta"]["run_id"]`` so
+    the latest view points at its registry entry.
+    """
+    from repro.obs.registry import RunRegistry
+
+    meta = report["meta"]
+    record = RunRegistry(registry_root).record(
+        "bench",
+        config={
+            key: meta[key]
+            for key in ("cardinality", "dim", "eps", "min_pts", "repeats", "seed")
+        },
+        metrics=flat_metrics(report),
+        artifacts={"BENCH_hotpaths.json": report},
+    )
+    meta["run_id"] = record["run_id"]
+    return record
+
+
 def main(argv: list[str] | None = None) -> int:
     """Stand-alone entry point (also reachable as ``repro.cli bench``)."""
     parser = argparse.ArgumentParser(description="DBDC hot-path benchmarks")
@@ -273,6 +342,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--out", default=DEFAULT_REPORT_PATH)
+    parser.add_argument("--registry", default=".runs")
+    parser.add_argument("--no-registry", action="store_true")
     args = parser.parse_args(argv)
     report = run_hotpath_bench(
         cardinality=args.cardinality,
@@ -282,6 +353,9 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
     print(format_summary(report))
+    if not args.no_registry:
+        record = record_bench_run(report, args.registry)
+        print(f"recorded {record['run_id']} in {args.registry}")
     path = write_report(report, args.out)
     print(f"wrote {path}")
     return 0

@@ -45,6 +45,7 @@ __all__ = [
     "reconcile_trace",
     "smoke_check",
     "format_trace_summary",
+    "record_trace_run",
     "main",
 ]
 
@@ -224,8 +225,46 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-out", default=DEFAULT_TRACE_PATH)
     parser.add_argument("--chrome-out", default=None,
                         help="also write Chrome trace_event JSON here")
+    parser.add_argument("--registry", default=".runs",
+                        help="run registry root")
+    parser.add_argument("--no-registry", action="store_true",
+                        help="skip the RunRecord append")
     args = parser.parse_args(argv)
     return run_trace_command(args)
+
+
+def record_trace_run(
+    report: DistributedRunReport,
+    args: argparse.Namespace,
+    registry_root: str,
+) -> dict:
+    """Append one traced run to the run registry.
+
+    Stores the report's flat metrics plus per-phase wall totals from the
+    trace, the full ``MetricsRegistry`` snapshot, and the trace document
+    itself as an artifact.
+    """
+    from repro.obs.registry import RunRegistry
+
+    doc = report.trace
+    metrics = report.flat_metrics()
+    for name, row in phase_totals(doc).items():
+        metrics[f"phase.wall_seconds[{name}]"] = row["wall_seconds"]
+    return RunRegistry(registry_root).record(
+        "trace",
+        config={
+            "dataset": args.dataset,
+            "cardinality": args.cardinality,
+            "n_sites": args.sites,
+            "scheme": args.scheme,
+            "seed": args.seed,
+            "parallelism": args.parallelism,
+            "fault_intensity": args.fault_intensity,
+        },
+        metrics=metrics,
+        metrics_registry=doc.get("metrics"),
+        artifacts={"TRACE_run.json": doc},
+    )
 
 
 def run_trace_command(args: argparse.Namespace) -> int:
@@ -254,6 +293,11 @@ def run_trace_command(args: argparse.Namespace) -> int:
             print(f"INVALID TRACE: {error}")
         return 1
     print(format_trace_summary(doc))
+    if not getattr(args, "no_registry", False):
+        record = record_trace_run(
+            report, args, getattr(args, "registry", ".runs")
+        )
+        print(f"recorded {record['run_id']} in {getattr(args, 'registry', '.runs')}")
     path = write_trace(doc, args.trace_out)
     print(f"wrote {path}")
     if args.chrome_out:

@@ -1,0 +1,197 @@
+"""Unit tests for the run registry (RunRecord schema, JSONL store, gc)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RunRegistry,
+    build_run_record,
+    config_digest,
+    run_environment,
+    validate_run_record,
+)
+from repro.obs.registry import _records_from_file
+
+
+def _env():
+    return {
+        "git_rev": "deadbeef",
+        "git_dirty": False,
+        "python": "3.11.0",
+        "numpy": "2.0.0",
+        "cpu_count": 4,
+        "platform": "TestOS",
+    }
+
+
+class TestRunEnvironment:
+    def test_required_provenance_keys(self):
+        env = run_environment()
+        for key in ("git_rev", "python", "numpy", "cpu_count", "platform"):
+            assert key in env
+        # Inside this checkout the revision must resolve to a real hash.
+        assert len(env["git_rev"]) == 40
+
+    def test_outside_a_checkout(self, tmp_path):
+        env = run_environment(cwd=tmp_path)
+        assert env["git_rev"] == "unknown"
+        assert env["git_dirty"] is None
+
+
+class TestConfigDigest:
+    def test_key_order_invariant(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+    def test_prefixed(self):
+        assert config_digest({}).startswith("sha256:")
+
+
+class TestBuildRunRecord:
+    def test_valid_and_schema_clean(self):
+        record = build_run_record(
+            "bench",
+            config={"cardinality": 100},
+            metrics={"x.wall_seconds": 1.0, "q.q_p2_percent": 99.0},
+            environment=_env(),
+        )
+        assert validate_run_record(record) == []
+        assert record["command"] == "bench"
+        assert record["config_digest"] == config_digest({"cardinality": 100})
+
+    def test_run_id_sortable_and_unique(self):
+        a = build_run_record("bench", environment=_env())
+        b = build_run_record("bench", environment=_env())
+        assert a["run_id"] != b["run_id"]
+        assert a["command"] in a["run_id"]
+
+    def test_non_finite_metrics_become_null(self):
+        record = build_run_record(
+            "bench",
+            metrics={"bad": float("nan"), "inf": float("inf"), "ok": 1.5},
+            environment=_env(),
+        )
+        assert record["metrics"]["bad"] is None
+        assert record["metrics"]["inf"] is None
+        assert record["metrics"]["ok"] == 1.5
+        # The record must survive a strict-JSON round trip.
+        rehydrated = json.loads(
+            json.dumps(record, allow_nan=False, sort_keys=True)
+        )
+        assert validate_run_record(rehydrated) == []
+
+    def test_schema_rejects_missing_fields(self):
+        record = build_run_record("bench", environment=_env())
+        del record["config_digest"]
+        assert any(
+            "config_digest" in problem for problem in validate_run_record(record)
+        )
+
+    def test_schema_rejects_bad_metric_values(self):
+        record = build_run_record("bench", environment=_env())
+        record["metrics"]["oops"] = "fast"
+        assert validate_run_record(record) != []
+
+
+class TestRunRegistry:
+    def test_append_and_load(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        r1 = registry.record("bench", metrics={"a": 1.0}, environment=_env())
+        r2 = registry.record("chaos", metrics={"a": 2.0}, environment=_env())
+        loaded = registry.load_records()
+        assert [r["run_id"] for r in loaded] == [r1["run_id"], r2["run_id"]]
+        for record in loaded:
+            assert validate_run_record(record) == []
+
+    def test_artifacts_written_and_referenced(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        record = registry.record(
+            "bench",
+            artifacts={"report.json": {"k": 1}, "notes.txt": "hello"},
+            environment=_env(),
+        )
+        report_path = registry.root / record["artifacts"]["report.json"]
+        assert json.loads(report_path.read_text()) == {"k": 1}
+        notes_path = registry.root / record["artifacts"]["notes.txt"]
+        assert notes_path.read_text() == "hello"
+        # Stored record carries the same relative paths.
+        stored = registry.load_records()[-1]
+        assert stored["artifacts"] == record["artifacts"]
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        registry.record("bench", environment=_env())
+        with registry.records_path.open("a") as handle:
+            handle.write("not json at all\n")
+        assert len(registry.load_records()) == 1
+
+    def test_resolve_latest_and_back_references(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        r1 = registry.record("bench", environment=_env())
+        r2 = registry.record("bench", environment=_env())
+        assert registry.resolve("latest")[0]["run_id"] == r2["run_id"]
+        assert registry.resolve("latest~1")[0]["run_id"] == r1["run_id"]
+        with pytest.raises(ValueError):
+            registry.resolve("latest~5")
+
+    def test_resolve_run_id_and_prefix(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        record = registry.record("bench", environment=_env())
+        assert registry.resolve(record["run_id"])[0]["run_id"] == record["run_id"]
+        prefix = record["run_id"][:-2]
+        assert registry.resolve(prefix)[0]["run_id"] == record["run_id"]
+        with pytest.raises(ValueError):
+            registry.resolve("no-such-run")
+
+    def test_resolve_committed_file(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        a = build_run_record("bench", metrics={"x": 1.0}, environment=_env())
+        b = build_run_record("bench", metrics={"x": 2.0}, environment=_env())
+        single = tmp_path / "baseline.json"
+        single.write_text(json.dumps(a))
+        assert registry.resolve(str(single))[0]["run_id"] == a["run_id"]
+        # JSONL with k repeats resolves to all of them (median-of-k).
+        multi = tmp_path / "baseline.jsonl"
+        multi.write_text(json.dumps(a) + "\n" + json.dumps(b) + "\n")
+        assert len(registry.resolve(str(multi))) == 2
+
+    def test_resolve_file_rejects_invalid_records(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"run_id": "x"}))
+        with pytest.raises(ValueError):
+            _records_from_file(bad)
+
+    def test_last_runs_filters_by_command(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        registry.record("bench", environment=_env())
+        registry.record("chaos", environment=_env())
+        registry.record("bench", environment=_env())
+        runs = registry.last_runs("bench", 5)
+        assert len(runs) == 2
+        assert all(r["command"] == "bench" for r in runs)
+
+    def test_gc_keeps_newest_and_removes_artifacts(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        old = registry.record(
+            "bench", artifacts={"r.json": {"old": True}}, environment=_env()
+        )
+        new = registry.record(
+            "bench", artifacts={"r.json": {"new": True}}, environment=_env()
+        )
+        dropped = registry.gc(keep=1)
+        assert dropped == [old["run_id"]]
+        remaining = registry.load_records()
+        assert [r["run_id"] for r in remaining] == [new["run_id"]]
+        assert not registry.artifacts_dir(old["run_id"]).exists()
+        assert registry.artifacts_dir(new["run_id"]).exists()
+
+    def test_gc_noop_when_under_budget(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        registry.record("bench", environment=_env())
+        assert registry.gc(keep=10) == []
+        assert len(registry.load_records()) == 1
