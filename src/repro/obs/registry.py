@@ -338,9 +338,24 @@ class RunRegistry:
             raise ValueError(f"ambiguous run id prefix {ref!r}: {ids}")
         raise ValueError(f"no record matches {ref!r} in {self.root}")
 
-    def last_runs(self, command: str, n: int) -> list[dict]:
-        """The most recent ``n`` records of one command, oldest first."""
-        matching = [r for r in self.load_records() if r["command"] == command]
+    def last_runs(
+        self, command: str, n: int, *, config_digest: str | None = None
+    ) -> list[dict]:
+        """The most recent ``n`` records of one command, oldest first.
+
+        When ``config_digest`` is given, only records carrying that
+        digest qualify, so median-of-k windows cannot silently mix
+        runs produced under different configurations.
+        """
+        matching = [
+            r
+            for r in self.load_records()
+            if r["command"] == command
+            and (
+                config_digest is None
+                or r.get("config_digest") == config_digest
+            )
+        ]
         return matching[-n:]
 
     def gc(self, keep: int) -> list[str]:
@@ -352,8 +367,11 @@ class RunRegistry:
         if keep < 0:
             raise ValueError(f"keep must be >= 0, got {keep}")
         records = self.load_records()
-        kept = records[len(records) - keep :] if keep else []
-        dropped = records[: len(records) - len(kept)]
+        # Clamp before slicing: a negative start would wrap around and
+        # drop the newest records when keep > len(records).
+        start = max(0, len(records) - keep)
+        kept = records[start:]
+        dropped = records[:start]
         if not dropped:
             return []
         tmp_path = self.records_path.with_suffix(".jsonl.tmp")

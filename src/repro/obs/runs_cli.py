@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.obs.openmetrics import render_run_record
 from repro.obs.regress import (
@@ -172,9 +173,28 @@ def _cmd_regress(registry: RunRegistry, args) -> int:
             file=sys.stderr,
         )
     if args.last > 1 and len(candidates) == 1:
-        widened = registry.last_runs(candidates[0]["command"], args.last)
-        if widened:
-            candidates = widened
+        if Path(args.candidate).is_file():
+            print(
+                "warning: --last ignored: candidate resolved from a "
+                "record file, not the registry",
+                file=sys.stderr,
+            )
+        else:
+            candidate = candidates[0]
+            widened = registry.last_runs(
+                candidate["command"],
+                args.last,
+                config_digest=candidate.get("config_digest"),
+            )
+            if 0 < len(widened) < args.last:
+                print(
+                    f"warning: only {len(widened)} of the requested "
+                    f"{args.last} registry records match the candidate's "
+                    "command and config digest",
+                    file=sys.stderr,
+                )
+            if widened:
+                candidates = widened
     report = detect_regressions(
         baselines,
         candidates,

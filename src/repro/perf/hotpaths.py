@@ -354,8 +354,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(format_summary(report))
     if not args.no_registry:
-        record = record_bench_run(report, args.registry)
-        print(f"recorded {record['run_id']} in {args.registry}")
+        try:
+            record = record_bench_run(report, args.registry)
+        except Exception as error:  # never fail the run over bookkeeping
+            print(f"warning: could not record run: {error}", file=sys.stderr)
+        else:
+            print(f"recorded {record['run_id']} in {args.registry}")
     path = write_report(report, args.out)
     print(f"wrote {path}")
     return 0

@@ -294,10 +294,13 @@ def run_trace_command(args: argparse.Namespace) -> int:
         return 1
     print(format_trace_summary(doc))
     if not getattr(args, "no_registry", False):
-        record = record_trace_run(
-            report, args, getattr(args, "registry", ".runs")
-        )
-        print(f"recorded {record['run_id']} in {getattr(args, 'registry', '.runs')}")
+        registry_root = getattr(args, "registry", ".runs")
+        try:
+            record = record_trace_run(report, args, registry_root)
+        except Exception as error:  # never fail the run over bookkeeping
+            print(f"warning: could not record run: {error}", file=sys.stderr)
+        else:
+            print(f"recorded {record['run_id']} in {registry_root}")
     path = write_trace(doc, args.trace_out)
     print(f"wrote {path}")
     if args.chrome_out:

@@ -87,6 +87,47 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "trace smoke: ok" in out
 
+    def test_trace_recording_failure_does_not_abort(self, tmp_path, capsys):
+        # Point the registry at an existing *file*: the record append
+        # fails, but recording is best-effort so the trace still lands.
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "--dataset", "C",
+                "--cardinality", "600",
+                "--sites", "2",
+                "--trace-out", str(trace_path),
+                "--registry", str(blocker),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "warning: could not record run" in captured.err
+        assert trace_path.exists()
+
+    def test_bench_recording_failure_does_not_abort(self, tmp_path, capsys):
+        from repro.perf.hotpaths import main as hotpaths_main
+
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        report_path = tmp_path / "bench.json"
+        code = hotpaths_main(
+            [
+                "--cardinality", "300",
+                "--sites", "2",
+                "--parallelism", "1",
+                "--out", str(report_path),
+                "--registry", str(blocker),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "warning: could not record run" in captured.err
+        assert report_path.exists()
+
     def test_trace_writes_valid_documents(self, tmp_path, capsys):
         import json
 

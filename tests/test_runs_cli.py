@@ -150,6 +150,57 @@ class TestRegressGate:
         capsys.readouterr()
         assert runs_main(args + ["--last", "3"]) == 0
 
+    def test_last_k_ignores_other_configs(self, tmp_path, capsys):
+        root = tmp_path / ".runs"
+        registry = RunRegistry(root)
+        slow = dict(BASELINE_METRICS, **{"local.wall_seconds": 40.0})
+        registry.record(
+            "run", config={"seed": 42}, metrics=BASELINE_METRICS,
+            environment=_env(),
+        )
+        # Two slow runs under a *different* config: without digest
+        # filtering they would dominate the --last 3 median.
+        for _ in range(2):
+            registry.record(
+                "run", config={"seed": 7}, metrics=slow, environment=_env()
+            )
+        registry.record(
+            "run", config={"seed": 42}, metrics=BASELINE_METRICS,
+            environment=_env(),
+        )
+        args = [
+            "--registry", str(root), "regress",
+            "--baseline", "latest~3", "--last", "3",
+        ]
+        assert runs_main(args) == 0
+        err = capsys.readouterr().err
+        assert "only 2 of the requested 3" in err
+
+    def test_last_ignored_for_file_candidate(self, tmp_path, capsys):
+        root = tmp_path / ".runs"
+        slow = dict(BASELINE_METRICS, **{"local.wall_seconds": 40.0})
+        _seed_registry(root, [BASELINE_METRICS, slow])
+        cand_file = tmp_path / "candidate.json"
+        cand_file.write_text(
+            json.dumps(
+                build_run_record(
+                    "run",
+                    config={"seed": 42},
+                    metrics=BASELINE_METRICS,
+                    environment=_env(),
+                )
+            )
+        )
+        # Widening must not replace a file-resolved candidate with
+        # registry records (the slow latest run would fail the gate).
+        args = [
+            "--registry", str(root), "regress",
+            "--baseline", "latest~1",
+            "--candidate", str(cand_file), "--last", "3",
+        ]
+        assert runs_main(args) == 0
+        assert "--last ignored" in capsys.readouterr().err
+
     def test_mismatched_commands_warn(self, tmp_path, capsys):
         root = tmp_path / ".runs"
         registry = RunRegistry(root)

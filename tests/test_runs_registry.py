@@ -195,3 +195,34 @@ class TestRunRegistry:
         registry.record("bench", environment=_env())
         assert registry.gc(keep=10) == []
         assert len(registry.load_records()) == 1
+
+    def test_gc_clamps_when_keep_exceeds_count(self, tmp_path):
+        # len(records) < keep < 2 * len(records): a naive negative-index
+        # slice would wrap around and drop the oldest records.
+        registry = RunRegistry(tmp_path / ".runs")
+        records = [
+            registry.record(
+                "bench", artifacts={"r.json": {"i": i}}, environment=_env()
+            )
+            for i in range(3)
+        ]
+        assert registry.gc(keep=5) == []
+        assert len(registry.load_records()) == 3
+        for record in records:
+            assert registry.artifacts_dir(record["run_id"]).exists()
+
+    def test_gc_keep_zero_drops_everything(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        records = [
+            registry.record("bench", environment=_env()) for _ in range(2)
+        ]
+        assert registry.gc(keep=0) == [r["run_id"] for r in records]
+        assert registry.load_records() == []
+
+    def test_last_runs_filters_by_config_digest(self, tmp_path):
+        registry = RunRegistry(tmp_path / ".runs")
+        a = registry.record("bench", config={"seed": 1}, environment=_env())
+        registry.record("bench", config={"seed": 2}, environment=_env())
+        b = registry.record("bench", config={"seed": 1}, environment=_env())
+        runs = registry.last_runs("bench", 5, config_digest=a["config_digest"])
+        assert [r["run_id"] for r in runs] == [a["run_id"], b["run_id"]]
