@@ -141,6 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path for 'chaos'",
     )
     parser.add_argument(
+        "--recovery-rounds",
+        type=int,
+        default=0,
+        help="'chaos': recovery rounds per run (0 = abandon failed sites)",
+    )
+    parser.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=0.0,
+        help="'chaos': payload corruption probability layered on the mode",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="'trace': tiny run + schema/reconciliation validation (CI gate)",
@@ -406,6 +418,8 @@ def main(argv: list[str] | None = None) -> int:
                 mode=args.chaos_mode,
                 scheme=args.scheme,
                 seed=args.seed,
+                recovery_rounds=args.recovery_rounds,
+                corrupt_rate=args.corrupt_rate,
             )
             print(chaos_table(chaos_report).to_text())
             if not args.no_registry:

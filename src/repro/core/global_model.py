@@ -30,6 +30,7 @@ __all__ = [
     "build_global_model",
     "build_global_model_via_optics",
     "GlobalClusteringStats",
+    "GlobalModelRepairer",
 ]
 
 MIN_PTS_GLOBAL = 2
@@ -144,6 +145,155 @@ def build_global_model(
         eps_global=float(eps_global),
     )
     return model, stats
+
+
+class GlobalModelRepairer:
+    """Incrementally fold late local models into an existing global model.
+
+    The recovery rounds of the degraded protocol (``RecoveryPolicy``) need
+    the server to *heal* its global model when a failed site finally
+    delivers, without re-running the global DBSCAN from scratch — exactly
+    the property Section 6 of the paper (and the incremental DBSCAN it
+    cites) promises.  This class wraps
+    :class:`~repro.clustering.incremental.IncrementalDBSCAN` around a
+    built :class:`~repro.core.models.GlobalModel` and inserts late
+    representatives one by one.
+
+    Because ``MinPts_global = 2``, every non-noise representative is a
+    core object (its ε-neighborhood holds itself plus at least one other),
+    so DBSCAN's border ambiguity cannot arise: the maintained partition is
+    *exactly* the partition a from-scratch rebuild over the same
+    representatives would produce, differing only in label names (the
+    equivalence regression tests pin this).
+
+    Label names are kept *stable* on purpose: clusters that existed before
+    an insertion keep their ids (a merge adopts the smallest participating
+    id), and genuinely new clusters get fresh ids beyond everything handed
+    out so far.  Sites that are not re-broadcast therefore never hold a
+    label the repaired model re-used for something else.
+
+    ``eps_global`` stays frozen at the base model's radius: the paper's
+    default (max ε_r) is a function of *all* models, but re-deriving it on
+    every late arrival would re-cluster everything and re-broadcast to
+    every site — the repair keeps the round's radius and documents the
+    drift instead.
+
+    Args:
+        model: the global model to repair (usually the round's build).
+        metric: distance metric (must match the server's).
+    """
+
+    def __init__(
+        self, model: GlobalModel, *, metric: str | Metric = "euclidean"
+    ) -> None:
+        self.metric = get_metric(metric)
+        self.eps_global = float(model.eps_global)
+        self._representatives: list[Representative] = list(model.representatives)
+        self._labels = np.asarray(model.global_labels, dtype=np.intp).copy()
+        self._next_fresh = (
+            int(self._labels.max()) + 1 if self._labels.size else 0
+        )
+        self._incremental: "object | None" = None
+
+    @property
+    def n_representatives(self) -> int:
+        """Representatives currently in the maintained model."""
+        return len(self._representatives)
+
+    def _ensure_incremental(self, dim: int):
+        """Build the incremental structure lazily, seeded with the base
+        model's representatives (cost is paid once, on the first repair)."""
+        from repro.clustering.incremental import IncrementalDBSCAN
+
+        if self._incremental is None:
+            inc = IncrementalDBSCAN(
+                self.eps_global, MIN_PTS_GLOBAL, dim, metric=self.metric
+            )
+            for rep in self._representatives:
+                inc.insert(rep.point)
+            self._incremental = inc
+        return self._incremental
+
+    def _canonical_labels(self, raw: np.ndarray, n_prev: int) -> np.ndarray:
+        """Map the incremental structure's raw labels onto stable ids.
+
+        Insertions can only grow or merge clusters — never split them —
+        so every pre-existing cluster's representatives still share one
+        raw label; a raw cluster adopts the smallest previous id among
+        its members (merges collapse onto the smallest), raw clusters
+        without previous members get fresh ids, and noise representatives
+        are singletons (old ones keep their singleton id).
+        """
+        prev = self._labels
+        canonical = np.empty(raw.size, dtype=np.intp)
+        target: dict[int, int] = {}
+        for i in range(n_prev):
+            r = int(raw[i])
+            if r >= 0 and (r not in target or int(prev[i]) < target[r]):
+                target[r] = int(prev[i])
+        next_fresh = self._next_fresh
+        for i in range(raw.size):
+            r = int(raw[i])
+            if r < 0:
+                if i < n_prev:
+                    canonical[i] = prev[i]
+                else:
+                    canonical[i] = next_fresh
+                    next_fresh += 1
+            else:
+                if r not in target:
+                    target[r] = next_fresh
+                    next_fresh += 1
+                canonical[i] = target[r]
+        self._next_fresh = next_fresh
+        return canonical
+
+    def add_model(self, model: LocalModel) -> tuple[GlobalModel, bool]:
+        """Insert one late local model and return the repaired global model.
+
+        Args:
+            model: the late site's local model.
+
+        Returns:
+            ``(repaired_model, relabeled)`` — ``relabeled`` is true when
+            any *pre-existing* representative's global label changed (a
+            late representative merged old clusters), which is what forces
+            a re-broadcast to previously relabeled sites.
+        """
+        new_reps = list(model.representatives)
+        n_prev = len(self._representatives)
+        if not new_reps:
+            return self.model(), False
+        if self.eps_global <= 0:
+            # Degenerate radius: nothing can merge, late representatives
+            # become singletons; no existing label moves.
+            fresh = np.arange(
+                self._next_fresh, self._next_fresh + len(new_reps), dtype=np.intp
+            )
+            self._next_fresh += len(new_reps)
+            self._labels = np.concatenate([self._labels, fresh])
+            self._representatives.extend(new_reps)
+            return self.model(), False
+        inc = self._ensure_incremental(new_reps[0].point.size)
+        for rep in new_reps:
+            inc.insert(rep.point)
+        self._representatives.extend(new_reps)
+        # live_indices is insertion-ordered (no deletions happen here), so
+        # raw labels align with self._representatives.
+        raw = inc.labels()
+        canonical = self._canonical_labels(raw, n_prev)
+        relabeled = bool((canonical[:n_prev] != self._labels[:n_prev]).any())
+        self._labels = canonical
+        return self.model(), relabeled
+
+    def model(self) -> GlobalModel:
+        """The maintained global model (stable labels, no noise)."""
+        return GlobalModel(
+            representatives=list(self._representatives),
+            global_labels=self._labels.copy(),
+            eps_global=self.eps_global,
+            min_pts_global=MIN_PTS_GLOBAL,
+        )
 
 
 def build_global_model_via_optics(

@@ -330,10 +330,15 @@ def build_rep_kmeans_model(
             points[members], seeds, metric=resolved, max_iter=max_iter
         )
         for j in range(km.k):
+            # A degenerate cell (empty, or every member exactly on the
+            # centroid) has radius 0, which Representative rejects; the
+            # smallest positive float keeps the old "covers only exact
+            # coincidences" semantics while satisfying ε_r > 0.
+            radius = max(km.radius_of(j, points[members]), np.finfo(float).tiny)
             representatives.append(
                 Representative(
                     point=km.centroids[j].copy(),
-                    eps_range=km.radius_of(j, points[members]),
+                    eps_range=radius,
                     site_id=site_id,
                     local_cluster_id=cid,
                 )

@@ -44,9 +44,18 @@ class Representative:
     local_cluster_id: int
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "point", np.asarray(self.point, dtype=float))
-        if self.eps_range < 0:
-            raise ValueError(f"eps_range must be >= 0, got {self.eps_range}")
+        point = np.asarray(self.point, dtype=float)
+        object.__setattr__(self, "point", point)
+        # Corrupt payloads must fail loudly at construction, not poison the
+        # global DBSCAN: NaN/inf coordinates break every distance function,
+        # and a non-positive ε-range describes no area at all (Def. 7 gives
+        # every representative a strictly positive specific ε-range).
+        if not np.isfinite(point).all():
+            raise ValueError(
+                f"representative coordinates must be finite, got {point!r}"
+            )
+        if not np.isfinite(self.eps_range) or self.eps_range <= 0:
+            raise ValueError(f"eps_range must be > 0, got {self.eps_range}")
 
     def covers(self, point: np.ndarray, metric) -> bool:
         """Whether ``point`` lies in this representative's ε_r-neighborhood."""
@@ -98,6 +107,47 @@ class LocalModel:
     def eps_ranges(self) -> np.ndarray:
         """The ε_r values aligned with :meth:`points`."""
         return np.asarray([rep.eps_range for rep in self.representatives])
+
+    def validate(self) -> list[str]:
+        """Semantic admission checks beyond what construction enforces.
+
+        :class:`Representative` already rejects NaN/inf coordinates and
+        non-positive ε-ranges at construction; this method covers the
+        cross-field consistency a server must check before merging a model
+        it did not build itself (see ``CentralServer.admit``):
+
+        * the site id is a valid client id (non-negative),
+        * every representative claims the model's site id,
+        * all representatives share one dimensionality,
+        * the declared object count can actually produce this many
+          representatives (each representative stands for at least one
+          object, so ``len(representatives) <= n_objects`` whenever a
+          count is declared).
+
+        Returns:
+            A list of human-readable problems; empty means admissible.
+        """
+        problems: list[str] = []
+        if self.site_id < 0:
+            problems.append(f"negative site id {self.site_id}")
+        if self.n_objects < 0:
+            problems.append(f"negative object count {self.n_objects}")
+        dims = {rep.point.size for rep in self.representatives}
+        if len(dims) > 1:
+            problems.append(f"mixed representative dimensionalities {sorted(dims)}")
+        for rep in self.representatives:
+            if rep.site_id != self.site_id:
+                problems.append(
+                    f"representative claims site {rep.site_id}, "
+                    f"model claims site {self.site_id}"
+                )
+                break
+        if self.n_objects > 0 and len(self.representatives) > self.n_objects:
+            problems.append(
+                f"{len(self.representatives)} representatives declared for "
+                f"only {self.n_objects} objects"
+            )
+        return problems
 
     def to_bytes(self) -> bytes:
         """Serialize for transmission-size accounting.

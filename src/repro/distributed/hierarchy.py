@@ -123,6 +123,10 @@ class RegionReport:
         n_forwarded_representatives: representatives after condensation.
         bytes_up_sites: site → region traffic.
         bytes_up_region: region → top traffic (condensed model).
+        n_quarantined_models: site models the regional server's admission
+            gate refused (``LocalModel.validate`` problems); they are
+            excluded from condensation, like the central server's
+            quarantine bucket.
     """
 
     region_id: int
@@ -131,6 +135,7 @@ class RegionReport:
     n_forwarded_representatives: int
     bytes_up_sites: int
     bytes_up_region: int
+    n_quarantined_models: int = 0
 
 
 @dataclass
@@ -164,6 +169,11 @@ class HierarchicalReport:
         if self.flat_equivalent_bytes == 0:
             return 0.0
         return self.long_haul_bytes / self.flat_equivalent_bytes
+
+    @property
+    def n_quarantined_models(self) -> int:
+        """Site models refused by regional admission gates, all regions."""
+        return sum(region.n_quarantined_models for region in self.regions)
 
     def labels_per_site(self) -> list[np.ndarray]:
         """Every site's relabeled objects, in site order."""
@@ -243,6 +253,12 @@ def run_hierarchical_dbdc(
             sites.append(site)
             site_id += 1
 
+        # Regional admission gate: semantically invalid models never
+        # reach condensation (same rule as CentralServer.admit).
+        admitted_models = [m for m in site_models if not m.validate()]
+        n_quarantined = len(site_models) - len(admitted_models)
+        site_models = admitted_models
+
         if condense_radius > 0:
             condensed = condense_models(
                 site_models, condense_radius, region_id=region_id, metric=resolved
@@ -271,6 +287,7 @@ def run_hierarchical_dbdc(
                 n_forwarded_representatives=len(condensed),
                 bytes_up_sites=bytes_up_sites,
                 bytes_up_region=len(payload),
+                n_quarantined_models=n_quarantined,
             )
         )
 

@@ -15,6 +15,7 @@ this module models the network as an accounting layer:
 from __future__ import annotations
 
 import threading
+import zlib
 from dataclasses import dataclass, field
 
 __all__ = ["LinkSpec", "Message", "NetworkStats", "SimulatedNetwork"]
@@ -50,6 +51,10 @@ class Message:
         kind: message tag (``"local_model"``, ``"global_model"``, ...).
         n_bytes: serialized payload size.
         sim_seconds: simulated transfer time under the link spec.
+        payload_crc: CRC-32 of the payload as stamped by the *sender* —
+            the integrity check receivers verify against the bytes they
+            actually got (see the ``corrupt_prob`` fault in
+            :mod:`repro.faults.plan`).
     """
 
     sender: int
@@ -57,6 +62,7 @@ class Message:
     kind: str
     n_bytes: int
     sim_seconds: float
+    payload_crc: int = 0
 
 
 @dataclass
@@ -117,6 +123,7 @@ class SimulatedNetwork:
             kind=kind,
             n_bytes=len(payload),
             sim_seconds=self.link.transfer_seconds(len(payload)),
+            payload_crc=zlib.crc32(payload),
         )
         with self._lock:
             self.messages.append(message)

@@ -27,22 +27,40 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
-from repro.core.models import GlobalModel
+from repro.core.global_model import GlobalModelRepairer
+from repro.core.models import GlobalModel, LocalModel
 from repro.data.distance import Metric
 from repro.distributed.network import SERVER, NetworkStats, SimulatedNetwork
 from repro.distributed.partition import partition, split
 from repro.distributed.server import CentralServer
 from repro.distributed.site import ClientSite
 from repro.faults.plan import FaultPlan
-from repro.faults.transport import ResilientTransport, TransportPolicy, TransportStats
+from repro.faults.transport import (
+    BreakerPolicy,
+    ResilientTransport,
+    TransportPolicy,
+    TransportStats,
+)
 from repro.obs import MetricsRegistry, Span, Tracer, trace_document
 
 __all__ = [
     "DistributedRunConfig",
     "DistributedRunReport",
     "DistributedRunner",
+    "RecoveryPolicy",
+    "RecoveryRoundStats",
     "RoundPolicy",
 ]
+
+#: Failure reasons a recovery round heals by re-uploading the local model.
+_UPLOAD_REASONS = frozenset(
+    {"crash_before_local", "link_failed", "deadline_missed", "quarantined"}
+)
+#: Failure reasons where the model is already admitted and only the
+#: broadcast + relabel leg is missing.
+_BROADCAST_REASONS = frozenset(
+    {"crash_after_send", "broadcast_lost", "broadcast_corrupt"}
+)
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -190,6 +208,109 @@ class RoundPolicy:
         return n_objects / self.compute_rate_objects_per_s * slowdown
 
 
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Recovery-round policy: let failed sites rejoin and heal the model.
+
+    After the initial degraded round, up to ``max_recovery_rounds``
+    recovery rounds run.  In each round every still-failed site gets one
+    chance to rejoin: crashed sites reboot (re-running their local phase
+    if they never computed one; local state survives a crash-after-send),
+    sites whose upload was lost, late or quarantined resubmit, and sites
+    that missed the broadcast receive it again.  The server folds late
+    models into the existing global model *incrementally*
+    (:class:`~repro.core.global_model.GlobalModelRepairer`) instead of
+    re-running the global DBSCAN, and re-broadcasts only when the repair
+    actually changed the model (recovered sites always receive it).
+
+    Site-crash decisions are *not* re-drawn in recovery rounds — a
+    crashed site is assumed rebooted — but every transfer still rides the
+    resilient transport under the plan's link faults, so rejoins can fail
+    again and retry in the next round.
+
+    Attributes:
+        max_recovery_rounds: recovery rounds to attempt (0 = disabled,
+            today's single-round degraded behavior).
+        deadline_s: per-round admission deadline, relative to the round's
+            start (``None`` = wait forever).  Like the
+            :class:`RoundPolicy` deadline, arrival exactly *at* the
+            deadline is admitted.
+        rejoin_backoff_s: simulated delay before the first recovery round
+            starts (gives rebooting sites time to come back).
+        backoff_multiplier: factor applied to the backoff for each
+            further round (round *r* waits
+            ``rejoin_backoff_s * backoff_multiplier**(r-1)``).
+    """
+
+    max_recovery_rounds: int = 0
+    deadline_s: float | None = None
+    rejoin_backoff_s: float = 0.5
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_recovery_rounds < 0:
+            raise ValueError(
+                f"max_recovery_rounds must be >= 0, got {self.max_recovery_rounds}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.rejoin_backoff_s < 0:
+            raise ValueError(
+                f"rejoin_backoff_s must be >= 0, got {self.rejoin_backoff_s}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any recovery round can run."""
+        return self.max_recovery_rounds > 0
+
+    def backoff_seconds(self, round_index: int) -> float:
+        """Simulated backoff before recovery round ``round_index`` (1-based)."""
+        return self.rejoin_backoff_s * self.backoff_multiplier ** (round_index - 1)
+
+
+@dataclass(frozen=True)
+class RecoveryRoundStats:
+    """What one recovery round did.
+
+    Attributes:
+        round_index: 1-based recovery round number.
+        start_sim_seconds: simulated time the round started (previous
+            round end + rejoin backoff).
+        end_sim_seconds: simulated time of the round's last transport
+            activity.
+        wall_seconds: driver wall-clock time the round took.
+        attempted_sites: sites the round tried to heal (failed or stale
+            at round start), sorted.
+        recovered_sites: sites that completed the full protocol this
+            round (model merged and global labels applied), sorted.
+        quarantined_sites: sites whose resubmission was quarantined this
+            round (corrupt or invalid), sorted.
+        rebroadcast_sites: sites the repaired model was broadcast to,
+            sorted.
+        relabel_changed_sites: broadcast receivers whose global labels
+            actually changed after relabeling, sorted.
+        still_failed_sites: sites still failed after the round, sorted.
+        retries: transport retries spent in this round.
+    """
+
+    round_index: int
+    start_sim_seconds: float
+    end_sim_seconds: float
+    wall_seconds: float
+    attempted_sites: list[int]
+    recovered_sites: list[int]
+    quarantined_sites: list[int]
+    rebroadcast_sites: list[int]
+    relabel_changed_sites: list[int]
+    still_failed_sites: list[int]
+    retries: int
+
+
 @dataclass
 class DistributedRunReport:
     """Everything a distributed run produces.
@@ -234,10 +355,25 @@ class DistributedRunReport:
             A site can appear in both lists: its model was merged but it
             never received the global model back.
         retries: transport retries across all messages of the round.
-        degraded: whether the round was degraded — any site failed, or
-            the server's quorum was missed.
+        degraded: whether the round was degraded — any site failed (even
+            after recovery), a site holds stale labels, or the server's
+            quorum was missed.
         transport_stats: detailed transport bookkeeping (``None`` for
             fault-free runs, which bypass the resilient transport).
+        recovered_sites: sites that failed the initial round but completed
+            the protocol in a recovery round, sorted.  They appear in
+            ``participating_sites`` too and *not* in ``failed_sites``.
+        quarantined_sites: sites whose model was quarantined by the
+            integrity gate at least once (corrupt payload or invalid
+            model), sorted.  A quarantined site that later recovered is
+            listed here *and* in ``recovered_sites``.
+        stale_sites: previously healthy sites that missed a re-broadcast
+            of a repaired model and therefore hold labels of an older
+            global model, sorted.  Stale is not failed — the labels are
+            internally consistent, just out of date — but it keeps the
+            run degraded.
+        recovery_rounds_used: recovery rounds actually executed.
+        recovery_rounds: per-round recovery bookkeeping.
         trace: the run's trace document (spans + metrics, see
             ``docs/observability.md``) when the runner was handed a
             tracer; ``None`` otherwise.
@@ -262,6 +398,11 @@ class DistributedRunReport:
     retries: int = 0
     degraded: bool = False
     transport_stats: TransportStats | None = None
+    recovered_sites: list[int] = field(default_factory=list)
+    quarantined_sites: list[int] = field(default_factory=list)
+    stale_sites: list[int] = field(default_factory=list)
+    recovery_rounds_used: int = 0
+    recovery_rounds: list[RecoveryRoundStats] = field(default_factory=list)
     trace: dict | None = None
 
     @property
@@ -352,7 +493,19 @@ class DistributedRunReport:
             "run.degraded_count": float(self.degraded),
             "model.representatives_count": float(self.n_representatives),
             "model.objects_count": float(self.n_objects),
+            "recovery.rounds_used": float(self.recovery_rounds_used),
+            "recovery.recovered_sites_count": float(len(self.recovered_sites)),
+            "sites.quarantined_count": float(len(self.quarantined_sites)),
+            "sites.stale_count": float(len(self.stale_sites)),
         }
+        if self.transport_stats is not None:
+            metrics["transport.corrupted"] = float(self.transport_stats.n_corrupted)
+            metrics["breaker.fast_fails"] = float(
+                self.transport_stats.n_fast_failed
+            )
+            metrics["breaker.state_changes"] = float(
+                self.transport_stats.n_breaker_state_changes
+            )
         for kind, n_bytes in sorted(self.bytes_by_kind.items()):
             metrics[f"net.bytes[{kind}]"] = float(n_bytes)
         return metrics
@@ -413,6 +566,12 @@ class DistributedRunner:
         fault_plan: faults to inject (``None`` or inactive = clean run).
         transport_policy: retry/backoff parameters for the fault path.
         round_policy: server deadline/quorum policy for the fault path.
+        recovery_policy: optional :class:`RecoveryPolicy`; with
+            ``max_recovery_rounds > 0`` failed sites get recovery rounds
+            to rejoin and the global model is repaired incrementally.
+            ``None`` (or 0 rounds) keeps today's single-round behavior.
+        breaker_policy: optional per-link circuit breaker for the
+            resilient transport (``None`` = disabled).
         tracer: optional :class:`~repro.obs.Tracer`.  When given, the run
             produces the full span tree (``run > local_phase > site[i]
             …``) and the report carries the trace document.  ``None``
@@ -430,6 +589,8 @@ class DistributedRunner:
         fault_plan: FaultPlan | None = None,
         transport_policy: TransportPolicy | None = None,
         round_policy: RoundPolicy | None = None,
+        recovery_policy: RecoveryPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
@@ -438,6 +599,8 @@ class DistributedRunner:
         self.fault_plan = fault_plan
         self.transport_policy = transport_policy or TransportPolicy()
         self.round_policy = round_policy or RoundPolicy()
+        self.recovery_policy = recovery_policy or RecoveryPolicy()
+        self.breaker_policy = breaker_policy
         self.tracer = tracer
         self.metrics = metrics
 
@@ -639,6 +802,7 @@ class DistributedRunner:
         relabel_window: tuple[float, float, float],
         site_relabel_spans: list[dict],
         fallback_window: tuple[float, float] | None = None,
+        recovery_entries: list[dict] | None = None,
     ) -> None:
         """Assemble the run's span tree post-hoc from the *same*
         ``perf_counter`` reads that produced the report's timing fields,
@@ -724,6 +888,30 @@ class DistributedRunner:
             parent=relabel_span,
         )
         _graft_worker_spans(relabel_compute, site_relabel_spans)
+        for entry in recovery_entries or ():
+            round_span = tracer.record(
+                f"recovery_round[{entry['round_index']}]",
+                wall_start=entry["wall_start"],
+                wall_end=entry["wall_end"],
+                sim_start=entry["sim_start"],
+                sim_end=entry["sim_end"],
+                attrs=entry["attrs"],
+                parent=run_span,
+            )
+            _graft_worker_spans(
+                round_span,
+                entry["site_local_spans"] + entry["site_relabel_spans"],
+            )
+            for w0, w1, s0, s1, attrs in entry["send_entries"]:
+                tracer.record(
+                    f"send[{attrs.get('kind', 'message')}]",
+                    wall_start=w0,
+                    wall_end=w1,
+                    sim_start=s0,
+                    sim_end=s1,
+                    attrs=attrs,
+                    parent=round_span,
+                )
         if fallback_window is not None:
             tracer.record(
                 "degraded_fallback",
@@ -747,7 +935,11 @@ class DistributedRunner:
         metrics = self.metrics
         observing = tracer is not None or metrics is not None
         transport = ResilientTransport(
-            self.network, plan, self.transport_policy, metrics=metrics
+            self.network,
+            plan,
+            self.transport_policy,
+            breaker_policy=self.breaker_policy,
+            metrics=metrics,
         )
         server = CentralServer(
             self.config.eps_global,
@@ -781,7 +973,8 @@ class DistributedRunner:
         local_cpu_seconds = 0.0
         site_local_spans: list[dict] = []
         upload_entries: list[tuple] = []
-        deliveries: list[tuple[float, int, object]] = []
+        deliveries: list[tuple[float, int, LocalModel, bool]] = []
+        models_by_site: dict[int, LocalModel] = {}
         for site, result in zip(computing, local_results):
             if observing:
                 outcome, wall_s, cpu_s, spans, worker_metrics = result
@@ -792,6 +985,7 @@ class DistributedRunner:
                 outcome, wall_s, cpu_s = result
             local_cpu_seconds += cpu_s
             model = site.apply_local_outcome(outcome, wall_s, cpu_s)
+            models_by_site[site.site_id] = model
             sim_local = policy.sim_local_seconds(
                 site.points.shape[0], behaviors[site.site_id].slowdown
             )
@@ -821,16 +1015,32 @@ class DistributedRunner:
             retries += delivery.retries
             round_sim_end = max(round_sim_end, delivery.arrival_s)
             if delivery.delivered:
-                deliveries.append((delivery.arrival_s, site.site_id, model))
+                deliveries.append(
+                    (
+                        delivery.arrival_s,
+                        site.site_id,
+                        model,
+                        delivery.checksum_ok,
+                    )
+                )
             else:
                 failed[site.site_id] = "link_failed"
         upload_end = time.perf_counter()
 
-        # Step 3: the server admits models in simulated-arrival order and
-        # builds the global model from whatever made the deadline.
+        # Step 3: the server admits models in simulated-arrival order —
+        # integrity gate first (corrupt payloads are quarantined, never
+        # merged), then the round deadline — and builds the global model
+        # from whatever was admitted.
+        quarantined_total: set[int] = set()
         deliveries.sort(key=lambda entry: (entry[0], entry[1]))
-        for arrival_s, site_id, model in deliveries:
-            if not server.receive_local_model(model, arrival_s=arrival_s):
+        for arrival_s, site_id, model, checksum_ok in deliveries:
+            verdict = server.admit(
+                model, arrival_s=arrival_s, checksum_ok=checksum_ok
+            )
+            if verdict == "quarantined":
+                failed[site_id] = "quarantined"
+                quarantined_total.add(site_id)
+            elif verdict == "deadline_missed":
                 failed[site_id] = "deadline_missed"
         global_start = time.perf_counter()
         global_model = server.build(allow_empty=True)
@@ -843,7 +1053,7 @@ class DistributedRunner:
         broadcast_start = max(
             (
                 arrival_s
-                for arrival_s, site_id, __ in deliveries
+                for arrival_s, site_id, __, __ok in deliveries
                 if site_id in participating_set
             ),
             default=0.0,
@@ -888,8 +1098,12 @@ class DistributedRunner:
             round_sim_end = max(round_sim_end, delivery.arrival_s)
             if receiver_down:
                 failed[site_id] = "crash_after_send"
-            elif delivery.delivered:
+            elif delivery.delivered and delivery.checksum_ok:
                 receivers.append(site)
+            elif delivery.delivered:
+                # The bytes arrived but flipped in flight: the site must
+                # not apply a corrupt global model.
+                failed[site_id] = "broadcast_corrupt"
             else:
                 failed[site_id] = "broadcast_lost"
         broadcast_wall_end = time.perf_counter()
@@ -914,6 +1128,296 @@ class DistributedRunner:
             site.apply_relabel(global_labels, stats, wall_s, cpu_s)
         relabel_end = time.perf_counter()
 
+        # --- Recovery rounds (RecoveryPolicy). -------------------------
+        # Failed sites rejoin, the server heals the global model
+        # incrementally, stale receivers get the repaired model again.
+        # With ``max_recovery_rounds = 0`` (the default) nothing below
+        # runs and the round is bit-identical to the single-round
+        # protocol.
+        recovery = self.recovery_policy
+        recovery_rounds_stats: list[RecoveryRoundStats] = []
+        recovery_entries: list[dict] = []
+        stale: set[int] = set()
+        recovered_total: set[int] = set()
+        relabeled_sites = {site.site_id for site in receivers}
+        sites_by_id = {site.site_id: site for site in sites}
+        repairer: GlobalModelRepairer | None = None
+        rounds_used = 0
+        for round_index in range(1, recovery.max_recovery_rounds + 1):
+            reasons = dict(failed)
+            attempted = sorted(set(reasons) | stale)
+            if not attempted:
+                break
+            rounds_used += 1
+            round_wall_start = time.perf_counter()
+            round_start = round_sim_end + recovery.backoff_seconds(round_index)
+            round_sim_last = round_start
+            retries_before = retries
+            round_send_entries: list[tuple] = []
+            round_local_spans: list[dict] = []
+            round_relabel_spans: list[dict] = []
+
+            # Reboot: a site that crashed before its local phase runs it
+            # now (crash decisions are not re-drawn — the site is assumed
+            # back up — but its straggler slowdown still applies).
+            rebooting = [
+                sites_by_id[site_id]
+                for site_id in attempted
+                if reasons.get(site_id) == "crash_before_local"
+            ]
+            reboot_results = self._map_over(local_task, rebooting)
+            fresh_compute: set[int] = set()
+            for site, result in zip(rebooting, reboot_results):
+                if observing:
+                    outcome, wall_s, cpu_s, spans, worker_metrics = result
+                    if metrics is not None:
+                        metrics.merge(worker_metrics)
+                    round_local_spans.extend(spans)
+                else:
+                    outcome, wall_s, cpu_s = result
+                local_cpu_seconds += cpu_s
+                models_by_site[site.site_id] = site.apply_local_outcome(
+                    outcome, wall_s, cpu_s
+                )
+                fresh_compute.add(site.site_id)
+
+            # Re-upload: every upload-reason site resubmits its model
+            # through the same faulty transport (fresh sequence numbers,
+            # so the retry streams differ from the first round's).
+            round_deliveries: list[tuple[float, int, LocalModel, bool]] = []
+            rebroadcast_start = round_start
+            for site_id in attempted:
+                if reasons.get(site_id) not in _UPLOAD_REASONS:
+                    continue
+                model = models_by_site[site_id]
+                start_s = round_start
+                if site_id in fresh_compute:
+                    start_s += policy.sim_local_seconds(
+                        sites_by_id[site_id].points.shape[0],
+                        behaviors[site_id].slowdown,
+                    )
+                send_start = time.perf_counter() if tracer is not None else 0.0
+                delivery = transport.deliver(
+                    site_id,
+                    SERVER,
+                    "local_model",
+                    model.to_bytes(),
+                    start_s=start_s,
+                )
+                if tracer is not None:
+                    round_send_entries.append(
+                        (
+                            send_start,
+                            time.perf_counter(),
+                            start_s,
+                            delivery.arrival_s,
+                            {
+                                "site": site_id,
+                                "kind": "local_model",
+                                "bytes": delivery.bytes_sent,
+                                "delivered": delivery.delivered,
+                                "attempts": delivery.attempts,
+                            },
+                        )
+                    )
+                retries += delivery.retries
+                round_sim_last = max(round_sim_last, delivery.arrival_s)
+                if delivery.delivered:
+                    round_deliveries.append(
+                        (
+                            delivery.arrival_s,
+                            site_id,
+                            model,
+                            delivery.checksum_ok,
+                        )
+                    )
+                else:
+                    failed[site_id] = "link_failed"
+
+            # Admission under the per-round recovery deadline (relative
+            # to the round start; arrival exactly *at* it is admitted).
+            # Integrity first, as in the main round: a corrupt or invalid
+            # resubmission is quarantined regardless of when it arrived.
+            round_quarantined: list[int] = []
+            admitted_models: list[tuple[int, LocalModel]] = []
+            round_deliveries.sort(key=lambda entry: (entry[0], entry[1]))
+            for arrival_s, site_id, model, checksum_ok in round_deliveries:
+                if not checksum_ok or model.validate():
+                    server.admit(
+                        model,
+                        arrival_s=arrival_s,
+                        checksum_ok=checksum_ok,
+                        enforce_deadline=False,
+                    )
+                    failed[site_id] = "quarantined"
+                    quarantined_total.add(site_id)
+                    round_quarantined.append(site_id)
+                elif (
+                    recovery.deadline_s is not None
+                    and arrival_s - round_start > recovery.deadline_s
+                ):
+                    failed[site_id] = "deadline_missed"
+                else:
+                    server.admit(
+                        model, arrival_s=arrival_s, enforce_deadline=False
+                    )
+                    admitted_models.append((site_id, model))
+                    rebroadcast_start = max(rebroadcast_start, arrival_s)
+
+            # Heal the global model incrementally with the late models —
+            # no from-scratch DBSCAN (the equivalence tests pin that the
+            # repaired partition matches a rebuild anyway).
+            model_changed = any(
+                len(model.representatives) for __, model in admitted_models
+            )
+            if admitted_models:
+                if len(global_model) == 0 and model_changed:
+                    # Nothing to repair onto: the base round admitted no
+                    # representatives, so eps_global never got a real
+                    # value.  A full rebuild re-derives the paper default.
+                    global_model = server.build(allow_empty=True)
+                    repairer = GlobalModelRepairer(
+                        global_model, metric=self.config.metric
+                    )
+                else:
+                    if repairer is None:
+                        repairer = GlobalModelRepairer(
+                            global_model, metric=self.config.metric
+                        )
+                    for __, model in admitted_models:
+                        global_model, __changed = repairer.add_model(model)
+
+            # Re-broadcast: recovering sites always get the model; every
+            # previously relabeled (or stale) site gets it again whenever
+            # the repair added representatives — new representatives can
+            # promote noise on *any* site (Definition 9), not just on the
+            # late one's.
+            need_broadcast = {
+                site_id
+                for site_id in attempted
+                if reasons.get(site_id) in _BROADCAST_REASONS
+            }
+            need_broadcast.update(site_id for site_id, __ in admitted_models)
+            need_broadcast.update(stale)
+            if model_changed:
+                need_broadcast.update(relabeled_sites)
+            payload = global_model.to_bytes()
+            round_receivers: list[ClientSite] = []
+            for site_id in sorted(need_broadcast):
+                send_start = time.perf_counter() if tracer is not None else 0.0
+                delivery = transport.deliver(
+                    SERVER,
+                    site_id,
+                    "global_model",
+                    payload,
+                    start_s=rebroadcast_start,
+                )
+                if tracer is not None:
+                    round_send_entries.append(
+                        (
+                            send_start,
+                            time.perf_counter(),
+                            rebroadcast_start,
+                            delivery.arrival_s,
+                            {
+                                "site": site_id,
+                                "kind": "global_model",
+                                "bytes": delivery.bytes_sent,
+                                "delivered": delivery.delivered,
+                                "attempts": delivery.attempts,
+                            },
+                        )
+                    )
+                retries += delivery.retries
+                round_sim_last = max(round_sim_last, delivery.arrival_s)
+                if delivery.delivered and delivery.checksum_ok:
+                    round_receivers.append(sites_by_id[site_id])
+                else:
+                    reason = (
+                        "broadcast_corrupt"
+                        if delivery.delivered
+                        else "broadcast_lost"
+                    )
+                    if site_id in failed:
+                        failed[site_id] = reason
+                    else:
+                        # A healthy receiver that misses a refresh is
+                        # *stale*, not failed: its old labels are still
+                        # internally consistent, just out of date.  It is
+                        # retried next round and never fallback-wiped.
+                        stale.add(site_id)
+
+            # Step 4 for everyone who received the repaired model.
+            round_relabel_results = self._map_over(
+                relabel_task,
+                [(site, global_model) for site in round_receivers],
+            )
+            round_changed: list[int] = []
+            round_recovered: list[int] = []
+            for site, result in zip(round_receivers, round_relabel_results):
+                if observing:
+                    global_labels, site_stats, wall_s, cpu_s, spans = result
+                    round_relabel_spans.extend(spans)
+                else:
+                    global_labels, site_stats, wall_s, cpu_s = result
+                relabel_cpu_seconds += cpu_s
+                site_id = site.site_id
+                old_labels = (
+                    site.global_labels if site_id in relabeled_sites else None
+                )
+                site.apply_relabel(global_labels, site_stats, wall_s, cpu_s)
+                if old_labels is None or not np.array_equal(
+                    old_labels, site.global_labels
+                ):
+                    round_changed.append(site_id)
+                if site_id in failed:
+                    del failed[site_id]
+                    recovered_total.add(site_id)
+                    round_recovered.append(site_id)
+                stale.discard(site_id)
+                relabeled_sites.add(site_id)
+
+            round_sim_end = max(round_sim_end, round_sim_last)
+            round_wall_end = time.perf_counter()
+            recovery_rounds_stats.append(
+                RecoveryRoundStats(
+                    round_index=round_index,
+                    start_sim_seconds=round_start,
+                    end_sim_seconds=round_sim_last,
+                    wall_seconds=round_wall_end - round_wall_start,
+                    attempted_sites=attempted,
+                    recovered_sites=sorted(round_recovered),
+                    quarantined_sites=sorted(round_quarantined),
+                    rebroadcast_sites=sorted(need_broadcast),
+                    relabel_changed_sites=sorted(round_changed),
+                    still_failed_sites=sorted(failed),
+                    retries=retries - retries_before,
+                )
+            )
+            if metrics is not None:
+                metrics.inc("recovery.rounds")
+            if tracer is not None:
+                recovery_entries.append(
+                    {
+                        "round_index": round_index,
+                        "wall_start": round_wall_start,
+                        "wall_end": round_wall_end,
+                        "sim_start": round_start,
+                        "sim_end": round_sim_last,
+                        "attrs": {
+                            "attempted": len(attempted),
+                            "recovered": len(round_recovered),
+                            "rebroadcast": len(need_broadcast),
+                        },
+                        "site_local_spans": round_local_spans,
+                        "site_relabel_spans": round_relabel_spans,
+                        "send_entries": round_send_entries,
+                    }
+                )
+        if metrics is not None and recovered_total:
+            metrics.set("recovery.recovered_sites", len(recovered_total))
+        participating = server.admitted_site_ids
+
         # Degraded fallback, in deterministic site order: fresh global ids
         # beyond everything the global model handed out.
         fallback_start = time.perf_counter()
@@ -927,7 +1431,7 @@ class DistributedRunner:
                 )
         run_end = time.perf_counter()
 
-        degraded = bool(failed) or not server.quorum_met
+        degraded = bool(failed) or bool(stale) or not server.quorum_met
         if metrics is not None:
             metrics.set("runner.participating_sites", len(participating))
             metrics.set("runner.failed_sites", len(failed))
@@ -949,6 +1453,7 @@ class DistributedRunner:
                 relabel_window=(relabel_start, relabel_compute_end, relabel_end),
                 site_relabel_spans=site_relabel_spans,
                 fallback_window=(fallback_start, run_end),
+                recovery_entries=recovery_entries,
             )
             trace = trace_document(tracer, metrics)
 
@@ -975,6 +1480,11 @@ class DistributedRunner:
             retries=retries,
             degraded=degraded,
             transport_stats=transport.stats,
+            recovered_sites=sorted(recovered_total),
+            quarantined_sites=sorted(quarantined_total),
+            stale_sites=sorted(stale),
+            recovery_rounds_used=rounds_used,
+            recovery_rounds=recovery_rounds_stats,
             trace=trace,
         )
 

@@ -190,7 +190,10 @@ class StreamingScenario:
                     site.site_id, SERVER, "local_model", payload
                 )
                 bytes_up += outcome.bytes_sent
-                delivered = outcome.delivered
+                # A delivered-but-corrupt payload is useless to the
+                # server: treat it as a failed upload and retry next
+                # round, exactly like a lost one.
+                delivered = outcome.delivered and outcome.checksum_ok
             if delivered:
                 transmitted += 1
                 self._latest_models[site.site_id] = model

@@ -78,10 +78,71 @@ class CentralServer:
         self.metrics = metrics
         self.local_models: list[LocalModel] = []
         self.rejected_models: list[LocalModel] = []
+        # (model, reason) pairs the integrity gate refused — corrupt
+        # payloads and semantically invalid models never reach the global
+        # DBSCAN; the runner turns them into recovery candidates.
+        self.quarantined_models: list[tuple[LocalModel, str]] = []
         # Wall-clock seconds of the global DBSCAN (perf_counter delta).
         self.global_seconds = 0.0
         self._model: GlobalModel | None = None
         self._stats: GlobalClusteringStats | None = None
+
+    def quarantine(self, model: LocalModel, reason: str) -> None:
+        """Park a model the integrity gate refused (never merged)."""
+        self.quarantined_models.append((model, reason))
+        if self.metrics is not None:
+            self.metrics.inc("server.models_quarantined")
+
+    def admit(
+        self,
+        model: LocalModel,
+        *,
+        arrival_s: float = 0.0,
+        checksum_ok: bool = True,
+        enforce_deadline: bool = True,
+    ) -> str:
+        """Run the full admission gate on one local model.
+
+        Order matters: integrity first (a corrupt payload must not count
+        as a deadline miss — it is poison regardless of when it arrived),
+        then the round deadline.  Admission *at* the deadline succeeds;
+        only strictly later arrivals are rejected (``arrival_s >
+        deadline_s``, pinned by the round-policy edge-case tests).
+
+        Args:
+            model: the site's local model.
+            arrival_s: simulated arrival time.
+            checksum_ok: whether the transport's CRC check passed.
+            enforce_deadline: apply the round deadline (recovery rounds
+                run their own per-round deadline and disable this one).
+
+        Returns:
+            ``"admitted"``, ``"quarantined"`` or ``"deadline_missed"``.
+        """
+        if not checksum_ok:
+            self.quarantine(model, "checksum_mismatch")
+            return "quarantined"
+        problems = model.validate()
+        if problems:
+            self.quarantine(model, "; ".join(problems))
+            return "quarantined"
+        if (
+            enforce_deadline
+            and self.deadline_s is not None
+            and arrival_s > self.deadline_s
+        ):
+            self.rejected_models.append(model)
+            if self.metrics is not None:
+                self.metrics.inc("server.models_rejected")
+            return "deadline_missed"
+        self.local_models.append(model)
+        self._model = None  # a new admission invalidates any built model
+        if self.metrics is not None:
+            self.metrics.inc("server.models_admitted")
+            self.metrics.observe(
+                "server.representatives_per_model", len(model.representatives)
+            )
+        return "admitted"
 
     def receive_local_model(
         self, model: LocalModel, *, arrival_s: float = 0.0
@@ -96,18 +157,7 @@ class CentralServer:
         Returns:
             Whether the model was admitted into the round.
         """
-        if self.deadline_s is not None and arrival_s > self.deadline_s:
-            self.rejected_models.append(model)
-            if self.metrics is not None:
-                self.metrics.inc("server.models_rejected")
-            return False
-        self.local_models.append(model)
-        if self.metrics is not None:
-            self.metrics.inc("server.models_admitted")
-            self.metrics.observe(
-                "server.representatives_per_model", len(model.representatives)
-            )
-        return True
+        return self.admit(model, arrival_s=arrival_s) == "admitted"
 
     @property
     def admitted_site_ids(self) -> list[int]:
@@ -118,6 +168,11 @@ class CentralServer:
     def rejected_site_ids(self) -> list[int]:
         """Sites whose models missed the deadline, in arrival order."""
         return [model.site_id for model in self.rejected_models]
+
+    @property
+    def quarantined_site_ids(self) -> list[int]:
+        """Sites whose models the integrity gate refused, in arrival order."""
+        return [model.site_id for model, __ in self.quarantined_models]
 
     @property
     def quorum_met(self) -> bool:

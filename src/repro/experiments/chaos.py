@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.data.datasets import load_dataset
 from repro.distributed.runner import (
     DistributedRunConfig,
     DistributedRunner,
+    RecoveryPolicy,
     RoundPolicy,
 )
 from repro.experiments.common import central_reference
@@ -91,6 +92,13 @@ class ChaosTrial:
         bytes_total: bytes the round put on the wire (retries included).
         phase_wall_seconds: per-phase wall-clock breakdown from the
             run's trace (``local_phase`` / ``global_phase`` / …).
+        n_recovered: sites healed by recovery rounds.
+        n_quarantined: sites whose model the integrity gate refused at
+            least once.
+        recovery_rounds_used: recovery rounds the run actually executed.
+        q_p2_overall_abandoned: ``P^II`` of the *same* faulted run with
+            recovery disabled (``nan`` when recovery is off) — the
+            recovered-vs-abandoned comparison column.
     """
 
     failure_prob: float
@@ -105,16 +113,34 @@ class ChaosTrial:
     q_p2_surviving: float
     bytes_total: int
     phase_wall_seconds: dict
+    n_recovered: int = 0
+    n_quarantined: int = 0
+    recovery_rounds_used: int = 0
+    q_p2_overall_abandoned: float = float("nan")
 
 
-def _plan_for(mode: str, prob: float, seed: int) -> FaultPlan:
+def _plan_for(
+    mode: str, prob: float, seed: int, corrupt_rate: float = 0.0
+) -> FaultPlan:
     if mode == "sites":
-        return FaultPlan.site_failures(prob, seed=seed)
-    if mode == "links":
-        return FaultPlan.lossy_links(prob, seed=seed)
-    if mode == "chaos":
-        return FaultPlan.chaos(prob, seed=seed)
-    raise ValueError(f"unknown chaos mode {mode!r}; known: {_MODES}")
+        plan = FaultPlan.site_failures(prob, seed=seed)
+    elif mode == "links":
+        plan = FaultPlan.lossy_links(prob, seed=seed)
+    elif mode == "chaos":
+        plan = FaultPlan.chaos(prob, seed=seed)
+    else:
+        raise ValueError(f"unknown chaos mode {mode!r}; known: {_MODES}")
+    if corrupt_rate > 0.0:
+        # An explicit corruption axis rides on top of whatever the mode
+        # injects (never below the mode's own corruption rate).
+        plan = replace(
+            plan,
+            link=replace(
+                plan.link,
+                corrupt_prob=max(plan.link.corrupt_prob, corrupt_rate),
+            ),
+        )
+    return plan
 
 
 def run_chaos_sweep(
@@ -129,6 +155,8 @@ def run_chaos_sweep(
     seed: int = 42,
     transport_policy: TransportPolicy | None = None,
     round_policy: RoundPolicy | None = None,
+    recovery_rounds: int = 0,
+    corrupt_rate: float = 0.0,
 ) -> dict:
     """Sweep a failure probability and measure quality degradation.
 
@@ -144,6 +172,12 @@ def run_chaos_sweep(
         seed: partitioning/dataset seed; fault seeds derive from it.
         transport_policy: retry/backoff override.
         round_policy: deadline/quorum override.
+        recovery_rounds: recovery rounds per run (0 = abandon failed
+            sites, today's behavior).  With recovery enabled every trial
+            also runs the identical plan *without* recovery, so the
+            report carries a recovered-vs-abandoned quality column.
+        corrupt_rate: payload corruption probability layered on top of
+            the mode's link faults (exercises checksum + quarantine).
 
     Returns:
         A machine-readable report dict (``write_chaos_report`` writes it,
@@ -153,6 +187,11 @@ def run_chaos_sweep(
         raise ValueError(f"unknown chaos mode {mode!r}; known: {_MODES}")
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    if recovery_rounds < 0:
+        raise ValueError(f"recovery_rounds must be >= 0, got {recovery_rounds}")
+    if not 0.0 <= corrupt_rate <= 1.0:
+        raise ValueError(f"corrupt_rate must be in [0, 1], got {corrupt_rate}")
+    recovery_policy = RecoveryPolicy(max_recovery_rounds=recovery_rounds)
     data = load_dataset(dataset, cardinality=cardinality)
     central, central_seconds = central_reference(
         data.points, data.eps_local, data.min_pts
@@ -168,12 +207,13 @@ def run_chaos_sweep(
         rows: list[ChaosTrial] = []
         for trial in range(trials):
             fault_seed = seed + 1000 * prob_index + trial
-            plan = _plan_for(mode, prob, fault_seed)
+            plan = _plan_for(mode, prob, fault_seed, corrupt_rate)
             runner = DistributedRunner(
                 config,
                 fault_plan=plan,
                 transport_policy=transport_policy,
                 round_policy=round_policy,
+                recovery_policy=recovery_policy,
                 tracer=Tracer(),
                 metrics=MetricsRegistry(),
             )
@@ -186,6 +226,24 @@ def run_chaos_sweep(
                 n_sites=n_sites,
                 qp=data.min_pts,
             )
+            q_abandoned = float("nan")
+            if recovery_rounds > 0:
+                # Same plan, recovery off: what the round would have
+                # looked like had the failed sites been abandoned.
+                abandoned = DistributedRunner(
+                    config,
+                    fault_plan=plan,
+                    transport_policy=transport_policy,
+                    round_policy=round_policy,
+                ).run(data.points, n_sites)
+                q_abandoned = evaluate_degraded_quality(
+                    abandoned.labels_in_original_order(),
+                    central.labels,
+                    assignment=abandoned.assignment,
+                    failed_sites=abandoned.failed_sites,
+                    n_sites=n_sites,
+                    qp=data.min_pts,
+                ).overall.q_p2_percent
             rows.append(
                 ChaosTrial(
                     failure_prob=prob,
@@ -204,10 +262,19 @@ def run_chaos_sweep(
                     ),
                     bytes_total=report.network.bytes_total,
                     phase_wall_seconds=_phase_breakdown(report.trace),
+                    n_recovered=len(report.recovered_sites),
+                    n_quarantined=len(report.quarantined_sites),
+                    recovery_rounds_used=report.recovery_rounds_used,
+                    q_p2_overall_abandoned=q_abandoned,
                 )
             )
         surviving_values = [
             t.q_p2_surviving for t in rows if not np.isnan(t.q_p2_surviving)
+        ]
+        abandoned_values = [
+            t.q_p2_overall_abandoned
+            for t in rows
+            if not np.isnan(t.q_p2_overall_abandoned)
         ]
         sweep.append(
             {
@@ -229,6 +296,14 @@ def run_chaos_sweep(
                         ),
                         "bytes_total": t.bytes_total,
                         "phase_wall_seconds": t.phase_wall_seconds,
+                        "n_recovered": t.n_recovered,
+                        "n_quarantined": t.n_quarantined,
+                        "recovery_rounds_used": t.recovery_rounds_used,
+                        "q_p2_overall_abandoned": (
+                            None
+                            if np.isnan(t.q_p2_overall_abandoned)
+                            else t.q_p2_overall_abandoned
+                        ),
                     }
                     for t in rows
                 ],
@@ -242,6 +317,13 @@ def run_chaos_sweep(
                 ),
                 "total_retries": int(sum(t.retries for t in rows)),
                 "n_degraded": int(sum(t.degraded for t in rows)),
+                "total_recovered": int(sum(t.n_recovered for t in rows)),
+                "total_quarantined": int(sum(t.n_quarantined for t in rows)),
+                "mean_q_p2_overall_abandoned": (
+                    float(np.mean(abandoned_values))
+                    if abandoned_values
+                    else None
+                ),
                 "mean_phase_wall_seconds": {
                     name: float(
                         np.mean(
@@ -267,6 +349,8 @@ def run_chaos_sweep(
             "scheme": scheme,
             "trials": int(trials),
             "seed": int(seed),
+            "recovery_rounds": int(recovery_rounds),
+            "corrupt_rate": float(corrupt_rate),
             "central_seconds": float(central_seconds),
             "created_utc": utc_now_iso(),
             "git_rev": environment["git_rev"],
@@ -299,6 +383,14 @@ def flat_metrics(report: dict) -> dict[str, float]:
         out[f"chaos.failed_fraction[{p}]"] = point["mean_failed_fraction"]
         out[f"chaos.retries[{p}]"] = point["total_retries"]
         out[f"chaos.degraded_runs[{p}]"] = point["n_degraded"]
+        out[f"chaos.recovered_sites[{p}]"] = point.get("total_recovered", 0)
+        out[f"chaos.quarantined_models[{p}]"] = point.get(
+            "total_quarantined", 0
+        )
+        if point.get("mean_q_p2_overall_abandoned") is not None:
+            out[f"chaos.q_p2_overall_abandoned_percent[{p}]"] = point[
+                "mean_q_p2_overall_abandoned"
+            ]
     out["chaos.central_wall_seconds"] = report["meta"]["central_seconds"]
     return out
 
@@ -340,18 +432,23 @@ def chaos_table(report: dict) -> ExperimentTable:
             "P^I overall [%]",
             "P^II overall [%]",
             "P^II surviving [%]",
+            "P^II abandoned [%]",
+            "recovered",
             "retries",
             "degraded runs",
         ],
     )
     for point in report["sweep"]:
         surviving = point["mean_q_p2_surviving"]
+        abandoned = point.get("mean_q_p2_overall_abandoned")
         table.add_row(
             point["failure_prob"],
             100.0 * point["mean_failed_fraction"],
             point["mean_q_p1_overall"],
             point["mean_q_p2_overall"],
             surviving if surviving is not None else float("nan"),
+            abandoned if abandoned is not None else float("nan"),
+            point.get("total_recovered", 0),
             point["total_retries"],
             point["n_degraded"],
         )

@@ -18,6 +18,7 @@ failure-rate sweep built on top.
 
 from repro.faults.plan import FaultPlan, LinkFaults, SiteBehavior, SiteFaults
 from repro.faults.transport import (
+    BreakerPolicy,
     DeliveryOutcome,
     ResilientTransport,
     TransportPolicy,
@@ -29,6 +30,7 @@ __all__ = [
     "LinkFaults",
     "SiteFaults",
     "SiteBehavior",
+    "BreakerPolicy",
     "DeliveryOutcome",
     "ResilientTransport",
     "TransportPolicy",

@@ -47,6 +47,12 @@ class LinkFaults:
         truncate_prob: probability that the payload arrives truncated; the
             receiver detects the short read and the attempt counts as
             failed.
+        corrupt_prob: probability that a *delivered* payload arrives with
+            flipped bytes.  Unlike truncation the transfer looks
+            successful — only the receiver's checksum
+            (:class:`~repro.distributed.network.Message` stamps a CRC-32)
+            reveals the damage, and only admission-time validation keeps
+            the poisoned model out of the global DBSCAN.
     """
 
     drop_prob: float = 0.0
@@ -55,9 +61,16 @@ class LinkFaults:
     reorder_delay_s: float = 0.5
     jitter_s: float = 0.0
     truncate_prob: float = 0.0
+    corrupt_prob: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("drop_prob", "duplicate_prob", "reorder_prob", "truncate_prob"):
+        for name in (
+            "drop_prob",
+            "duplicate_prob",
+            "reorder_prob",
+            "truncate_prob",
+            "corrupt_prob",
+        ):
             _check_prob(name, getattr(self, name))
         if self.jitter_s < 0:
             raise ValueError(f"jitter_s must be >= 0, got {self.jitter_s}")
@@ -75,6 +88,7 @@ class LinkFaults:
             or self.reorder_prob > 0
             or self.jitter_s > 0
             or self.truncate_prob > 0
+            or self.corrupt_prob > 0
         )
 
 
@@ -190,9 +204,15 @@ class FaultPlan:
         return cls(seed=seed, link=LinkFaults(drop_prob=drop_prob))
 
     @classmethod
+    def corrupted_payloads(cls, corrupt_prob: float, *, seed: int = 0) -> "FaultPlan":
+        """Every delivered payload arrives bit-flipped with probability
+        ``corrupt_prob`` — exercises the checksum/quarantine path."""
+        return cls(seed=seed, link=LinkFaults(corrupt_prob=corrupt_prob))
+
+    @classmethod
     def chaos(cls, intensity: float, *, seed: int = 0) -> "FaultPlan":
         """A bit of everything, scaled by ``intensity`` in ``[0, 1]``:
-        crashes, drops, duplicates, jitter, stragglers."""
+        crashes, drops, duplicates, jitter, corruption, stragglers."""
         _check_prob("intensity", intensity)
         return cls(
             seed=seed,
@@ -202,6 +222,7 @@ class FaultPlan:
                 reorder_prob=0.2 * intensity,
                 jitter_s=0.05 * intensity,
                 truncate_prob=0.1 * intensity,
+                corrupt_prob=0.1 * intensity,
             ),
             site=SiteFaults(
                 crash_before_local_prob=0.5 * intensity,

@@ -13,12 +13,27 @@ the sender its timeout, a retry costs the backoff delay, a delivered
 attempt costs the link's transfer time plus jitter.  All of it derives
 from the plan's seeded RNG streams, so the same plan yields the same
 retry counts and the same simulated clock, every run.
+
+Two integrity/health mechanisms ride on top:
+
+* every delivered payload is checked against the CRC-32 the sender
+  stamped on the :class:`~repro.distributed.network.Message`, so the
+  ``corrupt_prob`` fault (flipped bytes in flight) is *detectable* —
+  the outcome reports ``checksum_ok=False`` and the receiver decides
+  (the central server quarantines, see ``CentralServer.admit``);
+* an optional per-link circuit breaker (:class:`BreakerPolicy`)
+  fast-fails messages to links that keep failing, instead of burning the
+  full retry budget every time, and re-probes on a deterministic
+  simulated-clock schedule (closed → open → half-open).
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.faults.plan import FaultPlan
 
@@ -27,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 __all__ = [
     "TransportPolicy",
+    "BreakerPolicy",
     "DeliveryOutcome",
     "TransportStats",
     "ResilientTransport",
@@ -76,6 +92,76 @@ class TransportPolicy:
 
 
 @dataclass(frozen=True)
+class BreakerPolicy:
+    """Per-link circuit breaker parameters.
+
+    The breaker protects the *sender's* retry budget from links that keep
+    failing: after ``failure_threshold`` consecutive failed messages on a
+    link the breaker **opens** and every message to that link fast-fails
+    (0 attempts, 0 simulated seconds, no bytes) until ``cooldown_s``
+    simulated seconds have passed.  The first message after the cooldown
+    is the **half-open** probe: if it gets through, the breaker closes;
+    if not, the breaker re-opens for another cooldown.  Everything runs
+    on the simulated clock, so breaker behavior is as deterministic as
+    the fault plan driving it.
+
+    Attributes:
+        failure_threshold: consecutive failed messages that trip the
+            breaker open.
+        cooldown_s: simulated seconds an open breaker waits before
+            letting a half-open probe through.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be positive, got {self.cooldown_s}")
+
+
+class _LinkBreaker:
+    """Health state of one client↔server link (simulated-clock driven)."""
+
+    __slots__ = ("policy", "state", "failures", "open_until", "state_changes")
+
+    def __init__(self, policy: BreakerPolicy) -> None:
+        self.policy = policy
+        self.state = "closed"
+        self.failures = 0
+        self.open_until = 0.0
+        self.state_changes = 0
+
+    def _transition(self, state: str) -> None:
+        if self.state != state:
+            self.state = state
+            self.state_changes += 1
+
+    def allow(self, now_s: float) -> bool:
+        """Whether a message may be attempted at simulated time ``now_s``."""
+        if self.state == "open":
+            if now_s < self.open_until:
+                return False
+            self._transition("half_open")
+        return True
+
+    def record(self, delivered: bool, now_s: float) -> None:
+        """Feed one message outcome back into the breaker."""
+        if delivered:
+            self.failures = 0
+            self._transition("closed")
+            return
+        self.failures += 1
+        if self.state == "half_open" or self.failures >= self.policy.failure_threshold:
+            self._transition("open")
+            self.open_until = max(self.open_until, now_s + self.policy.cooldown_s)
+
+
+@dataclass(frozen=True)
 class DeliveryOutcome:
     """What happened to one logical message.
 
@@ -92,6 +178,16 @@ class DeliveryOutcome:
         n_duplicates: extra copies the receiver saw.
         bytes_sent: total bytes put on the wire across all attempts and
             duplicates.
+        payload: the bytes the receiver actually got (``None`` unless
+            delivered) — differs from what was sent when the corruption
+            fault fired.
+        checksum_ok: whether the received payload matches the CRC-32 the
+            sender stamped on the message (vacuously true for undelivered
+            messages; the receiver must treat a delivered-but-corrupt
+            payload as poison).
+        n_corrupted: delivered attempts whose payload was bit-flipped.
+        fast_failed: the message never hit the wire because the link's
+            circuit breaker was open (0 attempts, 0 simulated seconds).
     """
 
     delivered: bool
@@ -102,11 +198,15 @@ class DeliveryOutcome:
     n_truncated: int = 0
     n_duplicates: int = 0
     bytes_sent: int = 0
+    payload: bytes | None = None
+    checksum_ok: bool = True
+    n_corrupted: int = 0
+    fast_failed: bool = False
 
     @property
     def retries(self) -> int:
         """Attempts beyond the first."""
-        return self.attempts - 1
+        return max(0, self.attempts - 1)
 
 
 @dataclass
@@ -122,6 +222,12 @@ class TransportStats:
         n_dropped: attempts lost in flight.
         n_truncated: attempts that arrived corrupt.
         n_duplicates: duplicate copies delivered.
+        n_corrupted: delivered payloads that arrived bit-flipped
+            (checksum mismatch at the receiver).
+        n_fast_failed: messages an open circuit breaker refused without
+            touching the wire.
+        n_breaker_state_changes: breaker transitions across all links
+            (closed → open → half-open → …).
     """
 
     n_messages: int = 0
@@ -132,6 +238,9 @@ class TransportStats:
     n_dropped: int = 0
     n_truncated: int = 0
     n_duplicates: int = 0
+    n_corrupted: int = 0
+    n_fast_failed: int = 0
+    n_breaker_state_changes: int = 0
 
 
 @dataclass
@@ -153,9 +262,14 @@ class ResilientTransport:
         network: the accounting network every attempt is recorded on.
         plan: the fault plan deciding what goes wrong.
         policy: retry/backoff parameters.
+        breaker_policy: optional per-link circuit breaker; ``None`` (the
+            default) disables breakers entirely — existing runs are
+            bit-identical.
         metrics: optional :class:`~repro.obs.MetricsRegistry`; every
             delivery records ``transport.*`` counters (attempts, retries,
-            drops, truncations, duplicates, bytes per message kind).
+            drops, truncations, duplicates, corruptions, bytes per
+            message kind) and ``breaker.*`` counters when breakers are
+            enabled.
     """
 
     def __init__(
@@ -164,20 +278,48 @@ class ResilientTransport:
         plan: FaultPlan,
         policy: TransportPolicy | None = None,
         *,
+        breaker_policy: BreakerPolicy | None = None,
         metrics=None,
     ) -> None:
         self.network = network
         self.plan = plan
         self.policy = policy or TransportPolicy()
+        self.breaker_policy = breaker_policy
         self.metrics = metrics
         self.stats = TransportStats()
         self._sequences: dict[tuple[int, int, str], _LinkSequence] = {}
+        self._breakers: dict[int, _LinkBreaker] = {}
 
     def _sequence(self, sender: int, receiver: int, kind: str) -> int:
         key = (sender, receiver, kind)
         if key not in self._sequences:
             self._sequences[key] = _LinkSequence()
         return self._sequences[key].take()
+
+    def _breaker_for(self, site_end: int) -> "_LinkBreaker | None":
+        if self.breaker_policy is None:
+            return None
+        if site_end not in self._breakers:
+            self._breakers[site_end] = _LinkBreaker(self.breaker_policy)
+        return self._breakers[site_end]
+
+    def breaker_state(self, site_end: int) -> str:
+        """Current breaker state of one link (``"closed"`` without one)."""
+        breaker = self._breakers.get(site_end)
+        return breaker.state if breaker is not None else "closed"
+
+    @staticmethod
+    def _flip_bytes(payload: bytes, rng: np.random.Generator) -> bytes:
+        """Deterministically corrupt ``payload`` (at least one byte changes)."""
+        data = bytearray(payload)
+        n_flips = int(rng.integers(1, 9))
+        positions = rng.integers(0, len(data), size=n_flips)
+        masks = rng.integers(1, 256, size=n_flips)
+        for pos, mask in zip(positions, masks):
+            data[int(pos)] ^= int(mask)
+        if bytes(data) == payload:  # two flips on one byte can cancel out
+            data[0] ^= 0xFF
+        return bytes(data)
 
     def deliver(
         self,
@@ -211,6 +353,25 @@ class ResilientTransport:
         """
         # The client end identifies the link (the other end is a server).
         site_end = sender if receiver < 0 else receiver
+        breaker = self._breaker_for(site_end)
+        if breaker is not None and not breaker.allow(start_s):
+            # Open breaker: fail fast, no wire traffic, no RNG draws (the
+            # per-message streams are keyed, so skipping one perturbs
+            # nothing else).  The sequence number is not consumed either.
+            self.stats.n_messages += 1
+            self.stats.n_failed += 1
+            self.stats.n_fast_failed += 1
+            if self.metrics is not None:
+                self.metrics.inc("transport.messages")
+                self.metrics.inc("transport.failed")
+                self.metrics.inc("breaker.fast_fails")
+            return DeliveryOutcome(
+                delivered=False,
+                attempts=0,
+                sim_seconds=0.0,
+                arrival_s=start_s,
+                fast_failed=True,
+            )
         faults = self.plan.link_faults_for(site_end)
         seq = self._sequence(sender, receiver, kind)
         policy = self.policy
@@ -218,9 +379,12 @@ class ResilientTransport:
         elapsed = 0.0
         n_dropped = 0
         n_truncated = 0
+        n_corrupted = 0
         n_duplicates = 0
         bytes_sent = 0
         delivered = False
+        checksum_ok = True
+        payload_out: bytes | None = None
         attempts = 0
         for attempt in range(1, policy.max_attempts + 1):
             attempts = attempt
@@ -266,18 +430,38 @@ class ResilientTransport:
                     duplicate = self.network.send(sender, receiver, kind, payload)
                     bytes_sent += duplicate.n_bytes
                     n_duplicates += 1
+                # Corruption draw: branch-local and *after* every decision
+                # draw of this attempt, so enabling corrupt_prob cannot
+                # shift any other fault's stream (the attempt's RNG is
+                # keyed to this message alone and nothing draws after it).
+                u_corrupt = rng.random()
+                payload_out = payload
+                if payload and u_corrupt < faults.corrupt_prob:
+                    # Flipped in flight: the transfer *looks* successful;
+                    # only the receiver's CRC check catches it.
+                    payload_out = self._flip_bytes(payload, rng)
+                    n_corrupted += 1
+                checksum_ok = zlib.crc32(payload_out) == message.payload_crc
                 delivered = True
                 break
 
             if attempt < policy.max_attempts:
                 elapsed += policy.backoff_seconds(attempt, u_backoff)
 
+        if breaker is not None:
+            # A delivered-but-corrupt message still counts as a success for
+            # link *health*: the link moved bytes end to end.
+            breaker.record(delivered, start_s + elapsed)
+            self.stats.n_breaker_state_changes = sum(
+                b.state_changes for b in self._breakers.values()
+            )
         self.stats.n_messages += 1
         self.stats.n_attempts += attempts
         self.stats.n_retries += attempts - 1
         self.stats.n_dropped += n_dropped
         self.stats.n_truncated += n_truncated
         self.stats.n_duplicates += n_duplicates
+        self.stats.n_corrupted += n_corrupted
         if delivered:
             self.stats.n_delivered += 1
         else:
@@ -293,6 +477,13 @@ class ResilientTransport:
                 metrics.inc("transport.truncated", n_truncated)
             if n_duplicates:
                 metrics.inc("transport.duplicates", n_duplicates)
+            if n_corrupted:
+                metrics.inc("transport.corrupted", n_corrupted)
+            if breaker is not None:
+                metrics.set(
+                    "breaker.state_changes",
+                    self.stats.n_breaker_state_changes,
+                )
             metrics.inc(
                 "transport.delivered" if delivered else "transport.failed"
             )
@@ -307,4 +498,7 @@ class ResilientTransport:
             n_truncated=n_truncated,
             n_duplicates=n_duplicates,
             bytes_sent=bytes_sent,
+            payload=payload_out if delivered else None,
+            checksum_ok=checksum_ok,
+            n_corrupted=n_corrupted,
         )

@@ -1,9 +1,10 @@
 """Zero-dependency metrics registry: counters, gauges, histograms.
 
 Every hot layer of the pipeline (the neighbor indexes, DBSCAN, the
-resilient transport, the central server, the distributed runner) records
-into a :class:`MetricsRegistry` when one is attached, and records nothing
-— not even an allocation — when none is.  The registry is deliberately
+resilient transport with its checksums and circuit breakers, the central
+server's admission gate, the distributed runner and its recovery rounds)
+records into a :class:`MetricsRegistry` when one is attached, and records
+nothing — not even an allocation — when none is.  The registry is deliberately
 tiny: three metric families, float values, power-of-two histogram
 buckets, and a JSON-ready :meth:`MetricsRegistry.to_dict` export that
 lands in ``DistributedRunReport.trace`` and the ``python -m repro trace``

@@ -8,6 +8,7 @@ import pytest
 
 from repro.distributed.network import SERVER, SimulatedNetwork
 from repro.faults import (
+    BreakerPolicy,
     FaultPlan,
     LinkFaults,
     ResilientTransport,
@@ -265,6 +266,213 @@ class TestResilientTransport:
         down_ok = transport.deliver(SERVER, 0, "global_model", b"g" * 10)
         assert not down_bad.delivered
         assert down_ok.delivered
+
+
+class TestPayloadCorruption:
+    def _transport(self, plan, **policy_kwargs):
+        network = SimulatedNetwork()
+        policy = TransportPolicy(**policy_kwargs) if policy_kwargs else None
+        return network, ResilientTransport(network, plan, policy)
+
+    def test_certain_corruption_detected_by_checksum(self):
+        """A corrupted payload *arrives* (delivered=True) but fails the
+        sender-stamped CRC — the receiver must treat it as poison."""
+        __, transport = self._transport(FaultPlan.corrupted_payloads(1.0, seed=9))
+        sent = b"x" * 80
+        outcome = transport.deliver(0, SERVER, "local_model", sent)
+        assert outcome.delivered
+        assert not outcome.checksum_ok
+        assert outcome.payload is not None and outcome.payload != sent
+        assert len(outcome.payload) == len(sent)  # flipped, not truncated
+        assert outcome.n_corrupted == 1
+        assert transport.stats.n_corrupted == 1
+        assert transport.stats.n_delivered == 1
+
+    def test_clean_link_checksum_passes(self):
+        __, transport = self._transport(FaultPlan.none())
+        outcome = transport.deliver(0, SERVER, "local_model", b"x" * 80)
+        assert outcome.delivered
+        assert outcome.checksum_ok
+        assert outcome.payload == b"x" * 80
+        assert outcome.n_corrupted == 0
+
+    def test_corruption_is_deterministic(self):
+        def flipped() -> bytes:
+            __, transport = self._transport(
+                FaultPlan.corrupted_payloads(1.0, seed=9)
+            )
+            return transport.deliver(0, SERVER, "local_model", b"y" * 40).payload
+
+        assert flipped() == flipped()
+
+    def test_enabling_corruption_preserves_other_streams(self):
+        """corrupt_prob draws after every other decision in the attempt's
+        keyed stream, so switching it on cannot change which messages
+        drop/truncate/duplicate."""
+        base = FaultPlan.chaos(0.5, seed=11)
+        with_corruption = dataclasses.replace(
+            base, link=dataclasses.replace(base.link, corrupt_prob=0.0)
+        )
+        def decisions(plan) -> list[tuple]:
+            __, transport = self._transport(plan, max_attempts=4)
+            out = []
+            for seq in range(15):
+                o = transport.deliver(0, SERVER, "local_model", b"m" * 30)
+                out.append((o.attempts, o.n_dropped, o.n_truncated,
+                            o.n_duplicates, o.sim_seconds))
+            return out
+
+        assert decisions(base) == decisions(with_corruption)
+
+
+class TestCircuitBreaker:
+    def _transport(self, plan, breaker=None, **policy_kwargs):
+        network = SimulatedNetwork()
+        policy = TransportPolicy(**policy_kwargs) if policy_kwargs else None
+        return network, ResilientTransport(
+            network, plan, policy, breaker_policy=breaker
+        )
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown_s"):
+            BreakerPolicy(cooldown_s=0.0)
+
+    def test_opens_after_threshold_then_fast_fails(self):
+        network, transport = self._transport(
+            FaultPlan.none(),
+            breaker=BreakerPolicy(failure_threshold=2, cooldown_s=10.0),
+            max_attempts=2,
+        )
+        # Two consecutive failed messages (dead receiver) trip the breaker.
+        for __ in range(2):
+            outcome = transport.deliver(
+                SERVER, 3, "global_model", b"g" * 20, receiver_down=True
+            )
+            assert not outcome.delivered
+            assert outcome.attempts == 2
+        assert transport.breaker_state(3) == "open"
+        wire_before = len(network.messages)
+
+        # The third message fast-fails: no attempts, no bytes, no time.
+        fast = transport.deliver(SERVER, 3, "global_model", b"g" * 20)
+        assert fast.fast_failed
+        assert not fast.delivered
+        assert fast.attempts == 0
+        assert fast.bytes_sent == 0
+        assert fast.sim_seconds == 0.0
+        assert len(network.messages) == wire_before
+        assert transport.stats.n_fast_failed == 1
+
+    def test_half_open_probe_closes_on_success(self):
+        __, transport = self._transport(
+            FaultPlan.none(),
+            breaker=BreakerPolicy(failure_threshold=2, cooldown_s=10.0),
+            max_attempts=1,
+        )
+        transport.deliver(SERVER, 3, "global_model", b"g", receiver_down=True)
+        transport.deliver(SERVER, 3, "global_model", b"g", receiver_down=True)
+        assert transport.breaker_state(3) == "open"
+
+        # Before the cooldown elapses: still fast-failing.
+        early = transport.deliver(SERVER, 3, "global_model", b"g", start_s=5.0)
+        assert early.fast_failed
+
+        # After the cooldown: the half-open probe goes through and closes
+        # the breaker (the receiver recovered).
+        probe = transport.deliver(SERVER, 3, "global_model", b"g", start_s=50.0)
+        assert probe.delivered
+        assert not probe.fast_failed
+        assert transport.breaker_state(3) == "closed"
+        # closed → open → half_open → closed.
+        assert transport.stats.n_breaker_state_changes == 3
+
+    def test_failed_probe_reopens(self):
+        __, transport = self._transport(
+            FaultPlan.none(),
+            breaker=BreakerPolicy(failure_threshold=1, cooldown_s=10.0),
+            max_attempts=1,
+        )
+        transport.deliver(SERVER, 3, "global_model", b"g", receiver_down=True)
+        assert transport.breaker_state(3) == "open"
+        probe = transport.deliver(
+            SERVER, 3, "global_model", b"g", start_s=20.0, receiver_down=True
+        )
+        assert not probe.fast_failed  # the probe was allowed through
+        assert not probe.delivered
+        assert transport.breaker_state(3) == "open"
+
+    def test_breakers_are_per_link(self):
+        __, transport = self._transport(
+            FaultPlan.none(),
+            breaker=BreakerPolicy(failure_threshold=1, cooldown_s=10.0),
+            max_attempts=1,
+        )
+        transport.deliver(SERVER, 3, "global_model", b"g", receiver_down=True)
+        assert transport.breaker_state(3) == "open"
+        assert transport.breaker_state(4) == "closed"
+        ok = transport.deliver(SERVER, 4, "global_model", b"g")
+        assert ok.delivered
+
+    def test_delivered_but_corrupt_counts_as_link_health_success(self):
+        """Corruption is a *payload* problem, not a link problem: the link
+        moved bytes end to end, so the breaker must not trip."""
+        __, transport = self._transport(
+            FaultPlan.corrupted_payloads(1.0, seed=9),
+            breaker=BreakerPolicy(failure_threshold=1, cooldown_s=10.0),
+        )
+        for __ in range(3):
+            outcome = transport.deliver(0, SERVER, "local_model", b"x" * 30)
+            assert outcome.delivered
+            assert not outcome.checksum_ok
+        assert transport.breaker_state(0) == "closed"
+        assert transport.stats.n_fast_failed == 0
+
+    def test_fast_fail_consumes_no_sequence_number(self):
+        """A fast-failed message draws no RNG and takes no sequence slot,
+        so the link's later messages are identical to a breaker-less run."""
+        plan = FaultPlan.lossy_links(0.5, seed=6)
+
+        __, guarded = self._transport(
+            plan,
+            breaker=BreakerPolicy(failure_threshold=1, cooldown_s=100.0),
+            max_attempts=1,
+        )
+        guarded.deliver(SERVER, 1, "global_model", b"g" * 30, receiver_down=True)
+        assert guarded.breaker_state(1) == "open"
+        fast = guarded.deliver(SERVER, 1, "global_model", b"g" * 30)
+        assert fast.fast_failed
+        after_fast = guarded.deliver(
+            SERVER, 1, "global_model", b"g" * 30, start_s=500.0
+        )
+
+        __, plain = self._transport(plan, max_attempts=1)
+        plain.deliver(SERVER, 1, "global_model", b"g" * 30, receiver_down=True)
+        after_plain = plain.deliver(
+            SERVER, 1, "global_model", b"g" * 30, start_s=500.0
+        )
+        assert dataclasses.astuple(after_fast) == dataclasses.astuple(
+            after_plain
+        )
+
+    def test_disabled_breaker_is_bit_identical(self):
+        """breaker_policy=None (the default) must not change any outcome."""
+        plan = FaultPlan.chaos(0.6, seed=17)
+
+        def run(breaker) -> list[tuple]:
+            __, transport = self._transport(plan, breaker=breaker, max_attempts=3)
+            return [
+                dataclasses.astuple(
+                    transport.deliver(s, SERVER, "local_model", b"m" * 25)
+                )
+                for __ in range(8)
+                for s in range(2)
+            ]
+
+        # A breaker with an unreachable threshold never intervenes, so the
+        # streams must match the breaker-less transport exactly.
+        assert run(None) == run(BreakerPolicy(failure_threshold=10**6))
 
 
 class TestByteAccountingRegressions:

@@ -155,6 +155,9 @@ class TestHierarchicalRun:
             assert len(region.site_ids) == 3
             assert region.n_forwarded_representatives <= region.n_received_representatives
             assert region.bytes_up_region > 0
+            # Healthy sites produce valid models: nothing quarantined.
+            assert region.n_quarantined_models == 0
+        assert report.n_quarantined_models == 0
 
     def test_every_site_relabeled(self, workload):
         regions, __ = _regions(workload)

@@ -36,6 +36,22 @@ class TestRepresentative:
         rep = Representative(np.asarray([1, 2]), 1.0, 0, 0)
         assert rep.point.dtype == float
 
+    def test_rejects_nan_coordinates(self):
+        with pytest.raises(ValueError, match="finite"):
+            _rep(float("nan"), 0.0)
+
+    def test_rejects_infinite_coordinates(self):
+        with pytest.raises(ValueError, match="finite"):
+            _rep(float("inf"), 0.0)
+
+    def test_rejects_zero_range(self):
+        with pytest.raises(ValueError, match="eps_range"):
+            _rep(0.0, 0.0, eps_range=0.0)
+
+    def test_rejects_nan_range(self):
+        with pytest.raises(ValueError, match="eps_range"):
+            _rep(0.0, 0.0, eps_range=float("nan"))
+
 
 class TestLocalModel:
     def _model(self):
@@ -86,6 +102,37 @@ class TestLocalModel:
             assert a.eps_range == pytest.approx(b.eps_range)
             assert a.local_cluster_id == b.local_cluster_id
             assert b.site_id == 2
+
+    def test_validate_accepts_consistent_model(self):
+        assert self._model().validate() == []
+
+    def test_validate_rejects_negative_site_id(self):
+        model = self._model()
+        model.site_id = -1
+        problems = model.validate()
+        assert any("site id" in p for p in problems)
+
+    def test_validate_rejects_negative_object_count(self):
+        model = self._model()
+        model.n_objects = -5
+        assert any("object count" in p for p in model.validate())
+
+    def test_validate_rejects_foreign_representatives(self):
+        model = self._model()
+        model.representatives[1] = _rep(5.0, 5.0, 2.5, site_id=7)
+        assert any("claims site" in p for p in model.validate())
+
+    def test_validate_rejects_mixed_dimensionalities(self):
+        model = self._model()
+        model.representatives.append(
+            Representative(np.asarray([1.0, 2.0, 3.0]), 1.0, 2, 1)
+        )
+        assert any("dimensionalities" in p for p in model.validate())
+
+    def test_validate_rejects_more_reps_than_objects(self):
+        model = self._model()
+        model.n_objects = 2
+        assert any("representatives declared" in p for p in model.validate())
 
     def test_wire_size_scales_with_reps(self):
         model = self._model()

@@ -29,6 +29,19 @@ class TestSimulatedNetwork:
         assert message.kind == "local_model"
         assert len(net.messages) == 1
 
+    def test_sender_stamps_payload_crc(self):
+        import zlib
+
+        net = SimulatedNetwork()
+        payload = b"model-bytes" * 7
+        message = net.send(0, SERVER, "local_model", payload)
+        assert message.payload_crc == zlib.crc32(payload)
+        # The CRC is of the payload as *sent* — a receiver comparing it
+        # against what arrived detects in-flight corruption.
+        assert net.send(0, SERVER, "local_model", b"other").payload_crc != (
+            message.payload_crc
+        )
+
     def test_stats_directionality(self):
         net = SimulatedNetwork()
         net.send(0, SERVER, "local_model", b"a" * 10)
