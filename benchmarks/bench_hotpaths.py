@@ -6,9 +6,12 @@ a plain script — it times whole pipeline paths and writes the
 machine-readable ``BENCH_hotpaths.json`` trajectory file::
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py --cardinality 20000
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py \
+        --cardinality 20000,200000,1000000   # memory-budgeted scale sweep
 
-or, equivalently, ``python -m repro.cli bench``.  See docs/performance.md
-for how to read the output.
+or, equivalently, ``python -m repro.cli bench`` (which spells the sweep
+``--bench-cardinality``).  See docs/performance.md for how to read the
+output.
 """
 
 from __future__ import annotations

@@ -119,6 +119,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path for 'bench'",
     )
     parser.add_argument(
+        "--bench-cardinality",
+        default=None,
+        help="comma-separated cardinality sweep for 'bench' (first entry "
+        "runs the classic sections, every entry gets a memory-budgeted "
+        "scale pipeline); overrides --cardinality",
+    )
+    parser.add_argument(
+        "--strict-git",
+        action="store_true",
+        help="make 'bench' refuse to run on a dirty git tree",
+    )
+    parser.add_argument(
         "--failure-probs",
         default="0,0.125,0.25,0.375,0.5",
         help="comma-separated failure probabilities for 'chaos'",
@@ -377,12 +389,21 @@ def main(argv: list[str] | None = None) -> int:
                 write_report,
             )
 
+            if args.bench_cardinality:
+                cardinality = [
+                    int(part)
+                    for part in str(args.bench_cardinality).split(",")
+                    if part.strip()
+                ]
+            else:
+                cardinality = args.cardinality or 20_000
             report = run_hotpath_bench(
-                cardinality=args.cardinality or 20_000,
+                cardinality=cardinality,
                 n_sites=args.sites,
                 parallelism=args.parallelism,
                 repeats=args.repeats,
                 seed=args.seed,
+                strict_git=args.strict_git,
             )
             print(format_summary(report))
             # Registry first (durable history), then the generated

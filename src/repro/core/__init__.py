@@ -34,7 +34,13 @@ from repro.core.local import (
     verify_specific_core_set,
 )
 from repro.core.models import GlobalModel, LocalModel, Representative
-from repro.core.relabel import RelabelStats, relabel_site
+from repro.core.relabel import (
+    RELABEL_KERNELS,
+    RelabelStats,
+    relabel_site,
+    relabel_site_reference,
+)
+from repro.core.shm import ShmArrayPool, ShmArrayRef, attach_array
 
 __all__ = [
     "DBDCConfig",
@@ -58,6 +64,11 @@ __all__ = [
     "GlobalModel",
     "LocalModel",
     "Representative",
+    "RELABEL_KERNELS",
     "RelabelStats",
     "relabel_site",
+    "relabel_site_reference",
+    "ShmArrayPool",
+    "ShmArrayRef",
+    "attach_array",
 ]

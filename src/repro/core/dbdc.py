@@ -31,7 +31,7 @@ from repro.core.global_model import (
 )
 from repro.core.local import LOCAL_MODEL_SCHEMES, LocalClusteringOutcome, build_local_model
 from repro.core.models import GlobalModel, LocalModel
-from repro.core.relabel import RelabelStats, relabel_site
+from repro.core.relabel import RELABEL_KERNELS, RelabelStats, relabel_site
 from repro.data.distance import Metric, get_metric
 
 __all__ = [
@@ -56,6 +56,9 @@ class DBDCConfig:
             default (max ε_r over all representatives ≈ ``2·eps_local``).
         metric: distance metric name or instance.
         index_kind: neighbor index used by all DBSCAN runs.
+        relabel_kernel: coverage kernel of the update step —
+            ``"auto"``, ``"vectorized"`` or ``"reference"``.  All kernels
+            produce bit-identical labels; the knob trades constants only.
     """
 
     eps_local: float
@@ -64,6 +67,7 @@ class DBDCConfig:
     eps_global: float | None = None
     metric: str | Metric = "euclidean"
     index_kind: str = "auto"
+    relabel_kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.eps_local <= 0:
@@ -79,6 +83,11 @@ class DBDCConfig:
         if self.eps_global is not None and self.eps_global <= 0:
             raise ValueError(
                 f"eps_global must be positive or None, got {self.eps_global}"
+            )
+        if self.relabel_kernel not in RELABEL_KERNELS:
+            raise ValueError(
+                f"unknown relabel_kernel {self.relabel_kernel!r}; "
+                f"known: {RELABEL_KERNELS}"
             )
 
 
@@ -268,6 +277,7 @@ def run_dbdc(
             global_model,
             site_id=site_id,
             metric=metric,
+            kernel=config.relabel_kernel,
         )
         relabel_seconds = time.perf_counter() - start
         sites.append(

@@ -20,6 +20,7 @@ to a sequential run except for wall-clock timing fields.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -29,6 +30,8 @@ import numpy as np
 
 from repro.core.global_model import GlobalModelRepairer
 from repro.core.models import GlobalModel, LocalModel
+from repro.core.relabel import RELABEL_KERNELS, relabel_site
+from repro.core.shm import ShmArrayPool, ShmArrayRef
 from repro.data.distance import Metric
 from repro.distributed.network import SERVER, NetworkStats, SimulatedNetwork
 from repro.distributed.partition import partition, split
@@ -126,6 +129,132 @@ def _graft_worker_spans(parent: Span, exported: list[dict]) -> None:
         parent.children.append(Span.from_dict(data))
 
 
+# ----------------------------------------------------------------------
+# Shared-memory fan-out (process backend).
+#
+# The plain process-pool path pickles every site's full point array into
+# the worker task — and the worker pickles it *back* inside the result's
+# neighbor index.  With shared memory enabled the driver copies each
+# site's points into an OS shared-memory block once (ShmArrayPool) and
+# ships only a tiny ShmArrayRef per task; the worker attaches zero-copy
+# and strips the neighbor index from the returned outcome so the result
+# carries labels + model, never the points.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShmLocalSpec:
+    """Picklable task spec of one site's shared-memory local phase.
+
+    Exactly one of ``points_ref`` / ``points`` is set (zero-size arrays
+    cannot live in shared memory and travel inline instead).
+    """
+
+    site_id: int
+    points_ref: ShmArrayRef | None
+    points: np.ndarray | None
+    eps_local: float
+    min_pts_local: int
+    scheme: str
+    metric: str | Metric
+    index_kind: str
+    relabel_kernel: str
+    observed: bool
+
+
+@dataclass(frozen=True)
+class _ShmRelabelSpec:
+    """Picklable task spec of one site's shared-memory relabel pass."""
+
+    site_id: int
+    points_ref: ShmArrayRef | None
+    points: np.ndarray | None
+    labels_ref: ShmArrayRef | None
+    labels: np.ndarray | None
+    metric: str | Metric
+    relabel_kernel: str
+    model: GlobalModel
+    observed: bool
+
+
+def _shm_local_task(spec: _ShmLocalSpec):
+    """Worker task: local clustering against shared-memory points."""
+    if spec.points_ref is not None:
+        points, segment = spec.points_ref.open()
+    else:
+        points, segment = spec.points, None
+    try:
+        site = ClientSite(
+            spec.site_id,
+            points,
+            eps_local=spec.eps_local,
+            min_pts_local=spec.min_pts_local,
+            scheme=spec.scheme,
+            metric=spec.metric,
+            index_kind=spec.index_kind,
+            relabel_kernel=spec.relabel_kernel,
+        )
+        task = _observed_local_task if spec.observed else _local_clustering_task
+        result = task(site)
+        # The clustering's neighbor index references the (shared) point
+        # array; stripping it keeps the pickled result at labels + model
+        # size instead of shipping the points back to the driver.
+        result[0].clustering.index = None
+        return result
+    finally:
+        if segment is not None:
+            segment.close()
+
+
+def _shm_relabel_task(spec: _ShmRelabelSpec):
+    """Worker task: relabel against shared-memory points and labels."""
+    segments = []
+    try:
+        if spec.points_ref is not None:
+            points, segment = spec.points_ref.open()
+            segments.append(segment)
+        else:
+            points = spec.points
+        if spec.labels_ref is not None:
+            labels, segment = spec.labels_ref.open()
+            segments.append(segment)
+        else:
+            labels = spec.labels
+        if not spec.observed:
+            return _timed_relabel(points, labels, spec)
+        tracer = Tracer()
+        with tracer.span(
+            f"site[{spec.site_id}].relabel", attrs={"site": spec.site_id}
+        ):
+            global_labels, stats, wall_s, cpu_s = _timed_relabel(
+                points, labels, spec
+            )
+        return global_labels, stats, wall_s, cpu_s, tracer.export_spans(origin=0.0)
+    finally:
+        for segment in segments:
+            segment.close()
+
+
+def _timed_relabel(points, labels, spec: _ShmRelabelSpec):
+    """One relabel pass with the wall/CPU timing of ``compute_relabel``."""
+    wall_start = time.perf_counter()
+    cpu_start = time.thread_time()
+    global_labels, stats = relabel_site(
+        points,
+        labels,
+        spec.model,
+        site_id=spec.site_id,
+        metric=spec.metric,
+        kernel=spec.relabel_kernel,
+    )
+    return (
+        global_labels,
+        stats,
+        time.perf_counter() - wall_start,
+        time.thread_time() - cpu_start,
+    )
+
+
 @dataclass(frozen=True)
 class DistributedRunConfig:
     """Configuration of a distributed run.
@@ -146,6 +275,26 @@ class DistributedRunConfig:
             process backend sidesteps the GIL for CPU-bound local phases
             but requires the metric to be picklable (all registered named
             metrics are; ``minkowski_metric`` closures are not).
+        relabel_kernel: coverage kernel of the update step (``"auto"`` /
+            ``"vectorized"`` / ``"reference"``); every kernel produces
+            bit-identical labels, the knob only trades constants.
+        auto_fallback: when true (default), a parallel run silently
+            degrades to sequential execution whenever parallelism cannot
+            win: a single-CPU box, or every site below
+            ``fallback_min_points`` objects (worker startup + pickling
+            then dominates — the committed 20k bench showed process_x4 at
+            a 0.76x *slowdown*).  The decision lands on the report as
+            :attr:`DistributedRunReport.effective_parallelism` /
+            ``parallelism_fallback_reason``.  Results are identical
+            either way; only wall-clock timing changes.
+        fallback_min_points: the largest site must hold at least this
+            many objects for parallel fan-out to engage (with
+            ``auto_fallback``).
+        shared_memory: ``"auto"`` (default) / ``"on"`` / ``"off"`` —
+            whether process-backend fan-outs pass site arrays through
+            ``multiprocessing.shared_memory`` (zero-copy attach) instead
+            of pickling them per task.  Ignored by the thread backend,
+            which already shares the address space.
     """
 
     eps_local: float
@@ -158,6 +307,10 @@ class DistributedRunConfig:
     seed: int = 0
     parallelism: int = 1
     parallel_backend: str = "thread"
+    relabel_kernel: str = "auto"
+    auto_fallback: bool = True
+    fallback_min_points: int = 20_000
+    shared_memory: str = "auto"
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -166,6 +319,20 @@ class DistributedRunConfig:
             raise ValueError(
                 f"parallel_backend must be 'thread' or 'process', "
                 f"got {self.parallel_backend!r}"
+            )
+        if self.relabel_kernel not in RELABEL_KERNELS:
+            raise ValueError(
+                f"unknown relabel_kernel {self.relabel_kernel!r}; "
+                f"known: {RELABEL_KERNELS}"
+            )
+        if self.fallback_min_points < 0:
+            raise ValueError(
+                f"fallback_min_points must be >= 0, got {self.fallback_min_points}"
+            )
+        if self.shared_memory not in ("auto", "on", "off"):
+            raise ValueError(
+                f"shared_memory must be 'auto', 'on' or 'off', "
+                f"got {self.shared_memory!r}"
             )
 
 
@@ -377,6 +544,19 @@ class DistributedRunReport:
         trace: the run's trace document (spans + metrics, see
             ``docs/observability.md``) when the runner was handed a
             tracer; ``None`` otherwise.
+        effective_parallelism: workers the fan-outs actually used after
+            auto-fallback (equals ``config.parallelism`` when no fallback
+            fired).
+        parallelism_fallback_reason: why a parallel config degraded to
+            sequential execution (``"single_cpu"`` / ``"small_sites"``),
+            ``None`` when it did not.
+        shm_bytes_shared: payload bytes placed in shared-memory blocks
+            instead of being pickled per worker task (0 without the
+            shared-memory path).
+        shm_setup_seconds: wall time spent copying arrays into the
+            shared-memory pool.
+        shm_teardown_seconds: wall time spent closing and unlinking the
+            pool's blocks.
     """
 
     sites: list[ClientSite]
@@ -404,6 +584,11 @@ class DistributedRunReport:
     recovery_rounds_used: int = 0
     recovery_rounds: list[RecoveryRoundStats] = field(default_factory=list)
     trace: dict | None = None
+    effective_parallelism: int = 1
+    parallelism_fallback_reason: str | None = None
+    shm_bytes_shared: int = 0
+    shm_setup_seconds: float = 0.0
+    shm_teardown_seconds: float = 0.0
 
     @property
     def max_local_seconds(self) -> float:
@@ -497,6 +682,13 @@ class DistributedRunReport:
             "recovery.recovered_sites_count": float(len(self.recovered_sites)),
             "sites.quarantined_count": float(len(self.quarantined_sites)),
             "sites.stale_count": float(len(self.stale_sites)),
+            "parallel.effective_workers": float(self.effective_parallelism),
+            "parallel.fallback_count": float(
+                self.parallelism_fallback_reason is not None
+            ),
+            "shm.bytes_shared": float(self.shm_bytes_shared),
+            "shm.setup_seconds": self.shm_setup_seconds,
+            "shm.teardown_seconds": self.shm_teardown_seconds,
         }
         if self.transport_stats is not None:
             metrics["transport.corrupted"] = float(self.transport_stats.n_corrupted)
@@ -603,6 +795,13 @@ class DistributedRunner:
         self.breaker_policy = breaker_policy
         self.tracer = tracer
         self.metrics = metrics
+        self._effective_parallelism = config.parallelism
+        self._fallback_reason: str | None = None
+        self._shm_pool: ShmArrayPool | None = None
+        self._shm_point_refs: dict[int, ShmArrayRef] = {}
+        self._shm_bytes_shared = 0
+        self._shm_setup_seconds = 0.0
+        self._shm_teardown_seconds = 0.0
 
     def _make_sites(self, site_points: list[np.ndarray]) -> list[ClientSite]:
         return [
@@ -614,9 +813,67 @@ class DistributedRunner:
                 scheme=self.config.scheme,
                 metric=self.config.metric,
                 index_kind=self.config.index_kind,
+                relabel_kernel=self.config.relabel_kernel,
             )
             for site_id, points in enumerate(site_points)
         ]
+
+    def _resolve_parallelism(
+        self, site_points: list[np.ndarray]
+    ) -> tuple[int, str | None]:
+        """Decide how many workers the fan-outs actually get.
+
+        With ``auto_fallback`` a parallel config degrades to sequential
+        execution when parallelism cannot win: one CPU, or every site's
+        work below the ``fallback_min_points`` threshold.  Results are
+        identical either way — only scheduling changes.
+        """
+        config = self.config
+        if config.parallelism <= 1 or not config.auto_fallback:
+            return config.parallelism, None
+        if (os.cpu_count() or 1) <= 1:
+            return 1, "single_cpu"
+        largest = max(
+            (np.asarray(points).shape[0] for points in site_points), default=0
+        )
+        if largest < config.fallback_min_points:
+            return 1, "small_sites"
+        return config.parallelism, None
+
+    def _setup_shm_pool(self, sites: list[ClientSite]) -> None:
+        """Copy every site's points into shared memory, once, traced."""
+        setup_start = time.perf_counter()
+        pool = ShmArrayPool()
+        for site in sites:
+            if site.points.size:
+                self._shm_point_refs[site.site_id] = pool.share(site.points)
+        self._shm_pool = pool
+        self._shm_bytes_shared = pool.bytes_shared
+        self._shm_setup_seconds = time.perf_counter() - setup_start
+        if self.tracer is not None:
+            self.tracer.record(
+                "shm_pool.setup",
+                wall_start=setup_start,
+                wall_end=setup_start + self._shm_setup_seconds,
+                attrs={"arrays": pool.n_arrays, "bytes": pool.bytes_shared},
+            )
+
+    def _close_shm_pool(self) -> None:
+        """Unlink every shared block (idempotent), traced."""
+        pool = self._shm_pool
+        if pool is None:
+            return
+        self._shm_pool = None
+        self._shm_bytes_shared = pool.bytes_shared
+        teardown_start = time.perf_counter()
+        pool.close()
+        self._shm_teardown_seconds = time.perf_counter() - teardown_start
+        if self.tracer is not None:
+            self.tracer.record(
+                "shm_pool.teardown",
+                wall_start=teardown_start,
+                wall_end=teardown_start + self._shm_teardown_seconds,
+            )
 
     def run_on_sites(
         self,
@@ -637,10 +894,89 @@ class DistributedRunner:
         """
         if not site_points:
             raise ValueError("at least one site is required")
+        self._effective_parallelism, self._fallback_reason = (
+            self._resolve_parallelism(site_points)
+        )
+        self._shm_point_refs = {}
+        self._shm_bytes_shared = 0
+        self._shm_setup_seconds = 0.0
+        self._shm_teardown_seconds = 0.0
         sites = self._make_sites(site_points)
-        if self.fault_plan is not None and self.fault_plan.is_active():
-            return self._run_degraded(sites, site_points, assignment)
-        return self._run_fault_free(sites, site_points, assignment)
+        if (
+            self._effective_parallelism > 1
+            and len(sites) > 1
+            and self.config.parallel_backend == "process"
+            and self.config.shared_memory != "off"
+        ):
+            self._setup_shm_pool(sites)
+        try:
+            if self.fault_plan is not None and self.fault_plan.is_active():
+                return self._run_degraded(sites, site_points, assignment)
+            return self._run_fault_free(sites, site_points, assignment)
+        finally:
+            # Normally a no-op: the run paths tear the pool down before
+            # assembling their report so the teardown cost is recorded.
+            self._close_shm_pool()
+
+    def _local_fanout(self, sites: list[ClientSite], observing: bool) -> list:
+        """Fan the local-phase compute out (shared-memory aware)."""
+        if self._shm_pool is None:
+            task = _observed_local_task if observing else _local_clustering_task
+            return self._map_over(task, sites)
+        config = self.config
+        specs = [
+            _ShmLocalSpec(
+                site_id=site.site_id,
+                points_ref=self._shm_point_refs.get(site.site_id),
+                points=(
+                    None if site.site_id in self._shm_point_refs else site.points
+                ),
+                eps_local=config.eps_local,
+                min_pts_local=config.min_pts_local,
+                scheme=config.scheme,
+                metric=config.metric,
+                index_kind=config.index_kind,
+                relabel_kernel=config.relabel_kernel,
+                observed=observing,
+            )
+            for site in sites
+        ]
+        return self._map_over(_shm_local_task, specs)
+
+    def _relabel_fanout(
+        self,
+        sites: list[ClientSite],
+        global_model: GlobalModel,
+        observing: bool,
+    ) -> list:
+        """Fan the step-4 relabel compute out (shared-memory aware)."""
+        if self._shm_pool is None:
+            task = _observed_relabel_task if observing else _relabel_task
+            return self._map_over(task, [(site, global_model) for site in sites])
+        config = self.config
+        specs = []
+        for site in sites:
+            labels = site.local_outcome.clustering.labels
+            labels_ref = self._shm_pool.share(labels) if labels.size else None
+            specs.append(
+                _ShmRelabelSpec(
+                    site_id=site.site_id,
+                    points_ref=self._shm_point_refs.get(site.site_id),
+                    points=(
+                        None
+                        if site.site_id in self._shm_point_refs
+                        else site.points
+                    ),
+                    labels_ref=labels_ref,
+                    labels=None if labels_ref is not None else labels,
+                    metric=config.metric,
+                    relabel_kernel=config.relabel_kernel,
+                    model=global_model,
+                    observed=observing,
+                )
+            )
+        self._shm_bytes_shared = self._shm_pool.bytes_shared
+        return self._map_over(_shm_relabel_task, specs)
 
     def _raw_cost(self, site_points: list[np.ndarray]) -> tuple[int, float]:
         dim = site_points[0].shape[1] if site_points[0].ndim == 2 else 0
@@ -669,9 +1005,8 @@ class DistributedRunner:
         # Steps 1+2: local clustering (possibly parallel) and model
         # transmission.  The compute fans out; results are applied and sent
         # in deterministic site order so reports match sequential runs.
-        local_task = _observed_local_task if observing else _local_clustering_task
         local_start = time.perf_counter()
-        local_results = self._map_over(local_task, sites)
+        local_results = self._local_fanout(sites, observing)
         compute_end = time.perf_counter()
         local_wall_seconds = compute_end - local_start
         local_cpu_seconds = 0.0
@@ -726,11 +1061,8 @@ class DistributedRunner:
                     )
                 )
         broadcast_end = time.perf_counter()
-        relabel_task = _observed_relabel_task if observing else _relabel_task
         relabel_start = time.perf_counter()
-        relabel_results = self._map_over(
-            relabel_task, [(site, global_model) for site in sites]
-        )
+        relabel_results = self._relabel_fanout(sites, global_model, observing)
         relabel_end = time.perf_counter()
         relabel_wall_seconds = relabel_end - relabel_start
         relabel_cpu_seconds = 0.0
@@ -743,6 +1075,7 @@ class DistributedRunner:
                 global_labels, stats, wall_s, cpu_s = result
             relabel_cpu_seconds += cpu_s
             site.apply_relabel(global_labels, stats, wall_s, cpu_s)
+        self._close_shm_pool()
         run_end = time.perf_counter()
 
         if metrics is not None:
@@ -784,6 +1117,11 @@ class DistributedRunner:
             relabel_cpu_seconds=relabel_cpu_seconds,
             participating_sites=[site.site_id for site in sites],
             trace=trace,
+            effective_parallelism=self._effective_parallelism,
+            parallelism_fallback_reason=self._fallback_reason,
+            shm_bytes_shared=self._shm_bytes_shared,
+            shm_setup_seconds=self._shm_setup_seconds,
+            shm_teardown_seconds=self._shm_teardown_seconds,
         )
 
     def _record_run_spans(
@@ -965,9 +1303,8 @@ class DistributedRunner:
         for site in sites:
             if behaviors[site.site_id].crashes_before_local:
                 failed[site.site_id] = "crash_before_local"
-        local_task = _observed_local_task if observing else _local_clustering_task
         local_start = time.perf_counter()
-        local_results = self._map_over(local_task, computing)
+        local_results = self._local_fanout(computing, observing)
         compute_end = time.perf_counter()
         local_wall_seconds = compute_end - local_start
         local_cpu_seconds = 0.0
@@ -1109,11 +1446,8 @@ class DistributedRunner:
         broadcast_wall_end = time.perf_counter()
 
         # Step 4 on the sites that actually hold the global model.
-        relabel_task = _observed_relabel_task if observing else _relabel_task
         relabel_start = time.perf_counter()
-        relabel_results = self._map_over(
-            relabel_task, [(site, global_model) for site in receivers]
-        )
+        relabel_results = self._relabel_fanout(receivers, global_model, observing)
         relabel_compute_end = time.perf_counter()
         relabel_wall_seconds = relabel_compute_end - relabel_start
         relabel_cpu_seconds = 0.0
@@ -1165,7 +1499,7 @@ class DistributedRunner:
                 for site_id in attempted
                 if reasons.get(site_id) == "crash_before_local"
             ]
-            reboot_results = self._map_over(local_task, rebooting)
+            reboot_results = self._local_fanout(rebooting, observing)
             fresh_compute: set[int] = set()
             for site, result in zip(rebooting, reboot_results):
                 if observing:
@@ -1348,9 +1682,8 @@ class DistributedRunner:
                         stale.add(site_id)
 
             # Step 4 for everyone who received the repaired model.
-            round_relabel_results = self._map_over(
-                relabel_task,
-                [(site, global_model) for site in round_receivers],
+            round_relabel_results = self._relabel_fanout(
+                round_receivers, global_model, observing
             )
             round_changed: list[int] = []
             round_recovered: list[int] = []
@@ -1429,6 +1762,7 @@ class DistributedRunner:
                 next_id = site.apply_degraded_labels(
                     failed[site.site_id], id_offset=next_id
                 )
+        self._close_shm_pool()
         run_end = time.perf_counter()
 
         degraded = bool(failed) or bool(stale) or not server.quorum_met
@@ -1486,11 +1820,19 @@ class DistributedRunner:
             recovery_rounds_used=rounds_used,
             recovery_rounds=recovery_rounds_stats,
             trace=trace,
+            effective_parallelism=self._effective_parallelism,
+            parallelism_fallback_reason=self._fallback_reason,
+            shm_bytes_shared=self._shm_bytes_shared,
+            shm_setup_seconds=self._shm_setup_seconds,
+            shm_teardown_seconds=self._shm_teardown_seconds,
         )
 
     def _map_over(self, task: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
-        """Run ``task`` over ``items``, in order, possibly concurrently."""
-        workers = min(self.config.parallelism, len(items))
+        """Run ``task`` over ``items``, in order, possibly concurrently.
+
+        ``_effective_parallelism`` (the post-fallback worker count
+        resolved by :meth:`run_on_sites`) bounds the pool size."""
+        workers = min(self._effective_parallelism, len(items))
         if workers <= 1:
             return [task(item) for item in items]
         executor_cls: type[Executor] = (

@@ -56,6 +56,8 @@ class ClientSite:
         scheme: local model scheme (``"rep_scor"`` / ``"rep_kmeans"``).
         metric: distance metric.
         index_kind: neighbor index kind.
+        relabel_kernel: coverage kernel of the update step (``"auto"`` /
+            ``"vectorized"`` / ``"reference"``; bit-identical labels).
     """
 
     def __init__(
@@ -68,6 +70,7 @@ class ClientSite:
         scheme: str = "rep_scor",
         metric: str | Metric = "euclidean",
         index_kind: str = "auto",
+        relabel_kernel: str = "auto",
     ) -> None:
         self.site_id = site_id
         self.points = np.asarray(points, dtype=float)
@@ -76,6 +79,7 @@ class ClientSite:
         self.scheme = scheme
         self.metric = get_metric(metric)
         self.index_kind = index_kind
+        self.relabel_kernel = relabel_kernel
         self.times = _SitePhaseTimes()
         self.failure: str | None = None
         self._outcome: LocalClusteringOutcome | None = None
@@ -169,6 +173,7 @@ class ClientSite:
             model,
             site_id=self.site_id,
             metric=self.metric,
+            kernel=self.relabel_kernel,
         )
         return (
             global_labels,

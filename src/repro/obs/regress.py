@@ -87,6 +87,16 @@ DEFAULT_RULES: tuple[MetricRule, ...] = (
     MetricRule("*timeouts*", "lower", 0.10, abs_threshold=0.5),
     MetricRule("*failed*", "lower", 0.10, abs_threshold=0.5),
     MetricRule("*drops*", "lower", 0.10, abs_threshold=0.5),
+    # Correctness flags (1.0 = verified): any drop is a hard regression,
+    # so the thresholds are zero and the rule is *not* timing-tagged —
+    # it survives --ignore-timing and gates cross-machine CI runs.
+    MetricRule("*identical*", "higher", 0.0),
+    MetricRule("*roundtrip_ok*", "higher", 0.0),
+    # Memory budgets: tracemalloc peaks are reproducible for a fixed
+    # config (python allocations only), RSS folds in the interpreter and
+    # allocator and is machine-bound — timing-tagged like the clocks.
+    MetricRule("*tracemalloc_peak_mb*", "lower", 0.20, abs_threshold=5.0),
+    MetricRule("*rss_peak_mb*", "lower", 0.30, abs_threshold=16.0, timing=True),
     MetricRule("*", "ignore"),
 )
 

@@ -224,3 +224,105 @@ class TestFactory:
     def test_unknown_kind_raises(self, rng):
         with pytest.raises(ValueError, match="unknown index kind"):
             build_index(rng.normal(size=(5, 2)), "balltree")
+
+
+class TestGridCSRStorage:
+    """The structure-of-arrays (CSR) cell layout of :class:`GridIndex`."""
+
+    def _naive_cells(self, index: GridIndex) -> dict:
+        """Rebuild the cell -> sorted point indices map the slow way."""
+        coords = np.floor(
+            (index._points - index._origin) / index.cell_size
+        ).astype(np.int64)
+        cells: dict = {}
+        for i, key in enumerate(map(tuple, coords.tolist())):
+            cells.setdefault(key, []).append(i)
+        return cells
+
+    def test_flat_is_a_permutation(self, rng):
+        points = rng.uniform(-5, 5, size=(200, 2))
+        index = GridIndex(points, cell_size=1.3)
+        np.testing.assert_array_equal(np.sort(index._flat), np.arange(200))
+
+    def test_slices_partition_flat(self, rng):
+        points = rng.uniform(-5, 5, size=(150, 3))
+        index = GridIndex(points, cell_size=2.0)
+        bounds = sorted(index._cells.values())
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 150
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start  # contiguous, non-overlapping
+
+    def test_csr_matches_naive_bucketing(self, rng):
+        for trial in range(5):
+            points = rng.uniform(-4, 4, size=(120, 2))
+            index = GridIndex(points, cell_size=0.9)
+            expected = self._naive_cells(index)
+            assert set(index._cells) == set(expected)
+            for key, (start, stop) in index._cells.items():
+                # Stable lexsort keeps indices ascending within a cell,
+                # exactly like the per-cell append lists used to.
+                assert index._flat[start:stop].tolist() == expected[key]
+
+    def test_occupied_cell_count(self, rng):
+        points = rng.uniform(0, 3, size=(80, 2))
+        index = GridIndex(points, cell_size=1.0)
+        assert index.n_occupied_cells == len(self._naive_cells(index))
+        assert index.n_occupied_cells == len(index._cells)
+
+    def test_duplicate_points_share_one_cell(self):
+        points = np.tile([[1.5, -0.5]], (7, 1))
+        index = GridIndex(points, cell_size=1.0)
+        assert index.n_occupied_cells == 1
+        np.testing.assert_array_equal(
+            index.range_query(points[0], 0.1), np.arange(7)
+        )
+
+    def test_empty_index(self):
+        index = GridIndex(np.empty((0, 2)), cell_size=1.0)
+        assert index.n_occupied_cells == 0
+        assert index.range_query(np.zeros(2), 5.0).size == 0
+        assert all(
+            hits.size == 0
+            for hits in index.range_query_batch(np.zeros((3, 2)), 5.0)
+        )
+
+    def test_single_point(self):
+        index = GridIndex(np.asarray([[2.0, 2.0]]), cell_size=1.0)
+        assert index.n_occupied_cells == 1
+        np.testing.assert_array_equal(index.range_query([2.0, 2.0], 0.5), [0])
+        assert index.range_query([9.0, 9.0], 0.5).size == 0
+
+    def test_queries_through_empty_cells(self, rng):
+        # Two far-apart clumps: the query cube between them spans many
+        # empty cells, exercising both gather branches.
+        points = np.concatenate(
+            [rng.normal(0, 0.2, size=(30, 2)), rng.normal(50, 0.2, size=(30, 2))]
+        )
+        index = GridIndex(points, cell_size=0.5)
+        brute = BruteForceIndex(points)
+        for query in ([25.0, 25.0], [0.0, 0.0], [50.0, 50.0]):
+            for eps in (0.4, 30.0, 80.0):
+                np.testing.assert_array_equal(
+                    index.range_query(np.asarray(query), eps),
+                    brute.range_query(np.asarray(query), eps),
+                )
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 120),
+        cell=st.floats(0.3, 3.0),
+        eps=st.floats(0.05, 6.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_grids_match_brute_oracle(self, seed, n, cell, eps):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-6, 6, size=(n, 2))
+        index = GridIndex(points, cell_size=cell)
+        brute = BruteForceIndex(points)
+        queries = points[:: max(1, n // 7)]
+        batched = index.range_query_batch(queries, eps)
+        for query, batch_hits in zip(queries, batched):
+            expected = brute.range_query(query, eps)
+            np.testing.assert_array_equal(index.range_query(query, eps), expected)
+            np.testing.assert_array_equal(np.sort(batch_hits), expected)

@@ -1,0 +1,126 @@
+"""Hypothesis property tests: vectorized relabel ≡ the reference kernel.
+
+The vectorized kernel's contract is *bit-identical* labels and stats —
+not "close", identical — across datasets, local-model schemes, metrics
+and eps ranges, including tie-heavy layouts where several global
+representatives cover the same object at exactly equal distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.global_model import build_global_model
+from repro.core.local import build_local_model
+from repro.core.relabel import (
+    relabel_site,
+    relabel_site_reference,
+    resolve_relabel_kernel,
+)
+from repro.distributed.partition import partition, split
+
+
+def _random_points(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    clumped = rng.normal(0, 1.0, size=(n // 2, 2))
+    scattered = rng.uniform(-8, 8, size=(n - n // 2, 2))
+    return np.concatenate([clumped, scattered])
+
+
+def _assert_kernels_agree(points, eps, min_pts, *, scheme, metric, n_sites):
+    site_points = split(points, partition(points, n_sites, "uniform_random", 0))
+    outcomes = [
+        build_local_model(
+            site, eps, min_pts, scheme=scheme, site_id=i, metric=metric
+        )
+        for i, site in enumerate(site_points)
+    ]
+    global_model, __ = build_global_model(
+        [o.model for o in outcomes], metric=metric
+    )
+    for i, (site, outcome) in enumerate(zip(site_points, outcomes)):
+        labels = outcome.clustering.labels
+        ref_labels, ref_stats = relabel_site_reference(
+            site, labels, global_model, site_id=i, metric=metric
+        )
+        vec_labels, vec_stats = relabel_site(
+            site, labels, global_model, site_id=i, metric=metric,
+            kernel="vectorized",
+        )
+        np.testing.assert_array_equal(vec_labels, ref_labels)
+        assert vec_stats == ref_stats
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    n=st.integers(8, 120),
+    eps=st.floats(0.3, 3.0),
+    min_pts=st.integers(2, 5),
+    scheme=st.sampled_from(["rep_scor", "rep_kmeans"]),
+    n_sites=st.integers(1, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_vectorized_matches_reference(seed, n, eps, min_pts, scheme, n_sites):
+    points = _random_points(seed, n)
+    _assert_kernels_agree(
+        points, eps, min_pts, scheme=scheme, metric="euclidean",
+        n_sites=n_sites,
+    )
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    metric=st.sampled_from(
+        ["euclidean", "manhattan", "chebyshev", "squared_euclidean"]
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_vectorized_matches_reference_per_metric(seed, metric):
+    points = _random_points(seed, 60)
+    _assert_kernels_agree(
+        points, 1.0, 3, scheme="rep_scor", metric=metric, n_sites=2
+    )
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    n=st.integers(20, 120),
+    grid=st.integers(2, 5),
+)
+@settings(max_examples=30, deadline=None)
+def test_tie_heavy_integer_layout(seed, n, grid):
+    """Duplicate coordinates force exact distance ties between several
+    representatives per object — the tie-break (lowest representative
+    index wins) must match bitwise."""
+    rng = np.random.default_rng(seed)
+    points = rng.integers(0, grid, size=(n, 2)).astype(float)
+    _assert_kernels_agree(
+        points, 1.0, 2, scheme="rep_scor", metric="euclidean", n_sites=2
+    )
+
+
+class TestKernelDispatch:
+    def test_auto_resolves_to_vectorized_for_grid_metrics(self):
+        for metric in ("euclidean", "manhattan", "chebyshev",
+                       "squared_euclidean"):
+            assert resolve_relabel_kernel("auto", metric) == "vectorized"
+
+    def test_explicit_kernels_pass_through(self):
+        assert resolve_relabel_kernel("reference", "euclidean") == "reference"
+        assert resolve_relabel_kernel("vectorized", "euclidean") == "vectorized"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            resolve_relabel_kernel("warp", "euclidean")
+
+    def test_relabel_site_rejects_unknown_kernel(self, rng):
+        points = rng.normal(size=(10, 2))
+        outcome = build_local_model(points, 1.0, 2, site_id=0)
+        model, __ = build_global_model([outcome.model])
+        with pytest.raises(ValueError, match="kernel"):
+            relabel_site(
+                points, outcome.clustering.labels, model, kernel="warp"
+            )

@@ -146,3 +146,133 @@ def test_labels_in_original_order_validates_assignment(blobs):
     report.assignment = np.zeros(sum(s.points.shape[0] for s in report.sites), dtype=np.intp)
     with pytest.raises(ValueError, match="objects"):
         report.labels_in_original_order()
+
+
+# ---------------------------------------------------------------------------
+# auto-fallback + shared memory (million-point-scale PR)
+# ---------------------------------------------------------------------------
+def _patch_cpus(monkeypatch, n):
+    import repro.distributed.runner as runner_mod
+
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: n)
+
+
+def test_auto_fallback_single_cpu(blobs, monkeypatch):
+    _patch_cpus(monkeypatch, 1)
+    report = _run(blobs, _config(parallelism=4))
+    assert report.effective_parallelism == 1
+    assert report.parallelism_fallback_reason == "single_cpu"
+
+
+def test_auto_fallback_small_sites(blobs, monkeypatch):
+    # 360 points over 4 sites is far below the 20k-per-site threshold.
+    _patch_cpus(monkeypatch, 8)
+    report = _run(blobs, _config(parallelism=4))
+    assert report.effective_parallelism == 1
+    assert report.parallelism_fallback_reason == "small_sites"
+
+
+def test_auto_fallback_can_be_disabled(blobs, monkeypatch):
+    _patch_cpus(monkeypatch, 8)
+    report = _run(blobs, _config(parallelism=4, auto_fallback=False))
+    assert report.effective_parallelism == 4
+    assert report.parallelism_fallback_reason is None
+
+
+def test_fallback_threshold_is_tunable(blobs, monkeypatch):
+    _patch_cpus(monkeypatch, 8)
+    report = _run(blobs, _config(parallelism=4, fallback_min_points=10))
+    assert report.effective_parallelism == 4
+    assert report.parallelism_fallback_reason is None
+
+
+def test_fallback_run_matches_parallel_run(blobs, monkeypatch):
+    """The fallback decision may change *when* work runs, never results."""
+    _patch_cpus(monkeypatch, 8)
+    fell_back = _run(blobs, _config(parallelism=4))
+    forced = _run(blobs, _config(parallelism=4, auto_fallback=False))
+    _assert_reports_equal(fell_back, forced)
+
+
+def test_sequential_run_reports_no_fallback(blobs):
+    report = _run(blobs, _config(parallelism=1))
+    assert report.effective_parallelism == 1
+    assert report.parallelism_fallback_reason is None
+
+
+def test_fallback_fields_in_flat_metrics(blobs):
+    metrics = _run(blobs, _config(parallelism=4)).flat_metrics()
+    assert metrics["parallel.effective_workers"] == 1.0
+    assert metrics["parallel.fallback_count"] == 1.0
+    assert "shm.bytes_shared" in metrics
+    assert "shm.setup_seconds" in metrics
+    assert "shm.teardown_seconds" in metrics
+
+
+def test_process_shm_matches_sequential(blobs):
+    reference = _run(blobs, _config(parallelism=1))
+    candidate = _run(
+        blobs,
+        _config(
+            parallelism=2,
+            parallel_backend="process",
+            auto_fallback=False,
+            shared_memory="on",
+        ),
+    )
+    _assert_reports_equal(reference, candidate)
+    assert candidate.effective_parallelism == 2
+    # Point arrays for the local phase + labels for the relabel phase
+    # travelled via shared memory, not pickle.
+    assert candidate.shm_bytes_shared > blobs.nbytes
+    assert candidate.shm_setup_seconds >= 0.0
+    assert candidate.shm_teardown_seconds >= 0.0
+    assert reference.shm_bytes_shared == 0
+
+
+def test_process_shm_off_matches_on(blobs):
+    on = _run(
+        blobs,
+        _config(
+            parallelism=2,
+            parallel_backend="process",
+            auto_fallback=False,
+            shared_memory="on",
+        ),
+    )
+    off = _run(
+        blobs,
+        _config(
+            parallelism=2,
+            parallel_backend="process",
+            auto_fallback=False,
+            shared_memory="off",
+        ),
+    )
+    _assert_reports_equal(on, off)
+    assert off.shm_bytes_shared == 0
+
+
+def test_thread_backend_never_uses_shm(blobs, monkeypatch):
+    _patch_cpus(monkeypatch, 8)
+    report = _run(
+        blobs,
+        _config(parallelism=4, auto_fallback=False, shared_memory="on"),
+    )
+    assert report.shm_bytes_shared == 0
+
+
+def test_config_rejects_bad_new_knobs():
+    with pytest.raises(ValueError, match="relabel_kernel"):
+        _config(relabel_kernel="warp")
+    with pytest.raises(ValueError, match="fallback_min_points"):
+        _config(fallback_min_points=-1)
+    with pytest.raises(ValueError, match="shared_memory"):
+        _config(shared_memory="maybe")
+
+
+@pytest.mark.parametrize("kernel", ["reference", "vectorized"])
+def test_relabel_kernels_match_default(blobs, kernel):
+    reference = _run(blobs, _config())
+    candidate = _run(blobs, _config(relabel_kernel=kernel))
+    _assert_reports_equal(reference, candidate)

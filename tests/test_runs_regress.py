@@ -310,6 +310,10 @@ class TestRuleCoverage:
             "*timeouts*": "transport.timeouts",
             "*failed*": "sites.failed",
             "*drops*": "chaos.drops",
+            "*identical*": "relabel_kernels.labels_identical",
+            "*roundtrip_ok*": "shm.roundtrip_ok",
+            "*tracemalloc_peak_mb*": "scale.tracemalloc_peak_mb[20000:local]",
+            "*rss_peak_mb*": "scale.rss_peak_mb[20000]",
             "*": "anything.else",
         }
         for rule in DEFAULT_RULES:

@@ -1,0 +1,122 @@
+"""Unit tests for the shared-memory array pool (repro.core.shm)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.shm import ShmArrayPool, ShmArrayRef, attach_array
+
+
+class TestShmArrayPool:
+    def test_share_attach_roundtrip(self, rng):
+        points = rng.normal(size=(100, 3))
+        with ShmArrayPool() as pool:
+            ref = pool.share(points)
+            copy = attach_array(ref)
+            np.testing.assert_array_equal(copy, points)
+            assert copy.dtype == points.dtype
+            assert copy.shape == points.shape
+
+    def test_roundtrip_preserves_dtype(self):
+        for dtype in (np.float64, np.float32, np.intp, np.int32):
+            array = np.arange(12, dtype=dtype).reshape(3, 4)
+            with ShmArrayPool() as pool:
+                np.testing.assert_array_equal(
+                    attach_array(pool.share(array)), array
+                )
+
+    def test_open_returns_readonly_zero_copy_view(self, rng):
+        points = rng.normal(size=(10, 2))
+        with ShmArrayPool() as pool:
+            ref = pool.share(points)
+            view, segment = ref.open()
+            try:
+                np.testing.assert_array_equal(view, points)
+                assert not view.flags.writeable
+                with pytest.raises((ValueError, RuntimeError)):
+                    view[0, 0] = 1.0
+            finally:
+                del view
+                segment.close()
+
+    def test_refs_are_picklable_and_small(self, rng):
+        points = rng.normal(size=(5_000, 2))
+        with ShmArrayPool() as pool:
+            ref = pool.share(points)
+            wire = pickle.dumps(ref)
+            # The whole point: the ref on the wire is orders of magnitude
+            # smaller than the pickled array would be.
+            assert len(wire) < points.nbytes / 100
+            restored = pickle.loads(wire)
+            np.testing.assert_array_equal(attach_array(restored), points)
+
+    def test_share_copies_not_aliases(self, rng):
+        points = rng.normal(size=(4, 2))
+        with ShmArrayPool() as pool:
+            ref = pool.share(points)
+            points[0, 0] = 123.0  # mutate the original after sharing
+            assert attach_array(ref)[0, 0] != 123.0
+
+    def test_non_contiguous_input(self, rng):
+        points = rng.normal(size=(20, 4))[::2, 1:]
+        assert not points.flags.c_contiguous
+        with ShmArrayPool() as pool:
+            np.testing.assert_array_equal(
+                attach_array(pool.share(points)), points
+            )
+
+    def test_bytes_shared_accounting(self, rng):
+        a = rng.normal(size=(10, 2))
+        b = rng.normal(size=(7, 3))
+        with ShmArrayPool() as pool:
+            assert pool.bytes_shared == 0
+            ref_a = pool.share(a)
+            ref_b = pool.share(b)
+            assert pool.bytes_shared == a.nbytes + b.nbytes
+            assert pool.n_arrays == 2
+            assert ref_a.nbytes == a.nbytes
+            assert ref_b.nbytes == b.nbytes
+
+    def test_zero_size_array_rejected(self):
+        with ShmArrayPool() as pool:
+            with pytest.raises(ValueError, match="zero-size"):
+                pool.share(np.empty((0, 2)))
+
+    def test_close_unlinks_segments(self, rng):
+        pool = ShmArrayPool()
+        ref = pool.share(rng.normal(size=(3, 3)))
+        pool.close()
+        with pytest.raises(FileNotFoundError):
+            attach_array(ref)
+
+    def test_close_is_idempotent_and_share_after_close_raises(self, rng):
+        pool = ShmArrayPool()
+        pool.share(rng.normal(size=(3, 3)))
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.share(rng.normal(size=(3, 3)))
+
+    def test_concurrent_pools_do_not_collide(self, rng):
+        a = rng.normal(size=(8, 2))
+        b = rng.normal(size=(8, 2))
+        with ShmArrayPool() as pool_a, ShmArrayPool() as pool_b:
+            ref_a = pool_a.share(a)
+            ref_b = pool_b.share(b)
+            assert ref_a.name != ref_b.name
+            np.testing.assert_array_equal(attach_array(ref_a), a)
+            np.testing.assert_array_equal(attach_array(ref_b), b)
+
+
+class TestShmArrayRef:
+    def test_nbytes_matches_numpy(self):
+        ref = ShmArrayRef(name="x", shape=(10, 3), dtype="<f8")
+        assert ref.nbytes == 10 * 3 * 8
+
+    def test_open_missing_segment_raises(self):
+        ref = ShmArrayRef(name="repro_does_not_exist", shape=(1,), dtype="<f8")
+        with pytest.raises(FileNotFoundError):
+            ref.open()
