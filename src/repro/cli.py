@@ -15,6 +15,9 @@ Usage::
     python -m repro trace --smoke       # CI gate: schema + reconciliation
     python -m repro runs list           # the run registry (.runs/)
     python -m repro runs regress --baseline baselines/run_smoke.json
+    python -m repro serve               # live socket service (docs/service.md)
+    python -m repro serve-worker --port 7171 --site-id 0
+    python -m repro serve-bench         # sustained-load bench -> BENCH_serve.json
 
 Every command (except ``runs`` itself and ``trace --smoke``) appends a
 schema-validated RunRecord to the registry (``.runs/``, gitignored) so
@@ -310,6 +313,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.runs_cli import main as runs_main
 
         return runs_main(argv[1:])
+    # Service mode commands own their parsers too (docs/service.md).
+    if argv and argv[0] == "serve":
+        from repro.service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "serve-worker":
+        from repro.service.cli import worker_main
+
+        return worker_main(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        from repro.service.bench import main as serve_bench_main
+
+        return serve_bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     commands = list(args.commands)
     if "all" in commands:

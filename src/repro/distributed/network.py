@@ -15,8 +15,9 @@ this module models the network as an accounting layer:
 from __future__ import annotations
 
 import threading
-import zlib
 from dataclasses import dataclass, field
+
+from repro.faults.integrity import payload_crc32
 
 __all__ = ["LinkSpec", "Message", "NetworkStats", "SimulatedNetwork"]
 
@@ -123,7 +124,7 @@ class SimulatedNetwork:
             kind=kind,
             n_bytes=len(payload),
             sim_seconds=self.link.transfer_seconds(len(payload)),
-            payload_crc=zlib.crc32(payload),
+            payload_crc=payload_crc32(payload),
         )
         with self._lock:
             self.messages.append(message)

@@ -16,6 +16,7 @@ label guarantees, and ``repro.experiments.chaos`` for the quality-vs-
 failure-rate sweep built on top.
 """
 
+from repro.faults.integrity import crc_matches, payload_crc32
 from repro.faults.plan import FaultPlan, LinkFaults, SiteBehavior, SiteFaults
 from repro.faults.transport import (
     BreakerPolicy,
@@ -35,4 +36,6 @@ __all__ = [
     "ResilientTransport",
     "TransportPolicy",
     "TransportStats",
+    "crc_matches",
+    "payload_crc32",
 ]

@@ -1,0 +1,30 @@
+"""Payload-integrity helpers shared by every transport.
+
+Exactly one CRC-32 implementation guards DBDC payloads, whichever path
+they travel: :class:`~repro.distributed.network.SimulatedNetwork` stamps
+:func:`payload_crc32` on every :class:`~repro.distributed.network.Message`,
+:class:`~repro.faults.transport.ResilientTransport` verifies delivered
+bytes with :func:`crc_matches`, and the socket wire protocol
+(:mod:`repro.service.wire`) carries the same checksum in its frame
+header.  Keeping the stamp/verify pair in one leaf module means the
+simulated and socket paths cannot drift: a payload admitted under one
+transport checks out under the other, bit for bit.
+
+This module is a leaf — stdlib only — so any layer may import it.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["payload_crc32", "crc_matches"]
+
+
+def payload_crc32(payload: bytes) -> int:
+    """The CRC-32 a sender stamps on ``payload`` (unsigned 32-bit)."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def crc_matches(payload: bytes, expected_crc: int) -> bool:
+    """Whether received bytes match the checksum the sender stamped."""
+    return payload_crc32(payload) == (expected_crc & 0xFFFFFFFF)

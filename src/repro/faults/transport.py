@@ -29,12 +29,12 @@ Two integrity/health mechanisms ride on top:
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.faults.integrity import crc_matches
 from repro.faults.plan import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -441,7 +441,7 @@ class ResilientTransport:
                     # only the receiver's CRC check catches it.
                     payload_out = self._flip_bytes(payload, rng)
                     n_corrupted += 1
-                checksum_ok = zlib.crc32(payload_out) == message.payload_crc
+                checksum_ok = crc_matches(payload_out, message.payload_crc)
                 delivered = True
                 break
 

@@ -97,6 +97,10 @@ DEFAULT_RULES: tuple[MetricRule, ...] = (
     # allocator and is machine-bound — timing-tagged like the clocks.
     MetricRule("*tracemalloc_peak_mb*", "lower", 0.20, abs_threshold=5.0),
     MetricRule("*rss_peak_mb*", "lower", 0.30, abs_threshold=16.0, timing=True),
+    # Service-mode throughput (queries/s against a live DBDCService): a
+    # rate is a clock reading in disguise, so it is timing-tagged and
+    # only gates like-for-like reruns on the same machine.
+    MetricRule("*_rps", "higher", 0.30, abs_threshold=1.0, timing=True),
     MetricRule("*", "ignore"),
 )
 

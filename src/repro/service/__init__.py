@@ -1,0 +1,36 @@
+"""Service mode: DBDC as a live socket deployment.
+
+The subsystem promotes the simulated distributed protocol to a real
+one — same central server, same admission gate, same fault machinery —
+behind a versioned binary wire protocol:
+
+* :mod:`repro.service.wire` — frame format and payload codecs.
+* :mod:`repro.service.transport` — the :class:`Transport` seam both
+  :class:`~repro.distributed.network.SimulatedNetwork` and
+  :class:`SocketTransport` implement.
+* :mod:`repro.service.server` — the asyncio :class:`DBDCService`.
+* :mod:`repro.service.client` — the blocking :class:`ServiceClient`.
+* :mod:`repro.service.worker` — the site-worker process body.
+* :mod:`repro.service.bench` — the sustained-load bench behind
+  ``python -m repro serve-bench``.
+
+See ``docs/service.md`` for the wire format tables and deployment
+topology.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.server import DBDCService, ServiceConfig, ServiceHandle
+from repro.service.transport import ServiceError, SocketTransport, Transport
+from repro.service.worker import SiteWorkerResult, run_site_worker
+
+__all__ = [
+    "DBDCService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHandle",
+    "SiteWorkerResult",
+    "SocketTransport",
+    "Transport",
+    "run_site_worker",
+]

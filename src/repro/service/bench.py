@@ -1,0 +1,374 @@
+"""Sustained-load bench against a live :class:`DBDCService`.
+
+``python -m repro serve-bench`` boots the service in-process (its own
+event-loop thread), runs the full site protocol over real sockets, then
+hammers the label-query path with concurrent clients — and scores the
+run on three axes the regress rules gate:
+
+* **correctness** — ``serve.labels_identical``: the socket run's labels
+  must be bit-identical to the same seed/config run through
+  ``SimulatedNetwork`` (zero tolerance, survives ``--ignore-timing``);
+  ``serve.scrape_roundtrip_ok``: the live OpenMetrics endpoint must
+  strict-parse.
+* **reliability** — ``serve.upload_failed`` / ``serve.query_failed``
+  stay at zero.
+* **throughput/latency** — ``serve.query_throughput_rps`` and the
+  ``serve.*_wall_seconds`` percentiles (timing-tagged: dropped on
+  cross-machine CI comparisons, gated on like-for-like reruns).
+
+The report lands in the ``.runs/`` registry via :func:`record_serve_bench`
+(artifact ``BENCH_serve.json``), mirroring the hot-path and chaos
+benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.data.datasets import load_dataset
+from repro.distributed.partition import partition, split
+from repro.distributed.runner import DistributedRunConfig, DistributedRunner
+from repro.obs.openmetrics import parse_openmetrics
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, ServiceHandle
+from repro.service.worker import run_site_worker
+
+__all__ = [
+    "run_serve_bench",
+    "format_serve_summary",
+    "record_serve_bench",
+    "main",
+]
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def run_serve_bench(
+    *,
+    dataset: str = "A",
+    cardinality: int | None = None,
+    n_sites: int = 4,
+    n_clients: int = 8,
+    n_queries: int = 200,
+    query_batch: int = 256,
+    scheme: str = "rep_scor",
+    seed: int = 42,
+) -> dict:
+    """Run the sustained-load service bench.
+
+    Phases: (1) reference run through the simulated path; (2) boot the
+    service; (3) concurrent site uploads over sockets + bit-identity
+    check; (4) ``n_clients`` threads issuing ``n_queries`` label queries
+    total; (5) live HTTP metrics scrape, strict-parsed; (6) graceful
+    shutdown.
+
+    Args:
+        dataset: data set name (A/B/C).
+        cardinality: data set size override.
+        n_sites: client sites uploading models.
+        n_clients: concurrent query clients.
+        n_queries: total label queries across all clients.
+        query_batch: points per label query.
+        scheme: local model scheme.
+        seed: partitioning seed.
+
+    Returns:
+        A JSON-able report with a flat ``metrics`` dict.
+    """
+    data = load_dataset(dataset, cardinality=cardinality)
+    points = data.points
+    run_config = DistributedRunConfig(
+        eps_local=data.eps_local,
+        min_pts_local=data.min_pts,
+        scheme=scheme,
+        seed=seed,
+    )
+
+    # Phase 1: the same workload through the simulated in-process path —
+    # the oracle the socket run must match bit for bit.
+    reference = DistributedRunner(run_config).run(points, n_sites)
+    ref_labels = reference.labels_in_original_order()
+
+    assignment = partition(points, n_sites, run_config.partition_strategy, seed)
+    parts = split(points, assignment)
+
+    report: dict = {
+        "meta": {
+            "dataset": data.name,
+            "cardinality": int(points.shape[0]),
+            "n_sites": n_sites,
+            "n_clients": n_clients,
+            "n_queries": n_queries,
+            "query_batch": query_batch,
+            "scheme": scheme,
+            "seed": seed,
+        }
+    }
+    bench_start = time.perf_counter()
+
+    with ServiceHandle.start(
+        ServiceConfig(expected_sites=n_sites, relabel_kernel=run_config.relabel_kernel)
+    ) as handle:
+        # Phase 3: concurrent uploads + relabel over real sockets.
+        upload_start = time.perf_counter()
+        worker_results: dict[int, object] = {}
+
+        def upload(site_id: int) -> None:
+            worker_results[site_id] = run_site_worker(
+                handle.host,
+                handle.port,
+                site_id,
+                parts[site_id],
+                eps_local=data.eps_local,
+                min_pts_local=data.min_pts,
+                scheme=scheme,
+            )
+
+        threads = [
+            threading.Thread(target=upload, args=(site_id,))
+            for site_id in range(n_sites)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        upload_seconds = time.perf_counter() - upload_start
+
+        socket_labels = np.empty(points.shape[0], dtype=np.intp)
+        upload_failed = 0
+        upload_attempts = 0
+        bytes_up = 0
+        for site_id, result in worker_results.items():
+            if result.verdict != "admitted" or result.labels.size == 0:
+                upload_failed += 1
+                continue
+            socket_labels[assignment == site_id] = result.labels
+            upload_attempts += result.upload_attempts
+            bytes_up += result.bytes_sent
+        labels_identical = upload_failed == 0 and bool(
+            np.array_equal(ref_labels, socket_labels)
+        )
+
+        # Phase 4: sustained concurrent label-query load.  Every client
+        # owns one connection and walks fixed slices of the data set, so
+        # the total work is deterministic; only the timings vary.
+        latencies: list[float] = []
+        latency_lock = threading.Lock()
+        query_failures = [0] * n_clients
+        per_client = [
+            list(range(client, n_queries, n_clients))
+            for client in range(n_clients)
+        ]
+        n_points = points.shape[0]
+
+        def query_client(client: int) -> None:
+            mine: list[float] = []
+            try:
+                with ServiceClient(handle.host, handle.port) as service:
+                    for index in per_client[client]:
+                        lo = (index * query_batch) % max(n_points - query_batch, 1)
+                        batch = points[lo : lo + query_batch]
+                        start = time.perf_counter()
+                        labels = service.query(batch)
+                        mine.append(time.perf_counter() - start)
+                        if labels.size != batch.shape[0]:
+                            query_failures[client] += 1
+            except Exception:
+                query_failures[client] += len(per_client[client]) - len(mine)
+            with latency_lock:
+                latencies.extend(mine)
+
+        query_start = time.perf_counter()
+        clients = [
+            threading.Thread(target=query_client, args=(client,))
+            for client in range(n_clients)
+        ]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        query_seconds = time.perf_counter() - query_start
+
+        # Phase 5: live scrape of the HTTP OpenMetrics endpoint, parsed
+        # with the strict parser — a malformed exposition is a failure.
+        scrape_ok = 0.0
+        scrape_families = 0
+        try:
+            with urllib.request.urlopen(
+                f"http://{handle.host}:{handle.metrics_port}/metrics", timeout=10
+            ) as response:
+                exposition = response.read().decode("utf-8")
+            families = parse_openmetrics(exposition)
+            scrape_families = len(families)
+            scrape_ok = 1.0 if scrape_families > 0 else 0.0
+        except Exception as error:
+            report["scrape_error"] = str(error)
+
+        health = {}
+        try:
+            with ServiceClient(handle.host, handle.port) as service:
+                health = service.health()
+        except Exception as error:
+            report["health_error"] = str(error)
+
+    total_seconds = time.perf_counter() - bench_start
+    n_failed_queries = sum(query_failures)
+    n_ok_queries = len(latencies)
+    throughput = n_ok_queries / query_seconds if query_seconds > 0 else 0.0
+
+    report["health"] = health
+    report["metrics"] = {
+        "serve.labels_identical": 1.0 if labels_identical else 0.0,
+        "serve.scrape_roundtrip_ok": scrape_ok,
+        "serve.scrape_families_count": float(scrape_families),
+        "serve.upload_failed": float(upload_failed),
+        "serve.query_failed": float(n_failed_queries),
+        "serve.uploads_count": float(n_sites),
+        "serve.upload_attempts_count": float(upload_attempts),
+        "serve.queries_count": float(n_ok_queries),
+        "serve.labels_served_count": float(n_ok_queries * query_batch),
+        "serve.bytes_up": float(bytes_up),
+        "serve.query_throughput_rps": throughput,
+        "serve.upload_phase_wall_seconds": upload_seconds,
+        "serve.query_phase_wall_seconds": query_seconds,
+        "serve.query_p50_wall_seconds": _percentile(latencies, 50),
+        "serve.query_p95_wall_seconds": _percentile(latencies, 95),
+        "serve.query_p99_wall_seconds": _percentile(latencies, 99),
+        "serve.query_max_wall_seconds": max(latencies, default=0.0),
+        "serve.total_wall_seconds": total_seconds,
+    }
+    return report
+
+
+def format_serve_summary(report: dict) -> str:
+    """Human-readable bench summary."""
+    meta = report["meta"]
+    metrics = report["metrics"]
+    lines = [
+        f"serve-bench: data set {meta['dataset']} "
+        f"({meta['cardinality']} objects, {meta['n_sites']} sites) — "
+        f"{meta['n_clients']} clients x {meta['n_queries']} queries "
+        f"of {meta['query_batch']} points",
+        f"  labels bit-identical to simulated run: "
+        f"{'yes' if metrics['serve.labels_identical'] else 'NO'}",
+        f"  OpenMetrics scrape strict-parsed:      "
+        f"{'yes' if metrics['serve.scrape_roundtrip_ok'] else 'NO'} "
+        f"({int(metrics['serve.scrape_families_count'])} families)",
+        f"  failures: {int(metrics['serve.upload_failed'])} uploads, "
+        f"{int(metrics['serve.query_failed'])} queries",
+        f"  throughput: {metrics['serve.query_throughput_rps']:.1f} queries/s "
+        f"({int(metrics['serve.labels_served_count'])} labels served)",
+        f"  query latency: p50 {1e3 * metrics['serve.query_p50_wall_seconds']:.2f}ms  "
+        f"p95 {1e3 * metrics['serve.query_p95_wall_seconds']:.2f}ms  "
+        f"p99 {1e3 * metrics['serve.query_p99_wall_seconds']:.2f}ms  "
+        f"max {1e3 * metrics['serve.query_max_wall_seconds']:.2f}ms",
+        f"  phases: upload {metrics['serve.upload_phase_wall_seconds']:.2f}s, "
+        f"queries {metrics['serve.query_phase_wall_seconds']:.2f}s, "
+        f"total {metrics['serve.total_wall_seconds']:.2f}s",
+    ]
+    return "\n".join(lines)
+
+
+def record_serve_bench(report: dict, registry_root: str = ".runs") -> dict:
+    """Append the bench to the run registry (``serve-bench`` RunRecord)."""
+    from repro.obs.registry import RunRegistry
+
+    meta = report["meta"]
+    record = RunRegistry(registry_root).record(
+        "serve-bench",
+        config={
+            key: meta[key]
+            for key in (
+                "dataset",
+                "cardinality",
+                "n_sites",
+                "n_clients",
+                "n_queries",
+                "query_batch",
+                "scheme",
+                "seed",
+            )
+        },
+        metrics=report["metrics"],
+        artifacts={"BENCH_serve.json": report},
+    )
+    meta["run_id"] = record["run_id"]
+    return record
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    """Parser of the ``serve-bench`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve-bench",
+        description="sustained-load bench against a live DBDCService",
+    )
+    parser.add_argument("--dataset", default="A", help="data set name (A/B/C)")
+    parser.add_argument(
+        "--cardinality", type=int, default=2_000, help="data set size"
+    )
+    parser.add_argument("--sites", type=int, default=4, help="client sites")
+    parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent query clients"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=200, help="total label queries"
+    )
+    parser.add_argument(
+        "--query-batch", type=int, default=256, help="points per query"
+    )
+    parser.add_argument(
+        "--scheme",
+        default="rep_scor",
+        choices=["rep_scor", "rep_kmeans"],
+        help="local model scheme",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="partition seed")
+    parser.add_argument(
+        "--registry", default=".runs", help="run registry root"
+    )
+    parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="do not append a RunRecord to the registry",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """The ``serve-bench`` command body."""
+    import sys
+
+    args = build_bench_parser().parse_args(argv)
+    report = run_serve_bench(
+        dataset=args.dataset,
+        cardinality=args.cardinality,
+        n_sites=args.sites,
+        n_clients=args.clients,
+        n_queries=args.queries,
+        query_batch=args.query_batch,
+        scheme=args.scheme,
+        seed=args.seed,
+    )
+    print(format_serve_summary(report))
+    if not args.no_registry:
+        try:
+            record = record_serve_bench(report, args.registry)
+            print(f"recorded {record['run_id']} in {args.registry}")
+        except Exception as error:
+            print(f"warning: could not record run: {error}", file=sys.stderr)
+    failed = (
+        not report["metrics"]["serve.labels_identical"]
+        or not report["metrics"]["serve.scrape_roundtrip_ok"]
+        or report["metrics"]["serve.upload_failed"]
+        or report["metrics"]["serve.query_failed"]
+    )
+    return 1 if failed else 0

@@ -1,0 +1,144 @@
+"""Blocking client API for a live :class:`~repro.service.server.DBDCService`.
+
+:class:`ServiceClient` wraps one :class:`~repro.service.transport.SocketTransport`
+connection with the protocol verbs a site (or an operator tool) needs:
+
+>>> with ServiceClient("127.0.0.1", 7171, site_id=0) as client:   # doctest: +SKIP
+...     client.submit(local_model)
+...     model = client.await_global_model(timeout_s=30.0)
+...     labels = client.query(points)
+
+Every method is synchronous and raises typed errors —
+:class:`~repro.service.transport.ServiceError` for protocol-level
+refusals (quarantine, deadline miss, no model yet),
+:class:`~repro.service.wire.WireError` for malformed traffic, ``OSError``
+for socket failures.  Nothing blocks past the transport timeout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.models import GlobalModel, LocalModel
+from repro.service import wire
+from repro.service.transport import ServiceError, SocketTransport
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """A synchronous DBDC protocol client over one TCP connection.
+
+    Args:
+        host: service host.
+        port: service port.
+        site_id: the site id stamped on outgoing frames (``SERVER_ID``
+            for operator tools that are not a site).
+        timeout_s: per-operation socket timeout.
+        transport: inject a pre-built transport (tests); overrides
+            ``host``/``port``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        site_id: int = wire.SERVER_ID,
+        timeout_s: float = 30.0,
+        transport: SocketTransport | None = None,
+    ) -> None:
+        self.transport = transport or SocketTransport(
+            host, port, site_id=site_id, timeout_s=timeout_s
+        )
+        self.site_id = self.transport.site_id
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        """Open the underlying connection (idempotent)."""
+        self.transport.connect()
+        return self
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        self.transport.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # protocol verbs
+    # ------------------------------------------------------------------
+    def submit(self, model: LocalModel) -> str:
+        """Upload one local model through the admission gate.
+
+        Returns:
+            The admission verdict (``"admitted"``).
+
+        Raises:
+            ServiceError: when the gate quarantines or rejects the model
+                (``error.status`` carries the verdict).
+        """
+        response = self.transport.request(
+            wire.FrameKind.LOCAL_MODEL, wire.encode_local_model(model)
+        )
+        status, __ = wire.decode_status(response.payload)
+        return status
+
+    def await_global_model(self, timeout_s: float = 30.0) -> GlobalModel:
+        """Block until the global model exists, then fetch it.
+
+        Args:
+            timeout_s: how long the *server* may hold the request open
+                waiting for a build (capped by its config).
+
+        Raises:
+            ServiceError: ``status == "no_model"`` when the timeout
+                passes without a build.
+        """
+        response = self.transport.request(
+            wire.FrameKind.AWAIT_GLOBAL, wire.encode_await_global(timeout_s)
+        )
+        return wire.decode_global_model(response.payload)
+
+    def query(self, points: np.ndarray) -> np.ndarray:
+        """Label a batch of points against the current global model.
+
+        Args:
+            points: shape ``(n, d)``.
+
+        Returns:
+            Global labels, shape ``(n,)`` (noise = -1).
+        """
+        response = self.transport.request(
+            wire.FrameKind.LABEL_QUERY, wire.encode_points(points)
+        )
+        return wire.decode_labels(response.payload)
+
+    def health(self) -> dict:
+        """The service's health document."""
+        response = self.transport.request(wire.FrameKind.HEALTH)
+        return wire.decode_json(response.payload)
+
+    def metrics_text(self) -> str:
+        """The OpenMetrics exposition, fetched over the protocol port."""
+        response = self.transport.request(wire.FrameKind.METRICS)
+        return response.payload.decode("utf-8")
+
+    def shutdown(self) -> bool:
+        """Ask the service to shut down gracefully.
+
+        Returns:
+            Whether the service acknowledged (``False`` if the
+            connection died first — the service may already be gone).
+        """
+        try:
+            self.transport.request(wire.FrameKind.SHUTDOWN)
+            return True
+        except (OSError, wire.WireError, ServiceError):
+            return False

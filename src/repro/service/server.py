@@ -1,0 +1,610 @@
+"""DBDC as a live asyncio socket service.
+
+:class:`DBDCService` hosts the unchanged
+:class:`~repro.distributed.server.CentralServer` behind the wire
+protocol of :mod:`repro.service.wire`: sites connect over TCP, upload
+local models (admitted through the same integrity/deadline gate the
+simulated path uses), await the global model, and issue label queries;
+operators probe health frames and scrape a plaintext HTTP endpoint
+serving the existing OpenMetrics exporter.
+
+Determinism contract: before every build the admitted models are
+stably sorted by site id.  A fault-free in-process run admits models in
+site order, so a socket run whose uploads race each other still builds
+the *same* global model — the bit-identical-labels guarantee the
+integration tests pin.
+
+Concurrency model: one event loop owns all protocol state, so admission
+and build are race-free by construction; only the numpy-heavy label
+relabeling runs in the default executor (on a model snapshot) to keep
+the loop responsive under query load.  Per-connection deadlines bound
+every read, and :meth:`DBDCService.stop` drains connections gracefully.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from functools import partial
+
+import numpy as np
+
+from repro.clustering.labels import NOISE
+from repro.core.relabel import relabel_site
+from repro.distributed.server import CentralServer
+from repro.obs import MetricsRegistry
+from repro.obs.openmetrics import render_registry
+from repro.service import wire
+
+__all__ = ["ServiceConfig", "DBDCService", "ServiceHandle"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of one :class:`DBDCService`.
+
+    Attributes:
+        host: bind address.
+        port: protocol port (0 = ephemeral, the tests' default).
+        metrics_port: HTTP metrics port (0 = ephemeral, ``None`` =
+            disable the endpoint).
+        eps_global: server merge radius (``None`` → the paper default).
+        metric: distance metric name.
+        index_kind: neighbor index for the global DBSCAN.
+        expected_sites: sites of one protocol round; when set, the
+            global model is built as soon as that many models are
+            admitted.  ``None`` = build lazily on first demand.
+        deadline_s: admission deadline in *service uptime* seconds (the
+            socket path's arrival clock), ``None`` = never reject.
+        quorum: minimum admitted fraction for a healthy round.
+        relabel_kernel: kernel used to answer label queries.
+        idle_timeout_s: per-connection deadline — a connection that
+            sends no complete frame for this long is closed.
+        await_timeout_cap_s: upper bound an AWAIT_GLOBAL request may
+            block, whatever timeout the client asked for.
+        max_frame_bytes: reject frames declaring more payload than this.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    metrics_port: int | None = 0
+    eps_global: float | None = None
+    metric: str = "euclidean"
+    index_kind: str = "auto"
+    expected_sites: int | None = None
+    deadline_s: float | None = None
+    quorum: float = 0.0
+    relabel_kernel: str = "auto"
+    idle_timeout_s: float = 30.0
+    await_timeout_cap_s: float = 120.0
+    max_frame_bytes: int = wire.DEFAULT_MAX_PAYLOAD
+
+    def __post_init__(self) -> None:
+        if self.idle_timeout_s <= 0:
+            raise ValueError(
+                f"idle_timeout_s must be positive, got {self.idle_timeout_s}"
+            )
+        if self.await_timeout_cap_s <= 0:
+            raise ValueError(
+                "await_timeout_cap_s must be positive, got "
+                f"{self.await_timeout_cap_s}"
+            )
+        if self.max_frame_bytes < wire.HEADER_SIZE:
+            raise ValueError(
+                f"max_frame_bytes must be >= {wire.HEADER_SIZE}, "
+                f"got {self.max_frame_bytes}"
+            )
+
+
+class DBDCService:
+    """The central server as a long-running asyncio socket service.
+
+    Args:
+        config: service configuration.
+        metrics: optional shared registry (fresh one otherwise); the
+            hosted ``CentralServer`` records its ``server.*`` metrics
+            into the same registry the HTTP endpoint serves.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.server = CentralServer(
+            self.config.eps_global,
+            metric=self.config.metric,
+            index_kind=self.config.index_kind,
+            deadline_s=self.config.deadline_s,
+            quorum=self.config.quorum,
+            expected_sites=self.config.expected_sites,
+            metrics=self.metrics,
+        )
+        self._asyncio_server: asyncio.AbstractServer | None = None
+        self._http_server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._built = asyncio.Event()
+        self._shutdown = asyncio.Event()
+        self._model_dirty = False
+        self._n_builds = 0
+        self._started_monotonic = 0.0
+        self._frames_total = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def bound_port(self) -> int:
+        """The protocol port actually bound (after :meth:`start`)."""
+        assert self._asyncio_server is not None, "service not started"
+        return self._asyncio_server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_bound_port(self) -> int | None:
+        """The HTTP metrics port actually bound (``None`` if disabled)."""
+        if self._http_server is None:
+            return None
+        return self._http_server.sockets[0].getsockname()[1]
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since :meth:`start` — the socket path's arrival clock."""
+        return time.monotonic() - self._started_monotonic
+
+    async def start(self) -> None:
+        """Bind the protocol and metrics listeners."""
+        self._started_monotonic = time.monotonic()
+        self._asyncio_server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        if self.config.metrics_port is not None:
+            self._http_server = await asyncio.start_server(
+                self._on_http_connection, self.config.host, self.config.metrics_port
+            )
+        self.metrics.set("service.up", 1)
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain connections."""
+        self._shutdown.set()
+        for listener in (self._asyncio_server, self._http_server):
+            if listener is not None:
+                listener.close()
+        for listener in (self._asyncio_server, self._http_server):
+            if listener is not None:
+                await listener.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self.metrics.set("service.up", 0)
+
+    async def serve_until_shutdown(self) -> None:
+        """Start, then block until a SHUTDOWN frame or :meth:`request_stop`."""
+        if self._asyncio_server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        """Ask the service to shut down (safe from the loop thread)."""
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    # protocol state
+    # ------------------------------------------------------------------
+    def _build_global_model(self) -> None:
+        """(Re)build the global model from the admitted models.
+
+        Admitted models are stably sorted by site id first so the build
+        is independent of upload arrival order — the property that makes
+        socket runs bit-identical to in-process runs.
+        """
+        self.server.local_models.sort(key=lambda model: model.site_id)
+        self.server.build(allow_empty=True)
+        self._model_dirty = False
+        self._n_builds += 1
+        self._built.set()
+        self.metrics.set("service.model_builds", self._n_builds)
+
+    def _current_model(self):
+        """The up-to-date global model, rebuilding if admissions landed
+        since the last build (``None`` when nothing was ever admitted)."""
+        if self._model_dirty or not self._built.is_set():
+            if not self.server.local_models:
+                return None
+            self._build_global_model()
+        return self.server.model
+
+    def _admit(self, frame: wire.Frame) -> tuple[str, str]:
+        """Run one upload through the unchanged admission gate."""
+        arrival_s = self.uptime_s
+        if frame.crc_ok:
+            try:
+                model = wire.decode_local_model(frame.payload)
+            except wire.WireError as error:
+                # The payload passed its CRC but does not parse: admit a
+                # placeholder so the quarantine bookkeeping names the site.
+                model = _placeholder_model(frame.site_id)
+                verdict = self.server.admit(model, checksum_ok=False)
+                return verdict, f"undecodable payload: {error}"
+            verdict = self.server.admit(model, arrival_s=arrival_s)
+        else:
+            # Bit-flipped in flight: the admission gate quarantines it —
+            # same behavior, same code path, as the simulated transport.
+            model = _decode_or_placeholder(frame)
+            verdict = self.server.admit(
+                model, arrival_s=arrival_s, checksum_ok=False
+            )
+        if verdict == "admitted":
+            self._model_dirty = True
+            expected = self.config.expected_sites
+            if expected is not None and len(self.server.local_models) >= expected:
+                self._build_global_model()
+        return verdict, ""
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> wire.Frame | None:
+        """Read one frame under the per-connection deadline.
+
+        Returns ``None`` on clean EOF.  Raises :class:`wire.WireError`
+        on protocol violations and :class:`asyncio.TimeoutError` when
+        the idle deadline passes.
+        """
+        timeout = self.config.idle_timeout_s
+        try:
+            header = await asyncio.wait_for(
+                reader.readexactly(wire.HEADER_SIZE), timeout
+            )
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None  # clean EOF between frames
+            raise wire.FrameTruncated(
+                f"connection closed mid-header ({len(error.partial)} bytes)"
+            ) from error
+        # Validate the header (magic/version/kind/length) before reading
+        # the payload; CRC verdicts are delegated to the handlers so a
+        # corrupt upload can be quarantined instead of dropped.
+        try:
+            frame, __ = wire.decode_frame(
+                header,
+                max_payload=self.config.max_frame_bytes,
+                verify_crc=False,
+            )
+            return frame  # zero-payload frame: already complete
+        except wire.FrameTruncated:
+            pass  # header valid, payload still on the wire
+        declared = int.from_bytes(header[10:14], "little")
+        try:
+            payload = await asyncio.wait_for(
+                reader.readexactly(declared), timeout
+            )
+        except asyncio.IncompleteReadError as error:
+            raise wire.FrameTruncated(
+                f"connection closed mid-payload "
+                f"({len(error.partial)}/{declared} bytes)"
+            ) from error
+        frame, __ = wire.decode_frame(
+            header + payload,
+            max_payload=self.config.max_frame_bytes,
+            verify_crc=False,
+        )
+        return frame
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.inc("service.connections")
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    frame = await self._read_frame(reader)
+                except asyncio.TimeoutError:
+                    self.metrics.inc("service.connection_deadline_closes")
+                    break
+                except wire.WireError as error:
+                    self.metrics.inc("service.frame_errors")
+                    await self._reply(
+                        writer,
+                        wire.FrameKind.ERROR,
+                        wire.encode_status("protocol_error", str(error)),
+                    )
+                    break
+                if frame is None:
+                    break
+                self._frames_total += 1
+                self.metrics.inc(f"service.frames[{frame.kind.name.lower()}]")
+                kind, payload = await self._dispatch(frame)
+                await self._reply(writer, kind, payload)
+                if frame.kind == wire.FrameKind.SHUTDOWN:
+                    self.request_stop()
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _reply(
+        self, writer: asyncio.StreamWriter, kind: wire.FrameKind, payload: bytes
+    ) -> None:
+        writer.write(wire.encode_frame(kind, payload, site_id=wire.SERVER_ID))
+        await writer.drain()
+
+    async def _dispatch(self, frame: wire.Frame) -> tuple[wire.FrameKind, bytes]:
+        """Answer one request frame; always returns a response frame."""
+        try:
+            return await self._dispatch_inner(frame)
+        except wire.WireError as error:
+            self.metrics.inc("service.frame_errors")
+            return wire.FrameKind.ERROR, wire.encode_status(
+                "bad_request", str(error)
+            )
+        except Exception as error:  # never let one request kill the loop
+            self.metrics.inc("service.internal_errors")
+            return wire.FrameKind.ERROR, wire.encode_status(
+                "internal_error", f"{type(error).__name__}: {error}"
+            )
+
+    async def _dispatch_inner(
+        self, frame: wire.Frame
+    ) -> tuple[wire.FrameKind, bytes]:
+        kind = frame.kind
+        if kind == wire.FrameKind.LOCAL_MODEL:
+            verdict, detail = self._admit(frame)
+            status_kind = (
+                wire.FrameKind.ACK if verdict == "admitted" else wire.FrameKind.ERROR
+            )
+            return status_kind, wire.encode_status(verdict, detail)
+        if kind == wire.FrameKind.AWAIT_GLOBAL:
+            timeout = min(
+                wire.decode_await_global(frame.payload),
+                self.config.await_timeout_cap_s,
+            )
+            # With expected_sites configured the protocol is round-based:
+            # an awaiting site must see the *round's* model, never one
+            # eagerly built from whichever uploads happened to be first —
+            # that is the determinism the bit-identity tests pin.  Without
+            # expected_sites, wait only when nothing was ever admitted.
+            round_pending = (
+                self.config.expected_sites is not None
+                or not self.server.local_models
+            )
+            if round_pending and not self._built.is_set():
+                try:
+                    await asyncio.wait_for(self._built.wait(), max(timeout, 0.0))
+                except asyncio.TimeoutError:
+                    return wire.FrameKind.ERROR, wire.encode_status(
+                        "no_model", f"no global model after {timeout:.3f}s"
+                    )
+            model = self._current_model()
+            assert model is not None
+            return wire.FrameKind.GLOBAL_MODEL, wire.encode_global_model(model)
+        if kind == wire.FrameKind.LABEL_QUERY:
+            points = wire.decode_points(frame.payload)
+            model = self._current_model()
+            if model is None:
+                return wire.FrameKind.ERROR, wire.encode_status(
+                    "no_model", "no local model admitted yet"
+                )
+            start = time.perf_counter()
+            # Pure-coverage relabel (no local clustering to inherit from)
+            # on a model snapshot, off the loop thread.
+            labels, __stats = await asyncio.get_event_loop().run_in_executor(
+                None,
+                partial(
+                    relabel_site,
+                    points,
+                    np.full(points.shape[0], NOISE, dtype=np.intp),
+                    model,
+                    site_id=None,
+                    metric=self.config.metric,
+                    kernel=self.config.relabel_kernel,
+                ),
+            )
+            self.metrics.observe(
+                "service.label_query_seconds", time.perf_counter() - start
+            )
+            self.metrics.inc("service.labels_served", int(labels.size))
+            return wire.FrameKind.LABEL_REPLY, wire.encode_labels(labels)
+        if kind == wire.FrameKind.HEALTH:
+            return wire.FrameKind.HEALTH_REPLY, wire.encode_json(self.health())
+        if kind == wire.FrameKind.METRICS:
+            text = render_registry(self.metrics.to_dict())
+            return wire.FrameKind.METRICS_REPLY, text.encode("utf-8")
+        if kind == wire.FrameKind.SHUTDOWN:
+            return wire.FrameKind.ACK, wire.encode_status("shutting_down")
+        return wire.FrameKind.ERROR, wire.encode_status(
+            "unexpected_frame", f"cannot serve {kind.name} requests"
+        )
+
+    def health(self) -> dict:
+        """The service's health document (HEALTH frames serve this)."""
+        built = self._built.is_set() and not self._model_dirty
+        return {
+            "status": "serving" if not self._shutdown.is_set() else "stopping",
+            "uptime_s": round(self.uptime_s, 6),
+            "sites_admitted": len(self.server.local_models),
+            "sites_quarantined": len(self.server.quarantined_models),
+            "sites_rejected": len(self.server.rejected_models),
+            "expected_sites": self.config.expected_sites,
+            "quorum_met": self.server.quorum_met,
+            "model_built": built,
+            "model_builds": self._n_builds,
+            "n_representatives": (
+                len(self.server.model) if self._built.is_set() else 0
+            ),
+            "connections_active": len(self._connections),
+            "frames_total": self._frames_total,
+            "protocol_version": wire.PROTOCOL_VERSION,
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP metrics endpoint
+    # ------------------------------------------------------------------
+    async def _on_http_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One-shot plaintext HTTP: GET /metrics serves OpenMetrics."""
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), self.config.idle_timeout_s
+            )
+            # Drain headers until the blank line; ignore their content.
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(), self.config.idle_timeout_s
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            if parts and parts[0] == "GET" and path.split("?")[0] in (
+                "/metrics",
+                "/metrics/",
+            ):
+                self.metrics.inc("service.metrics_scrapes")
+                body = render_registry(self.metrics.to_dict()).encode("utf-8")
+                status = "200 OK"
+                content_type = (
+                    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+                )
+            else:
+                body = b"only GET /metrics is served\n"
+                status = "404 Not Found"
+                content_type = "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+def _placeholder_model(site_id: int):
+    """A minimal stand-in for an upload that would not even decode, so
+    the quarantine bookkeeping can still name the offending site."""
+    from repro.core.models import LocalModel
+
+    return LocalModel(
+        site_id=max(int(site_id), 0),
+        representatives=[],
+        n_objects=0,
+        scheme="unknown",
+        eps_local=0.0,
+        min_pts_local=0,
+    )
+
+
+def _decode_or_placeholder(frame: wire.Frame):
+    try:
+        return wire.decode_local_model(frame.payload)
+    except wire.WireError:
+        return _placeholder_model(frame.site_id)
+
+
+@dataclass
+class ServiceHandle:
+    """A :class:`DBDCService` running on a dedicated thread's event loop.
+
+    The synchronous world (tests, the bench, the CLI) starts the service
+    with :meth:`start`, talks to ``host:port`` with blocking clients,
+    and tears it down with :meth:`stop`.  The handle surfaces any
+    exception the service thread died with.
+    """
+
+    service: DBDCService
+    host: str = ""
+    port: int = 0
+    metrics_port: int | None = None
+    _thread: threading.Thread | None = None
+    _loop: asyncio.AbstractEventLoop | None = None
+    _ready: threading.Event = field(default_factory=threading.Event)
+    _error: BaseException | None = None
+
+    @classmethod
+    def start(
+        cls,
+        config: ServiceConfig | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+        timeout_s: float = 10.0,
+    ) -> "ServiceHandle":
+        """Boot a service thread and block until it is accepting."""
+        handle = cls(service=DBDCService(config, metrics=metrics))
+        handle._thread = threading.Thread(
+            target=handle._thread_main, name="dbdc-service", daemon=True
+        )
+        handle._thread.start()
+        if not handle._ready.wait(timeout_s):
+            raise RuntimeError("DBDCService did not start in time")
+        if handle._error is not None:
+            raise RuntimeError("DBDCService failed to start") from handle._error
+        return handle
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:  # surfaced via .stop()/start()
+            self._error = error
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        service = self.service
+        await service.start()
+        self._loop = asyncio.get_event_loop()
+        self.host = service.config.host
+        self.port = service.bound_port
+        self.metrics_port = service.metrics_bound_port
+        self._ready.set()
+        await service._shutdown.wait()
+        await service.stop()
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Request shutdown and join the service thread."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self.service.request_stop)
+            except RuntimeError:
+                pass  # loop already closed between the check and the call
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            if self._thread.is_alive():
+                raise RuntimeError("DBDCService thread did not stop in time")
+        if self._error is not None:
+            raise RuntimeError("DBDCService thread failed") from self._error
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

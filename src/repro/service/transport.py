@@ -1,0 +1,240 @@
+"""The transport seam between the simulated and socket deployments.
+
+:class:`Transport` is the protocol both network backends implement:
+:class:`~repro.distributed.network.SimulatedNetwork` (byte/sim-time
+accounting, in-process) and :class:`SocketTransport` (a real framed TCP
+connection to a live :class:`~repro.service.server.DBDCService`).  The
+fault machinery from PRs 2 and 5 —
+:class:`~repro.faults.transport.ResilientTransport` retries, backoff and
+circuit breakers, plus ``CentralServer.admit``'s integrity gate — only
+ever calls ``send(sender, receiver, kind, payload)``, so it runs
+unchanged over either backend; the integration tests pin exactly that.
+
+:class:`SocketTransport` is deliberately synchronous (one short-lived
+request/response per ``send``): the client side of DBDC is a site
+worker, and worker code stays portable between threads and processes
+when it never owns an event loop.  The asyncio side lives entirely in
+the service process.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.distributed.network import Message
+from repro.service import wire
+
+__all__ = ["Transport", "SocketTransport", "ServiceError"]
+
+#: Message-kind strings of the in-process protocol mapped onto wire
+#: frames, with the response kind each request expects.
+_KIND_TO_FRAME: dict[str, tuple[wire.FrameKind, tuple[wire.FrameKind, ...]]] = {
+    "local_model": (
+        wire.FrameKind.LOCAL_MODEL,
+        (wire.FrameKind.ACK,),
+    ),
+    "label_query": (
+        wire.FrameKind.LABEL_QUERY,
+        (wire.FrameKind.LABEL_REPLY,),
+    ),
+    "health": (
+        wire.FrameKind.HEALTH,
+        (wire.FrameKind.HEALTH_REPLY,),
+    ),
+}
+
+
+class ServiceError(RuntimeError):
+    """The service answered a request with an ERROR frame."""
+
+    def __init__(self, status: str, detail: str = "") -> None:
+        super().__init__(f"{status}: {detail}" if detail else status)
+        self.status = status
+        self.detail = detail
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What a DBDC network backend must provide.
+
+    ``send`` moves one payload from ``sender`` to ``receiver`` and
+    returns the :class:`~repro.distributed.network.Message` metadata —
+    byte count, transfer seconds, and the CRC-32 stamp from
+    :mod:`repro.faults.integrity`.  ``SimulatedNetwork.send`` satisfies
+    this by accounting; :class:`SocketTransport` by real I/O.
+    """
+
+    def send(
+        self, sender: int, receiver: int, kind: str, payload: bytes
+    ) -> Message:
+        """Move one message; return its metadata."""
+        ...
+
+
+class SocketTransport:
+    """A blocking framed TCP connection implementing :class:`Transport`.
+
+    One instance is one persistent connection; requests and responses
+    alternate (the wire protocol is strictly request/response).  The
+    ``sim_seconds`` field of returned messages carries the *measured*
+    round-trip wall time — on the socket path the "simulated" clock is
+    the real one.
+
+    Args:
+        host: service host.
+        port: service port.
+        site_id: the site id stamped on outgoing frames.
+        timeout_s: per-operation socket timeout (connect, send, read).
+        max_payload: reject response frames declaring more than this.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        site_id: int = wire.SERVER_ID,
+        timeout_s: float = 30.0,
+        max_payload: int = wire.DEFAULT_MAX_PAYLOAD,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        self.host = host
+        self.port = port
+        self.site_id = site_id
+        self.timeout_s = timeout_s
+        self.max_payload = max_payload
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.n_requests = 0
+        self.last_response: wire.Frame | None = None
+        self._sock: socket.socket | None = None
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> "SocketTransport":
+        """Open the connection (idempotent)."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "SocketTransport":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connected(self) -> bool:
+        """Whether the socket is currently open."""
+        return self._sock is not None
+
+    # ------------------------------------------------------------------
+    # framed request/response
+    # ------------------------------------------------------------------
+    def _read_exactly(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise wire.FrameTruncated(
+                    f"connection closed with {remaining} bytes outstanding"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        data = b"".join(chunks)
+        self.bytes_received += len(data)
+        return data
+
+    def read_frame(self) -> wire.Frame:
+        """Read one complete frame (CRC verified; typed errors, no hangs
+        beyond the socket timeout)."""
+        header = self._read_exactly(wire.HEADER_SIZE)
+        # Parse the header alone first so a corrupt length field raises
+        # before any payload read is attempted.
+        try:
+            frame, __ = wire.decode_frame(header, max_payload=self.max_payload)
+            return frame  # zero-payload frame: already complete
+        except wire.FrameTruncated:
+            pass
+        declared = int.from_bytes(header[10:14], "little")
+        if declared > self.max_payload:
+            raise wire.FrameTooLarge(
+                f"declared payload {declared} exceeds cap {self.max_payload}"
+            )
+        payload = self._read_exactly(declared)
+        frame, __ = wire.decode_frame(header + payload, max_payload=self.max_payload)
+        return frame
+
+    def request(
+        self, kind: wire.FrameKind, payload: bytes = b""
+    ) -> wire.Frame:
+        """Send one frame, return the response frame.
+
+        Raises:
+            ServiceError: when the service answers with an ERROR frame.
+            WireError: on malformed responses.
+            OSError: on socket failures/timeouts.
+        """
+        self.connect()
+        assert self._sock is not None
+        data = wire.encode_frame(kind, payload, site_id=self.site_id)
+        self._sock.sendall(data)
+        self.bytes_sent += len(data)
+        self.n_requests += 1
+        response = self.read_frame()
+        if response.kind == wire.FrameKind.ERROR:
+            status, detail = wire.decode_status(response.payload)
+            raise ServiceError(status, detail)
+        return response
+
+    # ------------------------------------------------------------------
+    # the Transport protocol
+    # ------------------------------------------------------------------
+    def send(
+        self, sender: int, receiver: int, kind: str, payload: bytes
+    ) -> Message:
+        """Deliver one protocol message over the socket.
+
+        The returned :class:`Message` mirrors what ``SimulatedNetwork``
+        records: payload length, the shared CRC-32 stamp, and transfer
+        seconds — here the measured request/response round trip.
+        """
+        mapping = _KIND_TO_FRAME.get(kind)
+        if mapping is None:
+            raise ValueError(
+                f"kind {kind!r} has no wire mapping; known: "
+                f"{sorted(_KIND_TO_FRAME)}"
+            )
+        frame_kind, expected_replies = mapping
+        start = time.perf_counter()
+        response = self.request(frame_kind, payload)
+        elapsed = time.perf_counter() - start
+        if response.kind not in expected_replies:
+            raise wire.CodecError(
+                f"unexpected reply {response.kind.name} to {kind!r}"
+            )
+        self.last_response = response
+        return Message(
+            sender=sender,
+            receiver=receiver,
+            kind=kind,
+            n_bytes=len(payload),
+            sim_seconds=elapsed,
+            payload_crc=wire.payload_crc32(payload),
+        )

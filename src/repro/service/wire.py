@@ -1,0 +1,508 @@
+"""The DBDC wire protocol: versioned, length-prefixed, CRC-guarded frames.
+
+One protocol implementation serves both deployment shapes.  The payload
+codecs here serialize exactly the objects the in-process protocol
+exchanges (:class:`~repro.core.models.LocalModel` uploads,
+:class:`~repro.core.models.GlobalModel` broadcasts, label queries,
+health/metrics probes), and the frame header carries the same CRC-32
+stamp :mod:`repro.faults.integrity` gives the simulated network — so a
+payload that survives the socket path is admissible, bit for bit, under
+:class:`~repro.distributed.network.SimulatedNetwork` accounting and vice
+versa.
+
+Frame layout (little-endian, 18-byte header)::
+
+    offset  size  field
+    0       4     magic  b"DBDC"
+    4       1     protocol version (currently 1)
+    5       1     frame kind (:class:`FrameKind`)
+    6       4     sender site id (int32; -1 = the central server)
+    10      4     payload length (uint32, capped by ``max_payload``)
+    14      4     CRC-32 of the payload (:func:`payload_crc32`)
+    18      ...   payload bytes
+
+Every malformed input raises a typed :class:`WireError` subclass —
+decoders never hang and never return garbage: short buffers raise
+:class:`FrameTruncated` (stream readers treat it as "need more bytes"),
+bad magic/version/kind raise their own errors before the payload is
+touched, oversized declared lengths raise :class:`FrameTooLarge` without
+allocating, and payload bit-flips raise :class:`ChecksumMismatch` (or
+are reported to the caller with ``verify_crc=False``, which is how the
+service quarantines instead of dropping the connection).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.core.models import GlobalModel, LocalModel, Representative
+from repro.faults.integrity import crc_matches, payload_crc32
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "SERVER_ID",
+    "DEFAULT_MAX_PAYLOAD",
+    "FrameKind",
+    "Frame",
+    "WireError",
+    "FrameTruncated",
+    "BadMagic",
+    "UnsupportedVersion",
+    "UnknownFrameKind",
+    "FrameTooLarge",
+    "ChecksumMismatch",
+    "CodecError",
+    "payload_crc32",
+    "crc_matches",
+    "encode_frame",
+    "decode_frame",
+    "encode_local_model",
+    "decode_local_model",
+    "encode_global_model",
+    "decode_global_model",
+    "encode_points",
+    "decode_points",
+    "encode_labels",
+    "decode_labels",
+    "encode_await_global",
+    "decode_await_global",
+    "encode_json",
+    "decode_json",
+    "encode_status",
+    "decode_status",
+]
+
+MAGIC = b"DBDC"
+PROTOCOL_VERSION = 1
+#: Sender id of the central server (mirrors ``repro.distributed.network.SERVER``).
+SERVER_ID = -1
+#: Default cap on a frame's declared payload length (64 MiB) — a corrupt
+#: or hostile length field must not make a reader allocate unboundedly.
+DEFAULT_MAX_PAYLOAD = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("<4sBBiII")
+HEADER_SIZE = _HEADER.size
+
+
+class FrameKind(IntEnum):
+    """Every frame kind of protocol version 1."""
+
+    ACK = 1            # generic success reply (status + detail strings)
+    ERROR = 2          # generic failure reply (status + detail strings)
+    LOCAL_MODEL = 3    # site -> server: LocalModel upload
+    GLOBAL_MODEL = 4   # server -> site: GlobalModel broadcast
+    AWAIT_GLOBAL = 5   # site -> server: block until the global model exists
+    LABEL_QUERY = 6    # client -> server: points to classify
+    LABEL_REPLY = 7    # server -> client: global label per query point
+    HEALTH = 8         # client -> server: liveness/health probe
+    HEALTH_REPLY = 9   # server -> client: JSON health document
+    METRICS = 10       # client -> server: OpenMetrics snapshot request
+    METRICS_REPLY = 11 # server -> client: OpenMetrics exposition text
+    SHUTDOWN = 12      # admin -> server: request graceful shutdown
+
+
+class WireError(Exception):
+    """Base class of every wire-protocol violation (typed, never a hang)."""
+
+
+class FrameTruncated(WireError):
+    """The buffer ends before the declared frame does (short read/EOF)."""
+
+
+class BadMagic(WireError):
+    """The frame does not start with ``b"DBDC"``."""
+
+
+class UnsupportedVersion(WireError):
+    """The frame speaks a protocol version this reader does not."""
+
+
+class UnknownFrameKind(WireError):
+    """The frame kind byte names no :class:`FrameKind`."""
+
+
+class FrameTooLarge(WireError):
+    """The declared payload length exceeds the reader's cap."""
+
+
+class ChecksumMismatch(WireError):
+    """The payload does not match the CRC-32 the sender stamped."""
+
+
+class CodecError(WireError):
+    """A payload failed to decode into its typed object."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame.
+
+    Attributes:
+        kind: the frame kind.
+        site_id: sender site id (:data:`SERVER_ID` for the server).
+        payload: the (CRC-checked, unless the reader opted out) bytes.
+        crc_ok: whether the payload matched the header checksum — always
+            true when the reader verifies eagerly; carries the verdict
+            when it opted out via ``verify_crc=False``.
+    """
+
+    kind: FrameKind
+    site_id: int
+    payload: bytes
+    crc_ok: bool = True
+
+
+def encode_frame(
+    kind: FrameKind | int, payload: bytes = b"", *, site_id: int = SERVER_ID
+) -> bytes:
+    """Assemble one frame: header (with CRC stamp) + payload."""
+    kind = FrameKind(kind)
+    return (
+        _HEADER.pack(
+            MAGIC,
+            PROTOCOL_VERSION,
+            int(kind),
+            int(site_id),
+            len(payload),
+            payload_crc32(payload),
+        )
+        + payload
+    )
+
+
+def decode_frame(
+    buffer: bytes,
+    *,
+    offset: int = 0,
+    max_payload: int = DEFAULT_MAX_PAYLOAD,
+    verify_crc: bool = True,
+) -> tuple[Frame, int]:
+    """Decode the frame starting at ``offset`` in ``buffer``.
+
+    Args:
+        buffer: raw bytes (may hold several concatenated frames).
+        offset: where this frame starts.
+        max_payload: reject declared payload lengths above this.
+        verify_crc: raise :class:`ChecksumMismatch` on a CRC failure
+            (the client default).  With ``False`` the frame is returned
+            with ``crc_ok=False`` instead — the server path, which must
+            quarantine corrupt uploads rather than drop the connection.
+
+    Returns:
+        ``(frame, next_offset)``.
+
+    Raises:
+        WireError: typed subclass per violation; :class:`FrameTruncated`
+            when the buffer is merely incomplete.
+    """
+    if len(buffer) - offset < HEADER_SIZE:
+        raise FrameTruncated(
+            f"need {HEADER_SIZE} header bytes, have {len(buffer) - offset}"
+        )
+    magic, version, kind_byte, site_id, length, crc = _HEADER.unpack_from(
+        buffer, offset
+    )
+    if magic != MAGIC:
+        raise BadMagic(f"bad magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise UnsupportedVersion(
+            f"protocol version {version}, expected {PROTOCOL_VERSION}"
+        )
+    try:
+        kind = FrameKind(kind_byte)
+    except ValueError:
+        raise UnknownFrameKind(f"unknown frame kind {kind_byte}") from None
+    if length > max_payload:
+        raise FrameTooLarge(f"declared payload {length} exceeds cap {max_payload}")
+    start = offset + HEADER_SIZE
+    if len(buffer) - start < length:
+        raise FrameTruncated(
+            f"declared payload {length}, have {len(buffer) - start}"
+        )
+    payload = bytes(buffer[start : start + length])
+    crc_ok = crc_matches(payload, crc)
+    if verify_crc and not crc_ok:
+        raise ChecksumMismatch(
+            f"payload CRC {payload_crc32(payload):#010x} != header {crc:#010x}"
+        )
+    return Frame(kind=kind, site_id=site_id, payload=payload, crc_ok=crc_ok), (
+        start + length
+    )
+
+
+# ----------------------------------------------------------------------
+# Payload codecs.  Every decode_* wraps low-level failures (struct
+# errors, bad counts, non-finite floats) in CodecError so transports can
+# treat "payload would not parse" uniformly.
+# ----------------------------------------------------------------------
+
+_LOCAL_HEADER = struct.Struct("<iqdIIIH")  # site, n_objects, eps, min_pts,
+#                                            n_reps, dim, scheme length
+_GLOBAL_HEADER = struct.Struct("<dIII")    # eps_global, min_pts, n_reps, dim
+_ARRAY_HEADER = struct.Struct("<II")       # rows, dim
+_COUNT = struct.Struct("<I")
+_TIMEOUT = struct.Struct("<d")
+_SHORT_STR = struct.Struct("<H")
+
+
+def _codec_guard(message: str):
+    """Decorator: re-raise any decode failure as a :class:`CodecError`."""
+
+    def wrap(fn):
+        def inner(payload: bytes, *args, **kwargs):
+            try:
+                return fn(payload, *args, **kwargs)
+            except WireError:
+                raise
+            except Exception as error:
+                raise CodecError(f"{message}: {error}") from error
+
+        inner.__name__ = fn.__name__
+        inner.__doc__ = fn.__doc__
+        return inner
+
+    return wrap
+
+
+def _pack_str(text: str) -> bytes:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise ValueError(f"string too long for the wire ({len(data)} bytes)")
+    return _SHORT_STR.pack(len(data)) + data
+
+
+def _unpack_str(payload: bytes, offset: int) -> tuple[str, int]:
+    (length,) = _SHORT_STR.unpack_from(payload, offset)
+    offset += _SHORT_STR.size
+    if len(payload) - offset < length:
+        raise FrameTruncated(f"string of {length} bytes truncated")
+    return payload[offset : offset + length].decode("utf-8"), offset + length
+
+
+def encode_local_model(model: LocalModel) -> bytes:
+    """Serialize a full :class:`LocalModel` — unlike the accounting-only
+    ``LocalModel.to_bytes``, the metadata (object count, scheme, local
+    DBSCAN parameters) rides along, so the server reconstructs exactly
+    what the site built."""
+    dim = model.representatives[0].point.size if model.representatives else 0
+    record = struct.Struct(f"<id{dim}d")
+    scheme = model.scheme.encode("utf-8")
+    if len(scheme) > 0xFFFF:
+        raise ValueError(f"scheme name too long for the wire ({len(scheme)} bytes)")
+    chunks = [
+        _LOCAL_HEADER.pack(
+            model.site_id,
+            model.n_objects,
+            model.eps_local,
+            model.min_pts_local,
+            len(model.representatives),
+            dim,
+            len(scheme),
+        ),
+        scheme,
+    ]
+    for rep in model.representatives:
+        chunks.append(record.pack(rep.local_cluster_id, rep.eps_range, *rep.point))
+    return b"".join(chunks)
+
+
+@_codec_guard("invalid LocalModel payload")
+def decode_local_model(payload: bytes) -> LocalModel:
+    """Inverse of :func:`encode_local_model`.
+
+    Raises:
+        CodecError: on truncated records, impossible counts, or
+            representatives the model layer itself rejects (non-finite
+            coordinates, non-positive ε-ranges).
+    """
+    site_id, n_objects, eps_local, min_pts, n_reps, dim, scheme_len = (
+        _LOCAL_HEADER.unpack_from(payload, 0)
+    )
+    offset = _LOCAL_HEADER.size
+    if len(payload) - offset < scheme_len:
+        raise CodecError(f"scheme string of {scheme_len} bytes truncated")
+    scheme = payload[offset : offset + scheme_len].decode("utf-8")
+    offset += scheme_len
+    record = struct.Struct(f"<id{dim}d")
+    expected = offset + n_reps * record.size
+    if len(payload) != expected:
+        raise CodecError(
+            f"payload is {len(payload)} bytes, header declares {expected}"
+        )
+    reps = []
+    for __ in range(n_reps):
+        values = record.unpack_from(payload, offset)
+        offset += record.size
+        reps.append(
+            Representative(
+                point=np.asarray(values[2:], dtype=float),
+                eps_range=values[1],
+                site_id=site_id,
+                local_cluster_id=values[0],
+            )
+        )
+    return LocalModel(
+        site_id=site_id,
+        representatives=reps,
+        n_objects=n_objects,
+        scheme=scheme,
+        eps_local=eps_local,
+        min_pts_local=min_pts,
+    )
+
+
+def encode_global_model(model: GlobalModel) -> bytes:
+    """Serialize a full :class:`GlobalModel` broadcast.
+
+    Unlike the accounting-only ``GlobalModel.to_bytes`` this keeps every
+    representative's originating site and local cluster id, so the
+    receiving site reconstructs the model the server built bit for bit —
+    the precondition for the socket path's relabel step matching the
+    in-process run exactly.
+    """
+    dim = model.representatives[0].point.size if model.representatives else 0
+    record = struct.Struct(f"<iiqd{dim}d")
+    chunks = [
+        _GLOBAL_HEADER.pack(
+            model.eps_global,
+            model.min_pts_global,
+            len(model.representatives),
+            dim,
+        )
+    ]
+    for rep, label in zip(model.representatives, model.global_labels):
+        chunks.append(
+            record.pack(
+                rep.site_id,
+                rep.local_cluster_id,
+                int(label),
+                rep.eps_range,
+                *rep.point,
+            )
+        )
+    return b"".join(chunks)
+
+
+@_codec_guard("invalid GlobalModel payload")
+def decode_global_model(payload: bytes) -> GlobalModel:
+    """Inverse of :func:`encode_global_model`."""
+    eps_global, min_pts_global, n_reps, dim = _GLOBAL_HEADER.unpack_from(payload, 0)
+    record = struct.Struct(f"<iiqd{dim}d")
+    expected = _GLOBAL_HEADER.size + n_reps * record.size
+    if len(payload) != expected:
+        raise CodecError(
+            f"payload is {len(payload)} bytes, header declares {expected}"
+        )
+    offset = _GLOBAL_HEADER.size
+    reps = []
+    labels = np.empty(n_reps, dtype=np.intp)
+    for i in range(n_reps):
+        values = record.unpack_from(payload, offset)
+        offset += record.size
+        reps.append(
+            Representative(
+                point=np.asarray(values[4:], dtype=float),
+                eps_range=values[3],
+                site_id=values[0],
+                local_cluster_id=values[1],
+            )
+        )
+        labels[i] = values[2]
+    return GlobalModel(
+        representatives=reps,
+        global_labels=labels,
+        eps_global=eps_global,
+        min_pts_global=int(min_pts_global),
+    )
+
+
+def encode_points(points: np.ndarray) -> bytes:
+    """Serialize an ``(n, d)`` float64 point array (label queries)."""
+    points = np.ascontiguousarray(points, dtype="<f8")
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    return _ARRAY_HEADER.pack(points.shape[0], points.shape[1]) + points.tobytes()
+
+
+@_codec_guard("invalid point-array payload")
+def decode_points(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_points`."""
+    rows, dim = _ARRAY_HEADER.unpack_from(payload, 0)
+    expected = _ARRAY_HEADER.size + rows * dim * 8
+    if len(payload) != expected:
+        raise CodecError(
+            f"payload is {len(payload)} bytes, header declares {expected}"
+        )
+    data = np.frombuffer(payload, dtype="<f8", offset=_ARRAY_HEADER.size)
+    return data.reshape(rows, dim).astype(float)
+
+
+def encode_labels(labels: np.ndarray) -> bytes:
+    """Serialize a label vector (int64 on the wire)."""
+    labels = np.ascontiguousarray(labels, dtype="<i8")
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    return _COUNT.pack(labels.shape[0]) + labels.tobytes()
+
+
+@_codec_guard("invalid label-vector payload")
+def decode_labels(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_labels` (returns ``intp`` labels)."""
+    (count,) = _COUNT.unpack_from(payload, 0)
+    expected = _COUNT.size + count * 8
+    if len(payload) != expected:
+        raise CodecError(
+            f"payload is {len(payload)} bytes, header declares {expected}"
+        )
+    data = np.frombuffer(payload, dtype="<i8", offset=_COUNT.size)
+    return data.astype(np.intp)
+
+
+def encode_await_global(timeout_s: float) -> bytes:
+    """Serialize an AWAIT_GLOBAL request (how long the server may block)."""
+    return _TIMEOUT.pack(float(timeout_s))
+
+
+@_codec_guard("invalid AWAIT_GLOBAL payload")
+def decode_await_global(payload: bytes) -> float:
+    """Inverse of :func:`encode_await_global`."""
+    if len(payload) != _TIMEOUT.size:
+        raise CodecError(
+            f"payload is {len(payload)} bytes, expected {_TIMEOUT.size}"
+        )
+    return float(_TIMEOUT.unpack(payload)[0])
+
+
+def encode_json(document: dict) -> bytes:
+    """Serialize a JSON document payload (health replies)."""
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+@_codec_guard("invalid JSON payload")
+def decode_json(payload: bytes) -> dict:
+    """Inverse of :func:`encode_json`."""
+    document = json.loads(payload.decode("utf-8"))
+    if not isinstance(document, dict):
+        raise CodecError(f"expected a JSON object, got {type(document).__name__}")
+    return document
+
+
+def encode_status(status: str, detail: str = "") -> bytes:
+    """Serialize an ACK/ERROR payload (status + human detail strings)."""
+    return _pack_str(status) + _pack_str(detail)
+
+
+@_codec_guard("invalid status payload")
+def decode_status(payload: bytes) -> tuple[str, str]:
+    """Inverse of :func:`encode_status`."""
+    status, offset = _unpack_str(payload, 0)
+    detail, offset = _unpack_str(payload, offset)
+    if offset != len(payload):
+        raise CodecError(f"{len(payload) - offset} trailing bytes")
+    return status, detail

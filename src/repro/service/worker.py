@@ -1,0 +1,216 @@
+"""Site-worker entry point: one DBDC site as a service client.
+
+:func:`run_site_worker` executes the full protocol for one site against
+a live :class:`~repro.service.server.DBDCService` — local DBSCAN, model
+derivation, upload, await-global, relabel — and returns the site's
+global labels plus transfer bookkeeping.  It is the process body behind
+``python -m repro serve-worker`` and the thread body the integration
+tests and the sustained-load bench fan out.
+
+The upload rides :class:`~repro.faults.transport.ResilientTransport`
+over the :class:`~repro.service.transport.SocketTransport` — the exact
+retry/backoff/breaker machinery the simulated deployments use, run
+unchanged over a real socket (the seam ISSUE 7's tentpole demands).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.models import GlobalModel
+from repro.distributed.site import ClientSite
+from repro.faults.plan import FaultPlan
+from repro.faults.transport import ResilientTransport, TransportPolicy
+from repro.service import wire
+from repro.service.client import ServiceClient
+from repro.service.transport import ServiceError, SocketTransport
+
+__all__ = ["SiteWorkerResult", "run_site_worker"]
+
+
+@dataclass
+class SiteWorkerResult:
+    """What one site worker brings home.
+
+    Attributes:
+        site_id: the worker's site id.
+        verdict: admission verdict of the upload (``"admitted"`` /
+            ``"quarantined"`` / ``"deadline_missed"`` / ``"failed"``).
+        labels: the site's global labels (noise = -1); local labels
+            renumbered nowhere — exactly what ``receive_global_model``
+            would have produced in process.
+        n_objects: objects the site clustered.
+        upload_attempts: transport attempts the upload took.
+        bytes_sent: payload bytes the worker put on the wire.
+        wall_seconds: end-to-end worker wall time.
+        error: the failure detail when ``verdict == "failed"``.
+    """
+
+    site_id: int
+    verdict: str
+    labels: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.intp)
+    )
+    n_objects: int = 0
+    upload_attempts: int = 0
+    bytes_sent: int = 0
+    wall_seconds: float = 0.0
+    error: str = ""
+
+
+def run_site_worker(
+    host: str,
+    port: int,
+    site_id: int,
+    points: np.ndarray,
+    *,
+    eps_local: float,
+    min_pts_local: int,
+    scheme: str = "rep_scor",
+    metric: str = "euclidean",
+    index_kind: str = "auto",
+    relabel_kernel: str = "auto",
+    timeout_s: float = 30.0,
+    await_global_s: float = 30.0,
+    transport_policy: TransportPolicy | None = None,
+) -> SiteWorkerResult:
+    """Run one site through the full protocol against a live service.
+
+    Args:
+        host: service host.
+        port: service port.
+        site_id: this site's id.
+        points: the site's objects, shape ``(n, d)``.
+        eps_local: local DBSCAN ``Eps``.
+        min_pts_local: local DBSCAN ``MinPts``.
+        scheme: local model scheme.
+        metric: distance metric.
+        index_kind: neighbor index kind.
+        relabel_kernel: coverage kernel for the update step.
+        timeout_s: per-operation socket timeout.
+        await_global_s: how long to wait for the global model.
+        transport_policy: retry/backoff policy of the upload (default:
+            the fault layer's defaults).
+
+    Returns:
+        A :class:`SiteWorkerResult`; never raises for protocol-level
+        refusals — the verdict records them.
+    """
+    start = time.perf_counter()
+    site = ClientSite(
+        site_id,
+        points,
+        eps_local=eps_local,
+        min_pts_local=min_pts_local,
+        scheme=scheme,
+        metric=metric,
+        index_kind=index_kind,
+        relabel_kernel=relabel_kernel,
+    )
+    result = SiteWorkerResult(
+        site_id=site_id, verdict="failed", n_objects=int(points.shape[0])
+    )
+    socket_transport = SocketTransport(
+        host, port, site_id=site_id, timeout_s=timeout_s
+    )
+    try:
+        with socket_transport:
+            model = site.run_local_clustering()
+            # The simulated deployments' retry/backoff/breaker layer,
+            # pointed at the socket instead of SimulatedNetwork.
+            resilient = ResilientTransport(
+                socket_transport, FaultPlan.none(), transport_policy
+            )
+            payload = wire.encode_local_model(model)
+            try:
+                outcome = resilient.deliver(
+                    site_id, wire.SERVER_ID, "local_model", payload
+                )
+            except ServiceError as error:
+                # The admission gate said no: surface its verdict.
+                result.verdict = error.status
+                result.error = error.detail
+                return result
+            result.upload_attempts = outcome.attempts
+            result.bytes_sent = outcome.bytes_sent
+            if not outcome.delivered:
+                result.error = "upload not delivered"
+                return result
+            response = socket_transport.last_response
+            if response is not None and response.kind == wire.FrameKind.ACK:
+                result.verdict, __ = wire.decode_status(response.payload)
+            else:
+                result.verdict = "admitted"
+            global_model = _await_global(socket_transport, await_global_s)
+            site.receive_global_model(global_model)
+            result.labels = site.global_labels
+    except (OSError, wire.WireError, ServiceError) as error:
+        result.verdict = "failed"
+        result.error = f"{type(error).__name__}: {error}"
+    finally:
+        result.wall_seconds = time.perf_counter() - start
+    return result
+
+
+def _await_global(
+    transport: SocketTransport, timeout_s: float
+) -> GlobalModel:
+    response = transport.request(
+        wire.FrameKind.AWAIT_GLOBAL, wire.encode_await_global(timeout_s)
+    )
+    return wire.decode_global_model(response.payload)
+
+
+def run_site_worker_simple(
+    host: str,
+    port: int,
+    site_id: int,
+    points: np.ndarray,
+    *,
+    eps_local: float,
+    min_pts_local: int,
+    **kwargs,
+) -> SiteWorkerResult:
+    """Like :func:`run_site_worker` but over the plain blocking client —
+    no retry layer, for minimal-dependency deployments."""
+    start = time.perf_counter()
+    site = ClientSite(
+        site_id,
+        points,
+        eps_local=eps_local,
+        min_pts_local=min_pts_local,
+        **{
+            key: value
+            for key, value in kwargs.items()
+            if key in ("scheme", "metric", "index_kind", "relabel_kernel")
+        },
+    )
+    result = SiteWorkerResult(
+        site_id=site_id, verdict="failed", n_objects=int(points.shape[0])
+    )
+    timeout_s = float(kwargs.get("timeout_s", 30.0))
+    await_global_s = float(kwargs.get("await_global_s", 30.0))
+    try:
+        with ServiceClient(
+            host, port, site_id=site_id, timeout_s=timeout_s
+        ) as client:
+            model = site.run_local_clustering()
+            result.verdict = client.submit(model)
+            result.bytes_sent = client.transport.bytes_sent
+            result.upload_attempts = 1
+            site.receive_global_model(
+                client.await_global_model(await_global_s)
+            )
+            result.labels = site.global_labels
+    except ServiceError as error:
+        result.verdict = error.status
+        result.error = error.detail
+    except (OSError, wire.WireError) as error:
+        result.verdict = "failed"
+        result.error = f"{type(error).__name__}: {error}"
+    finally:
+        result.wall_seconds = time.perf_counter() - start
+    return result

@@ -314,6 +314,7 @@ class TestRuleCoverage:
             "*roundtrip_ok*": "shm.roundtrip_ok",
             "*tracemalloc_peak_mb*": "scale.tracemalloc_peak_mb[20000:local]",
             "*rss_peak_mb*": "scale.rss_peak_mb[20000]",
+            "*_rps": "serve.query_throughput_rps",
             "*": "anything.else",
         }
         for rule in DEFAULT_RULES:

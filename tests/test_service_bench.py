@@ -1,0 +1,136 @@
+"""Tests for the service sustained-load bench (``repro.service.bench``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.regress import detect_regressions, rule_for
+from repro.obs.registry import RunRegistry
+from repro.service.bench import (
+    format_serve_summary,
+    main as serve_bench_main,
+    record_serve_bench,
+    run_serve_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """One real (tiny) bench run shared by the assertions below."""
+    return run_serve_bench(
+        dataset="A",
+        cardinality=500,
+        n_sites=2,
+        n_clients=3,
+        n_queries=9,
+        query_batch=64,
+        seed=11,
+    )
+
+
+class TestBenchReport:
+    def test_correctness_gates_hold(self, small_report):
+        metrics = small_report["metrics"]
+        assert metrics["serve.labels_identical"] == 1.0
+        assert metrics["serve.scrape_roundtrip_ok"] == 1.0
+        assert metrics["serve.upload_failed"] == 0.0
+        assert metrics["serve.query_failed"] == 0.0
+
+    def test_load_metrics_are_populated(self, small_report):
+        metrics = small_report["metrics"]
+        assert metrics["serve.queries_count"] == 9.0
+        assert metrics["serve.labels_served_count"] == 9.0 * 64
+        assert metrics["serve.query_throughput_rps"] > 0
+        assert (
+            0
+            < metrics["serve.query_p50_wall_seconds"]
+            <= metrics["serve.query_p95_wall_seconds"]
+            <= metrics["serve.query_max_wall_seconds"]
+        )
+        assert metrics["serve.bytes_up"] > 0
+
+    def test_health_document_rides_along(self, small_report):
+        assert small_report["health"]["sites_admitted"] == 2
+        assert small_report["health"]["model_built"] is True
+
+    def test_report_is_json_able(self, small_report):
+        json.dumps(small_report)
+
+    def test_summary_mentions_the_gates(self, small_report):
+        text = format_serve_summary(small_report)
+        assert "bit-identical to simulated run: yes" in text
+        assert "strict-parsed:      yes" in text
+
+
+class TestRegressWiring:
+    def test_gate_metrics_hit_gating_rules(self):
+        # The names are chosen so the default rule table gates them:
+        # identity/roundtrip at zero tolerance (survive --ignore-timing),
+        # failures as "lower", throughput as timing-tagged "higher".
+        assert rule_for("serve.labels_identical").direction == "higher"
+        assert rule_for("serve.labels_identical").rel_threshold == 0.0
+        assert not rule_for("serve.labels_identical").timing
+        assert rule_for("serve.scrape_roundtrip_ok").rel_threshold == 0.0
+        assert rule_for("serve.upload_failed").direction == "lower"
+        assert rule_for("serve.query_throughput_rps").direction == "higher"
+        assert rule_for("serve.query_throughput_rps").timing
+        assert rule_for("serve.query_p95_wall_seconds").timing
+
+    def test_identity_loss_is_a_regression_without_timing(self, small_report, tmp_path):
+        record = RunRegistry(tmp_path / "runs").record(
+            "serve-bench", metrics=small_report["metrics"]
+        )
+        broken = dict(small_report["metrics"])
+        broken["serve.labels_identical"] = 0.0
+        candidate = RunRegistry(tmp_path / "runs2").record(
+            "serve-bench", metrics=broken
+        )
+        report = detect_regressions(
+            [record], [candidate], include_timing=False
+        )
+        assert "serve.labels_identical" in report.regressions
+
+    def test_flat_rerun_passes_regress_without_timing(self, small_report, tmp_path):
+        record = RunRegistry(tmp_path / "runs").record(
+            "serve-bench", metrics=small_report["metrics"]
+        )
+        report = detect_regressions([record], [record], include_timing=False)
+        assert not report.regressions
+
+
+class TestRecording:
+    def test_record_lands_in_registry_with_artifact(self, small_report, tmp_path):
+        root = tmp_path / "registry"
+        record = record_serve_bench(dict(small_report), str(root))
+        assert record["command"] == "serve-bench"
+        assert record["metrics"]["serve.labels_identical"] == 1.0
+        artifact = (
+            root / record["artifacts"]["BENCH_serve.json"]
+        )
+        assert artifact.exists()
+        stored = json.loads(artifact.read_text())
+        assert stored["meta"]["n_sites"] == small_report["meta"]["n_sites"]
+
+    def test_cli_main_smoke(self, tmp_path, capsys):
+        status = serve_bench_main(
+            [
+                "--cardinality",
+                "400",
+                "--sites",
+                "2",
+                "--clients",
+                "2",
+                "--queries",
+                "4",
+                "--query-batch",
+                "32",
+                "--registry",
+                str(tmp_path / "runs"),
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "serve-bench:" in out
+        assert "recorded" in out

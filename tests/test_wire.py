@@ -1,0 +1,396 @@
+"""Property tests of the service wire protocol (``repro.service.wire``).
+
+Two guarantees, fuzzed per codec:
+
+* **round trip** — ``decode(encode(x))`` reconstructs ``x`` bit for bit
+  (float64 coordinates, int ids, labels, strings);
+* **typed failure** — every truncated or corrupted buffer raises a
+  :class:`~repro.service.wire.WireError` subclass (never a hang, never a
+  silently wrong object, never a raw ``struct.error`` escaping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import GlobalModel, LocalModel, Representative
+from repro.service import wire
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+positive = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=1e-9, max_value=1e9
+)
+int32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+uint31 = st.integers(min_value=0, max_value=2**31 - 1)
+frame_kinds = st.sampled_from(list(wire.FrameKind))
+
+
+@st.composite
+def representatives(draw, dim: int, site_id: int | None = None):
+    point = np.asarray(draw(st.lists(finite, min_size=dim, max_size=dim)))
+    return Representative(
+        point=point,
+        eps_range=draw(positive),
+        site_id=draw(int32) if site_id is None else site_id,
+        local_cluster_id=draw(int32),
+    )
+
+
+@st.composite
+def local_models(draw):
+    site_id = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    dim = draw(st.integers(min_value=1, max_value=4))
+    reps = draw(
+        st.lists(representatives(dim, site_id=site_id), min_size=0, max_size=8)
+    )
+    return LocalModel(
+        site_id=site_id,
+        representatives=reps,
+        n_objects=draw(st.integers(min_value=0, max_value=2**40)),
+        scheme=draw(st.sampled_from(["rep_scor", "rep_kmeans", "custom-σ"])),
+        eps_local=draw(positive),
+        min_pts_local=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+    )
+
+
+@st.composite
+def global_models(draw):
+    dim = draw(st.integers(min_value=1, max_value=4))
+    reps = draw(st.lists(representatives(dim), min_size=0, max_size=8))
+    labels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**40),
+            min_size=len(reps),
+            max_size=len(reps),
+        )
+    )
+    return GlobalModel(
+        representatives=reps,
+        global_labels=np.asarray(labels, dtype=np.intp),
+        eps_global=draw(positive),
+        min_pts_global=draw(st.integers(min_value=1, max_value=100)),
+    )
+
+
+def assert_reps_equal(a: Representative, b: Representative) -> None:
+    assert a.site_id == b.site_id
+    assert a.local_cluster_id == b.local_cluster_id
+    assert a.eps_range == b.eps_range  # exact: float64 both sides
+    assert np.array_equal(a.point, b.point)
+
+
+# ----------------------------------------------------------------------
+# frame layer
+# ----------------------------------------------------------------------
+
+
+class TestFrameRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(kind=frame_kinds, site_id=int32, payload=st.binary(max_size=256))
+    def test_roundtrip(self, kind, site_id, payload):
+        data = wire.encode_frame(kind, payload, site_id=site_id)
+        frame, consumed = wire.decode_frame(data)
+        assert consumed == len(data)
+        assert frame.kind == kind
+        assert frame.site_id == site_id
+        assert frame.payload == payload
+        assert frame.crc_ok
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        kind=frame_kinds,
+        payload=st.binary(min_size=1, max_size=64),
+        trailer=st.binary(min_size=1, max_size=32),
+    )
+    def test_offset_walks_concatenated_frames(self, kind, payload, trailer):
+        data = wire.encode_frame(kind, payload) + wire.encode_frame(
+            wire.FrameKind.ACK, trailer, site_id=3
+        )
+        first, offset = wire.decode_frame(data)
+        second, end = wire.decode_frame(data, offset=offset)
+        assert first.payload == payload
+        assert second.payload == trailer
+        assert second.site_id == 3
+        assert end == len(data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(kind=frame_kinds, payload=st.binary(max_size=128), data=st.data())
+    def test_every_truncation_raises_frame_truncated(self, kind, payload, data):
+        frame = wire.encode_frame(kind, payload)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(wire.FrameTruncated):
+            wire.decode_frame(frame[:cut])
+
+    @settings(max_examples=120, deadline=None)
+    @given(kind=frame_kinds, payload=st.binary(max_size=128), data=st.data())
+    def test_single_byte_corruption_is_typed_or_visible(self, kind, payload, data):
+        frame = bytearray(wire.encode_frame(kind, payload, site_id=7))
+        index = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        frame[index] ^= flip
+        try:
+            decoded, __ = wire.decode_frame(bytes(frame))
+        except wire.WireError:
+            return  # typed rejection is the expected outcome
+        # The only survivable flips hit the unchecksummed header fields
+        # (kind byte to another valid kind, or the sender site id) — the
+        # payload itself is always CRC-guarded.
+        assert decoded.payload == payload
+        assert (decoded.kind, decoded.site_id) != (wire.FrameKind(kind), 7)
+
+    def test_payload_cap_rejects_before_allocating(self):
+        header = wire.encode_frame(wire.FrameKind.ACK, b"x" * 10)[
+            : wire.HEADER_SIZE
+        ]
+        with pytest.raises(wire.FrameTooLarge):
+            wire.decode_frame(header + b"x" * 10, max_payload=4)
+
+    def test_verify_crc_false_reports_instead_of_raising(self):
+        data = bytearray(wire.encode_frame(wire.FrameKind.LOCAL_MODEL, b"abc"))
+        data[-1] ^= 0xFF  # flip a payload byte
+        with pytest.raises(wire.ChecksumMismatch):
+            wire.decode_frame(bytes(data))
+        frame, __ = wire.decode_frame(bytes(data), verify_crc=False)
+        assert not frame.crc_ok
+
+    def test_bad_magic_version_kind_are_distinct_errors(self):
+        good = wire.encode_frame(wire.FrameKind.ACK, b"")
+        with pytest.raises(wire.BadMagic):
+            wire.decode_frame(b"XXXX" + good[4:])
+        with pytest.raises(wire.UnsupportedVersion):
+            wire.decode_frame(good[:4] + b"\xff" + good[5:])
+        with pytest.raises(wire.UnknownFrameKind):
+            wire.decode_frame(good[:5] + b"\xf7" + good[6:])
+
+
+# ----------------------------------------------------------------------
+# payload codecs
+# ----------------------------------------------------------------------
+
+
+class TestCodecRoundTrips:
+    @settings(max_examples=50, deadline=None)
+    @given(model=local_models())
+    def test_local_model(self, model):
+        decoded = wire.decode_local_model(wire.encode_local_model(model))
+        assert decoded.site_id == model.site_id
+        assert decoded.n_objects == model.n_objects
+        assert decoded.scheme == model.scheme
+        assert decoded.eps_local == model.eps_local
+        assert decoded.min_pts_local == model.min_pts_local
+        assert len(decoded.representatives) == len(model.representatives)
+        for a, b in zip(decoded.representatives, model.representatives):
+            assert_reps_equal(a, b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(model=global_models())
+    def test_global_model(self, model):
+        decoded = wire.decode_global_model(wire.encode_global_model(model))
+        assert decoded.eps_global == model.eps_global
+        assert decoded.min_pts_global == model.min_pts_global
+        assert np.array_equal(decoded.global_labels, model.global_labels)
+        for a, b in zip(decoded.representatives, model.representatives):
+            assert_reps_equal(a, b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows=st.integers(min_value=0, max_value=20),
+        dim=st.integers(min_value=1, max_value=5),
+        data=st.data(),
+    )
+    def test_points(self, rows, dim, data):
+        flat = data.draw(
+            st.lists(finite, min_size=rows * dim, max_size=rows * dim)
+        )
+        points = np.asarray(flat, dtype=float).reshape(rows, dim)
+        decoded = wire.decode_points(wire.encode_points(points))
+        assert decoded.shape == points.shape
+        assert np.array_equal(decoded, points)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        labels=st.lists(
+            st.integers(min_value=-1, max_value=2**40), max_size=64
+        )
+    )
+    def test_labels(self, labels):
+        array = np.asarray(labels, dtype=np.intp)
+        decoded = wire.decode_labels(wire.encode_labels(array))
+        assert decoded.dtype == np.intp
+        assert np.array_equal(decoded, array)
+
+    @settings(max_examples=50, deadline=None)
+    @given(timeout=st.floats(allow_nan=False, min_value=0.0, max_value=1e6))
+    def test_await_global(self, timeout):
+        assert wire.decode_await_global(wire.encode_await_global(timeout)) == timeout
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        document=st.dictionaries(
+            st.text(max_size=10),
+            st.one_of(st.integers(), st.text(max_size=10), st.booleans(), st.none()),
+            max_size=6,
+        )
+    )
+    def test_json(self, document):
+        assert wire.decode_json(wire.encode_json(document)) == document
+
+    @settings(max_examples=40, deadline=None)
+    @given(status=st.text(max_size=40), detail=st.text(max_size=120))
+    def test_status(self, status, detail):
+        assert wire.decode_status(wire.encode_status(status, detail)) == (
+            status,
+            detail,
+        )
+
+
+#: (encoder-of-sample, decoder) pairs driving the shared fuzz cases.
+CODEC_SAMPLES = [
+    (
+        "local_model",
+        lambda: wire.encode_local_model(
+            LocalModel(
+                site_id=1,
+                representatives=[
+                    Representative(
+                        point=np.asarray([0.5, -1.5]),
+                        eps_range=0.75,
+                        site_id=1,
+                        local_cluster_id=0,
+                    )
+                ],
+                n_objects=10,
+                scheme="rep_scor",
+                eps_local=1.2,
+                min_pts_local=4,
+            )
+        ),
+        wire.decode_local_model,
+    ),
+    (
+        "global_model",
+        lambda: wire.encode_global_model(
+            GlobalModel(
+                representatives=[
+                    Representative(
+                        point=np.asarray([2.0, 3.0]),
+                        eps_range=1.5,
+                        site_id=0,
+                        local_cluster_id=2,
+                    )
+                ],
+                global_labels=np.asarray([0], dtype=np.intp),
+                eps_global=3.0,
+            )
+        ),
+        wire.decode_global_model,
+    ),
+    ("points", lambda: wire.encode_points(np.ones((3, 2))), wire.decode_points),
+    (
+        "labels",
+        lambda: wire.encode_labels(np.asarray([0, 1, -1], dtype=np.intp)),
+        wire.decode_labels,
+    ),
+    (
+        "await_global",
+        lambda: wire.encode_await_global(5.0),
+        wire.decode_await_global,
+    ),
+    ("status", lambda: wire.encode_status("ok", "detail"), wire.decode_status),
+]
+
+
+class TestCodecFuzz:
+    @pytest.mark.parametrize(
+        "name,encode,decode", CODEC_SAMPLES, ids=[c[0] for c in CODEC_SAMPLES]
+    )
+    def test_every_truncation_raises_typed(self, name, encode, decode):
+        payload = encode()
+        for cut in range(len(payload)):
+            with pytest.raises(wire.WireError):
+                decode(payload[:cut])
+
+    @pytest.mark.parametrize(
+        "name,encode,decode", CODEC_SAMPLES, ids=[c[0] for c in CODEC_SAMPLES]
+    )
+    def test_trailing_garbage_raises_typed(self, name, encode, decode):
+        payload = encode() + b"\x00garbage"
+        with pytest.raises(wire.WireError):
+            decode(payload)
+
+    @settings(max_examples=120, deadline=None)
+    @given(junk=st.binary(max_size=200))
+    def test_arbitrary_bytes_never_escape_wire_errors(self, junk):
+        for __, __encode, decode in CODEC_SAMPLES:
+            try:
+                decode(junk)
+            except wire.WireError:
+                pass  # the only acceptable failure mode
+
+    def test_corrupted_representative_is_rejected_not_poisonous(self):
+        # A NaN coordinate or non-positive eps_range must never survive
+        # decoding — the model layer's validation runs at construction
+        # and the codec wraps it in CodecError.
+        model = LocalModel(
+            site_id=0,
+            representatives=[
+                Representative(
+                    point=np.asarray([1.0, 2.0]),
+                    eps_range=1.0,
+                    site_id=0,
+                    local_cluster_id=0,
+                )
+            ],
+            n_objects=5,
+            scheme="rep_scor",
+            eps_local=1.0,
+            min_pts_local=3,
+        )
+        payload = bytearray(wire.encode_local_model(model))
+        # Overwrite the eps_range float (first record field after the
+        # int32 local_cluster_id) with -1.0.
+        offset = len(payload) - 3 * 8 - 4 + 4
+        payload[offset : offset + 8] = np.float64(-1.0).tobytes()
+        with pytest.raises(wire.CodecError):
+            wire.decode_local_model(bytes(payload))
+
+
+class TestSharedIntegrityHelpers:
+    @settings(max_examples=60, deadline=None)
+    @given(payload=st.binary(max_size=256))
+    def test_stamp_and_verify_agree(self, payload):
+        from repro.faults.integrity import crc_matches, payload_crc32
+
+        stamp = payload_crc32(payload)
+        assert 0 <= stamp <= 0xFFFFFFFF
+        assert crc_matches(payload, stamp)
+        assert crc_matches(payload, stamp | (1 << 32))  # masked like zlib
+
+    @settings(max_examples=60, deadline=None)
+    @given(payload=st.binary(min_size=1, max_size=256), data=st.data())
+    def test_any_bit_flip_is_caught(self, payload, data):
+        from repro.faults.integrity import crc_matches, payload_crc32
+
+        stamp = payload_crc32(payload)
+        index = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        corrupted = bytearray(payload)
+        corrupted[index] ^= flip
+        assert not crc_matches(bytes(corrupted), stamp)
+
+    def test_simulated_network_uses_the_shared_stamp(self):
+        from repro.distributed.network import SimulatedNetwork
+        from repro.faults.integrity import payload_crc32
+
+        message = SimulatedNetwork().send(0, -1, "local_model", b"payload")
+        assert message.payload_crc == payload_crc32(b"payload")
+        assert message.payload_crc == wire.payload_crc32(b"payload")
