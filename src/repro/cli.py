@@ -168,6 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="'chaos': payload corruption probability layered on the mode",
     )
     parser.add_argument(
+        "--transport",
+        default="simulated",
+        choices=["simulated", "socket"],
+        help="'chaos': run the sweep over the simulated network or "
+        "against a live socket service with real fault injection",
+    )
+    parser.add_argument(
+        "--probe-messages",
+        type=int,
+        default=2,
+        help="'chaos --transport socket': health probes per site through "
+        "the same resilient link (gives circuit breakers traffic)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="'trace': tiny run + schema/reconciliation validation (CI gate)",
@@ -434,6 +448,53 @@ def main(argv: list[str] | None = None) -> int:
                         file=sys.stderr,
                     )
             path = write_report(report, args.bench_out)
+            print(f"wrote {path}")
+        elif command == "chaos" and args.transport == "socket":
+            from repro.experiments.chaos import (
+                DEFAULT_SOCKET_CHAOS_PATH,
+                record_socket_chaos_run,
+                run_socket_chaos_sweep,
+                socket_chaos_table,
+                write_chaos_report,
+            )
+            from repro.faults.transport import BreakerPolicy
+
+            probs = tuple(
+                float(p) for p in args.failure_probs.split(",") if p.strip()
+            )
+            chaos_report = run_socket_chaos_sweep(
+                dataset=args.dataset,
+                cardinality=args.cardinality,
+                n_sites=args.sites,
+                failure_probs=probs,
+                trials=args.trials,
+                mode=args.chaos_mode,
+                scheme=args.scheme,
+                seed=args.seed,
+                corrupt_rate=args.corrupt_rate,
+                probe_messages=args.probe_messages,
+                breaker_policy=BreakerPolicy(
+                    failure_threshold=2, cooldown_s=0.5
+                ),
+            )
+            print(socket_chaos_table(chaos_report).to_text())
+            if not args.no_registry:
+                try:
+                    record = record_socket_chaos_run(
+                        chaos_report, args.registry
+                    )
+                    print(f"recorded {record['run_id']} in {args.registry}")
+                except Exception as error:
+                    print(
+                        f"warning: could not record run: {error}",
+                        file=sys.stderr,
+                    )
+            out_path = (
+                args.chaos_out
+                if args.chaos_out != "BENCH_chaos.json"
+                else DEFAULT_SOCKET_CHAOS_PATH
+            )
+            path = write_chaos_report(chaos_report, out_path)
             print(f"wrote {path}")
         elif command == "chaos":
             from repro.experiments.chaos import (

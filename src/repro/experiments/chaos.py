@@ -40,14 +40,20 @@ from repro.quality.degraded import evaluate_degraded_quality
 __all__ = [
     "ChaosTrial",
     "run_chaos_sweep",
+    "run_socket_chaos_sweep",
     "flat_metrics",
+    "flat_socket_metrics",
     "record_chaos_run",
+    "record_socket_chaos_run",
     "chaos_table",
+    "socket_chaos_table",
     "write_chaos_report",
     "DEFAULT_CHAOS_PATH",
+    "DEFAULT_SOCKET_CHAOS_PATH",
 ]
 
 DEFAULT_CHAOS_PATH = "BENCH_chaos.json"
+DEFAULT_SOCKET_CHAOS_PATH = "BENCH_socket_chaos.json"
 
 _MODES = ("sites", "links", "chaos")
 
@@ -364,6 +370,318 @@ def run_chaos_sweep(
     }
 
 
+def run_socket_chaos_sweep(
+    *,
+    dataset: str = "A",
+    cardinality: int | None = None,
+    n_sites: int = 4,
+    failure_probs: tuple[float, ...] = (0.0, 0.25, 0.5),
+    trials: int = 1,
+    mode: str = "chaos",
+    scheme: str = "rep_scor",
+    seed: int = 42,
+    transport_policy: TransportPolicy | None = None,
+    breaker_policy=None,
+    corrupt_rate: float = 0.0,
+    probe_messages: int = 2,
+) -> dict:
+    """The chaos sweep against a *live* socket service.
+
+    Each trial boots a fresh :class:`~repro.service.server.DBDCService`
+    and runs every site sequentially through
+    :class:`~repro.service.faulting.FaultingSocketTransport` +
+    :class:`~repro.faults.transport.ResilientTransport`, so the same
+    seed-keyed :class:`FaultPlan` DSL that drives the simulated sweeps
+    sabotages actual TCP connections: injected drops and truncations
+    drive the real retry loop, corrupted frames hit the server's CRC
+    quarantine, and per-link circuit breakers trip on the real link.
+    Sites run in site-id order and injection is keyed by per-link call
+    counters, so retry/drop/breaker counts reproduce across machines —
+    only wall-clock metrics are machine-bound.
+
+    Args:
+        dataset: one of the paper's data sets (A/B/C).
+        cardinality: optional data set size override.
+        n_sites: client sites per trial.
+        failure_probs: the swept probabilities.
+        trials: independent fault seeds per probability.
+        mode: ``"sites"`` / ``"links"`` / ``"chaos"``.
+        scheme: local model scheme.
+        seed: partitioning/dataset seed; fault seeds derive from it.
+        transport_policy: retry/backoff override (default: a tight
+            socket-friendly policy — short timeouts, small real sleeps).
+        breaker_policy: optional per-link circuit breaker
+            (:class:`~repro.faults.transport.BreakerPolicy`).
+        corrupt_rate: corruption probability layered on the mode's link
+            faults.
+        probe_messages: extra health probes per site through the same
+            resilient transport (gives breakers enough traffic to trip
+            and recover).
+
+    Returns:
+        A machine-readable report dict shaped like the simulated sweep's.
+    """
+    import time as _time
+
+    from repro.clustering.labels import NOISE
+    from repro.distributed.partition import partition, split
+    from repro.distributed.site import ClientSite
+    from repro.faults.transport import ResilientTransport
+    from repro.service import wire
+    from repro.service.client import ServiceClient
+    from repro.service.faulting import FaultingSocketTransport
+    from repro.service.server import ServiceConfig, ServiceHandle
+    from repro.service.transport import ServiceError, SocketTransport
+
+    if mode not in _MODES:
+        raise ValueError(f"unknown chaos mode {mode!r}; known: {_MODES}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 0.0 <= corrupt_rate <= 1.0:
+        raise ValueError(f"corrupt_rate must be in [0, 1], got {corrupt_rate}")
+    policy = transport_policy or TransportPolicy(
+        timeout_s=0.2,
+        max_attempts=4,
+        backoff_base_s=0.01,
+        backoff_cap_s=0.05,
+    )
+    data = load_dataset(dataset, cardinality=cardinality)
+    central, central_seconds = central_reference(
+        data.points, data.eps_local, data.min_pts
+    )
+    assignment = partition(data.points, n_sites, seed=seed)
+    parts = split(data.points, assignment)
+
+    sweep = []
+    for prob_index, prob in enumerate(failure_probs):
+        rows = []
+        for trial in range(trials):
+            fault_seed = seed + 1000 * prob_index + trial
+            plan = _plan_for(mode, prob, fault_seed, corrupt_rate)
+            trial_start = _time.perf_counter()
+            handle = ServiceHandle.start(ServiceConfig(metrics_port=None))
+            sites: dict[int, ClientSite] = {}
+            verdicts: dict[int, str] = {}
+            retries = drops = truncations = corruptions = 0
+            fast_fails = breaker_changes = 0
+            n_crashed = n_stragglers = n_silent = 0
+            try:
+                for site_id in range(n_sites):
+                    behavior = plan.resolve_site(site_id)
+                    if behavior.crashes_before_local:
+                        verdicts[site_id] = "crashed"
+                        n_crashed += 1
+                        continue
+                    if behavior.slowdown > 1.0:
+                        n_stragglers += 1
+                    site = ClientSite(
+                        site_id,
+                        parts[site_id],
+                        eps_local=data.eps_local,
+                        min_pts_local=data.min_pts,
+                        scheme=scheme,
+                    )
+                    model = site.run_local_clustering()
+                    socket_transport = SocketTransport(
+                        handle.host,
+                        handle.port,
+                        site_id=site_id,
+                        timeout_s=10.0,
+                    )
+                    with socket_transport:
+                        injector = FaultingSocketTransport(
+                            socket_transport, plan
+                        )
+                        resilient = ResilientTransport(
+                            injector,
+                            FaultPlan.none(),
+                            policy,
+                            breaker_policy=breaker_policy,
+                            retryable_errors=FaultingSocketTransport.RETRYABLE,
+                            sleep=_time.sleep,
+                        )
+                        clock = 0.0
+                        verdict = "failed"
+                        try:
+                            outcome = resilient.deliver(
+                                site_id,
+                                wire.SERVER_ID,
+                                "local_model",
+                                wire.encode_local_model(model),
+                                start_s=clock,
+                            )
+                            clock += outcome.sim_seconds
+                            verdict = (
+                                "admitted" if outcome.delivered else "failed"
+                            )
+                        except ServiceError as error:
+                            # A protocol verdict (quarantine), not a
+                            # transport failure: no retry, by design.
+                            verdict = error.status
+                            clock += policy.timeout_s
+                        # Probe traffic on the same link: enough messages
+                        # for breakers to trip (and recover) on links the
+                        # plan keeps sabotaging.
+                        for __probe in range(probe_messages):
+                            probe = resilient.deliver(
+                                site_id,
+                                wire.SERVER_ID,
+                                "health",
+                                b"",
+                                start_s=clock,
+                            )
+                            clock += probe.sim_seconds
+                        stats = resilient.stats
+                        retries += stats.n_retries
+                        drops += injector.n_dropped
+                        truncations += injector.n_truncated
+                        corruptions += injector.n_corrupted
+                        fast_fails += stats.n_fast_failed
+                        breaker_changes += stats.n_breaker_state_changes
+                    verdicts[site_id] = verdict
+                    if verdict == "admitted":
+                        if behavior.crashes_after_send:
+                            verdicts[site_id] = "crashed_after_send"
+                            n_silent += 1
+                        else:
+                            sites[site_id] = site
+                # One operator fetch; relabel the surviving sites.
+                global_model = None
+                if sites:
+                    with ServiceClient(
+                        handle.host, handle.port, timeout_s=10.0
+                    ) as client:
+                        global_model = client.await_global_model(
+                            timeout_s=10.0
+                        )
+                labels = np.full(data.points.shape[0], NOISE, dtype=np.intp)
+                if global_model is not None:
+                    for site_id, site in sites.items():
+                        site.receive_global_model(global_model)
+                        labels[np.flatnonzero(assignment == site_id)] = (
+                            site.global_labels
+                        )
+            finally:
+                handle.stop()
+            failed_sites = sorted(
+                site_id
+                for site_id in range(n_sites)
+                if site_id not in sites
+            )
+            quality = evaluate_degraded_quality(
+                labels,
+                central.labels,
+                assignment=assignment,
+                failed_sites=failed_sites,
+                n_sites=n_sites,
+                qp=data.min_pts,
+            )
+            n_admitted = sum(
+                1
+                for verdict in verdicts.values()
+                if verdict in ("admitted", "crashed_after_send")
+            )
+            rows.append(
+                {
+                    "fault_seed": fault_seed,
+                    "verdicts": {
+                        str(site_id): verdicts[site_id]
+                        for site_id in sorted(verdicts)
+                    },
+                    "n_admitted": n_admitted,
+                    "n_quarantined": sum(
+                        1
+                        for verdict in verdicts.values()
+                        if verdict == "quarantined"
+                    ),
+                    "n_failed_sites": len(failed_sites),
+                    "n_crashed": n_crashed,
+                    "n_stragglers": n_stragglers,
+                    "retries": retries,
+                    "drops": drops,
+                    "truncations": truncations,
+                    "corruptions": corruptions,
+                    "fast_fails": fast_fails,
+                    "breaker_state_changes": breaker_changes,
+                    "q_p1_overall": quality.overall.q_p1_percent,
+                    "q_p2_overall": quality.overall.q_p2_percent,
+                    "q_p2_surviving": (
+                        quality.surviving.q_p2_percent
+                        if quality.surviving is not None
+                        else None
+                    ),
+                    "wall_seconds": _time.perf_counter() - trial_start,
+                }
+            )
+        surviving_values = [
+            row["q_p2_surviving"]
+            for row in rows
+            if row["q_p2_surviving"] is not None
+        ]
+        sweep.append(
+            {
+                "failure_prob": float(prob),
+                "trials": rows,
+                "mean_q_p1_overall": float(
+                    np.mean([row["q_p1_overall"] for row in rows])
+                ),
+                "mean_q_p2_overall": float(
+                    np.mean([row["q_p2_overall"] for row in rows])
+                ),
+                "mean_q_p2_surviving": (
+                    float(np.mean(surviving_values))
+                    if surviving_values
+                    else None
+                ),
+                "total_retries": int(sum(row["retries"] for row in rows)),
+                "total_drops": int(sum(row["drops"] for row in rows)),
+                "total_truncations": int(
+                    sum(row["truncations"] for row in rows)
+                ),
+                "total_corruptions": int(
+                    sum(row["corruptions"] for row in rows)
+                ),
+                "total_fast_fails": int(
+                    sum(row["fast_fails"] for row in rows)
+                ),
+                "total_breaker_state_changes": int(
+                    sum(row["breaker_state_changes"] for row in rows)
+                ),
+                "total_failed_sites": int(
+                    sum(row["n_failed_sites"] for row in rows)
+                ),
+                "total_quarantined": int(
+                    sum(row["n_quarantined"] for row in rows)
+                ),
+            }
+        )
+    environment = run_environment()
+    return {
+        "bench": "socket_chaos",
+        "meta": {
+            "dataset": data.name,
+            "cardinality": int(data.n),
+            "n_sites": int(n_sites),
+            "mode": mode,
+            "scheme": scheme,
+            "trials": int(trials),
+            "seed": int(seed),
+            "corrupt_rate": float(corrupt_rate),
+            "probe_messages": int(probe_messages),
+            "transport": "socket",
+            "central_seconds": float(central_seconds),
+            "created_utc": utc_now_iso(),
+            "git_rev": environment["git_rev"],
+            "git_dirty": environment["git_dirty"],
+            "cpu_count": environment["cpu_count"],
+            "python": environment["python"],
+            "numpy": environment["numpy"],
+            "platform": environment["platform"],
+        },
+        "sweep": sweep,
+    }
+
+
 def flat_metrics(report: dict) -> dict[str, float]:
     """Flatten a chaos sweep into RunRecord metrics.
 
@@ -418,6 +736,110 @@ def record_chaos_run(report: dict, registry_root: str) -> dict:
     )
     meta["run_id"] = record["run_id"]
     return record
+
+
+def flat_socket_metrics(report: dict) -> dict[str, float]:
+    """Flatten a socket-chaos sweep into RunRecord metrics.
+
+    Retry/drop/failure counters are deterministic (injection is keyed
+    by per-link call counters and sites run sequentially), so the
+    regression gate's count rules bite cross-machine; only the
+    ``wall_seconds`` entries are timing-tagged away by
+    ``--ignore-timing``.  ``socket_chaos.completed_identical`` is the
+    zero-tolerance flag that the sweep ran to completion.
+    """
+    out: dict[str, float] = {}
+    for point in report["sweep"]:
+        p = f"p={point['failure_prob']:g}"
+        out[f"socket_chaos.q_p1_overall_percent[{p}]"] = point[
+            "mean_q_p1_overall"
+        ]
+        out[f"socket_chaos.q_p2_overall_percent[{p}]"] = point[
+            "mean_q_p2_overall"
+        ]
+        if point["mean_q_p2_surviving"] is not None:
+            out[f"socket_chaos.q_p2_surviving_percent[{p}]"] = point[
+                "mean_q_p2_surviving"
+            ]
+        out[f"socket_chaos.retries[{p}]"] = point["total_retries"]
+        out[f"socket_chaos.drops[{p}]"] = point["total_drops"]
+        out[f"socket_chaos.truncations[{p}]"] = point["total_truncations"]
+        out[f"socket_chaos.corruptions[{p}]"] = point["total_corruptions"]
+        out[f"socket_chaos.breaker_fast_fails[{p}]"] = point[
+            "total_fast_fails"
+        ]
+        out[f"socket_chaos.breaker_state_changes[{p}]"] = point[
+            "total_breaker_state_changes"
+        ]
+        out[f"socket_chaos.failed_sites[{p}]"] = point["total_failed_sites"]
+        out[f"socket_chaos.quarantined[{p}]"] = point["total_quarantined"]
+        out[f"socket_chaos.wall_seconds[{p}]"] = float(
+            sum(row["wall_seconds"] for row in point["trials"])
+        )
+    out["socket_chaos.completed_identical"] = 1.0
+    return out
+
+
+def record_socket_chaos_run(report: dict, registry_root: str) -> dict:
+    """Append one socket-chaos report to the run registry."""
+    from repro.obs.registry import RunRegistry
+
+    meta = report["meta"]
+    record = RunRegistry(registry_root).record(
+        "socket-chaos",
+        config={
+            key: meta[key]
+            for key in (
+                "dataset", "cardinality", "n_sites", "mode", "scheme",
+                "trials", "seed", "corrupt_rate", "probe_messages",
+            )
+        },
+        metrics=flat_socket_metrics(report),
+        artifacts={"BENCH_socket_chaos.json": report},
+    )
+    meta["run_id"] = record["run_id"]
+    return record
+
+
+def socket_chaos_table(report: dict) -> ExperimentTable:
+    """Render a socket-chaos sweep as an experiment table."""
+    meta = report["meta"]
+    table = ExperimentTable(
+        f"Socket chaos — data set {meta['dataset']} ({meta['n_sites']} "
+        f"sites, mode={meta['mode']}, {meta['trials']} trials/point, "
+        "real TCP)",
+        [
+            "failure prob",
+            "P^II overall [%]",
+            "P^II surviving [%]",
+            "failed sites",
+            "retries",
+            "drops",
+            "trunc",
+            "corrupt",
+            "fast-fails",
+            "breaker transitions",
+        ],
+    )
+    for point in report["sweep"]:
+        surviving = point["mean_q_p2_surviving"]
+        table.add_row(
+            point["failure_prob"],
+            point["mean_q_p2_overall"],
+            surviving if surviving is not None else float("nan"),
+            point["total_failed_sites"],
+            point["total_retries"],
+            point["total_drops"],
+            point["total_truncations"],
+            point["total_corruptions"],
+            point["total_fast_fails"],
+            point["total_breaker_state_changes"],
+        )
+    table.add_note(
+        "faults injected into real TCP connections; retries/breaker "
+        "transitions are deterministic per seed, wall time is not"
+    )
+    return table
 
 
 def chaos_table(report: dict) -> ExperimentTable:

@@ -270,6 +270,16 @@ class ResilientTransport:
             drops, truncations, duplicates, corruptions, bytes per
             message kind) and ``breaker.*`` counters when breakers are
             enabled.
+        retryable_errors: exception types from ``network.send`` treated
+            as a lost attempt (charged a timeout, retried with backoff)
+            instead of propagating.  The socket path passes ``OSError``
+            and :class:`~repro.service.wire.WireError` here so real
+            connection failures drive the same retry loop the simulated
+            drops do.  The default ``()`` catches nothing — simulated
+            runs are byte-identical to before this seam existed.
+        sleep: optional callable taking seconds; when set, backoff
+            delays are *really* slept (socket mode), not only added to
+            the simulated clock.
     """
 
     def __init__(
@@ -280,12 +290,16 @@ class ResilientTransport:
         *,
         breaker_policy: BreakerPolicy | None = None,
         metrics=None,
+        retryable_errors: tuple = (),
+        sleep=None,
     ) -> None:
         self.network = network
         self.plan = plan
         self.policy = policy or TransportPolicy()
         self.breaker_policy = breaker_policy
         self.metrics = metrics
+        self.retryable_errors = tuple(retryable_errors)
+        self._sleep = sleep
         self.stats = TransportStats()
         self._sequences: dict[tuple[int, int, str], _LinkSequence] = {}
         self._breakers: dict[int, _LinkBreaker] = {}
@@ -419,7 +433,21 @@ class ResilientTransport:
                 n_truncated += 1
                 elapsed += message.sim_seconds + jitter
             else:
-                message = self.network.send(sender, receiver, kind, payload)
+                try:
+                    message = self.network.send(sender, receiver, kind, payload)
+                except self.retryable_errors:
+                    # A real transport failure (socket reset, truncated
+                    # response, injected fault): charge it like an
+                    # in-flight drop and let the retry loop run.
+                    bytes_sent += len(payload)
+                    n_dropped += 1
+                    elapsed += policy.timeout_s
+                    if attempt < policy.max_attempts:
+                        backoff = policy.backoff_seconds(attempt, u_backoff)
+                        elapsed += backoff
+                        if self._sleep is not None:
+                            self._sleep(backoff)
+                    continue
                 bytes_sent += message.n_bytes
                 elapsed += message.sim_seconds + jitter
                 if u_reorder < faults.reorder_prob:

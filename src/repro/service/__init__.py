@@ -10,27 +10,41 @@ behind a versioned binary wire protocol:
   :class:`SocketTransport` implement.
 * :mod:`repro.service.server` — the asyncio :class:`DBDCService`.
 * :mod:`repro.service.client` — the blocking :class:`ServiceClient`.
-* :mod:`repro.service.worker` — the site-worker process body.
+* :mod:`repro.service.worker` — the site-worker process body (one-shot
+  and streaming-session loops).
+* :mod:`repro.service.faulting` — socket-level fault injection
+  (:class:`FaultingSocketTransport` replays the FaultPlan DSL against
+  real connections).
 * :mod:`repro.service.bench` — the sustained-load bench behind
-  ``python -m repro serve-bench``.
+  ``python -m repro serve-bench`` (plus the multi-process client sweep).
 
-See ``docs/service.md`` for the wire format tables and deployment
-topology.
+See ``docs/service.md`` for the wire format tables, the
+streaming-session state machine and deployment topology.
 """
 
 from repro.service.client import ServiceClient
+from repro.service.faulting import FaultingSocketTransport, InjectedFault
 from repro.service.server import DBDCService, ServiceConfig, ServiceHandle
 from repro.service.transport import ServiceError, SocketTransport, Transport
-from repro.service.worker import SiteWorkerResult, run_site_worker
+from repro.service.worker import (
+    SiteSessionResult,
+    SiteWorkerResult,
+    run_site_worker,
+    run_site_worker_session,
+)
 
 __all__ = [
     "DBDCService",
+    "FaultingSocketTransport",
+    "InjectedFault",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "ServiceHandle",
+    "SiteSessionResult",
     "SiteWorkerResult",
     "SocketTransport",
     "Transport",
     "run_site_worker",
+    "run_site_worker_session",
 ]

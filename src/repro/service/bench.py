@@ -40,8 +40,11 @@ from repro.service.worker import run_site_worker
 
 __all__ = [
     "run_serve_bench",
+    "run_client_sweep",
     "format_serve_summary",
+    "format_sweep_summary",
     "record_serve_bench",
+    "record_client_sweep",
     "main",
 ]
 
@@ -249,6 +252,223 @@ def run_serve_bench(
     return report
 
 
+def _sweep_worker(
+    host: str,
+    port: int,
+    dataset: str,
+    cardinality: int | None,
+    n_queries: int,
+    query_batch: int,
+    client_index: int,
+    n_clients: int,
+    out_queue,
+) -> None:
+    """One sweep client *process*: connect, walk its query slice, report.
+
+    Module-level so the ``spawn`` start method can import it; the child
+    reloads the data set itself (deterministic for a fixed name/size),
+    so nothing is pickled but scalars.
+    """
+    data = load_dataset(dataset, cardinality=cardinality)
+    points = data.points
+    n_points = points.shape[0]
+    indices = list(range(client_index, n_queries, n_clients))
+    n_ok = n_failed = 0
+    start = time.perf_counter()
+    try:
+        with ServiceClient(host, port) as service:
+            for index in indices:
+                lo = (index * query_batch) % max(n_points - query_batch, 1)
+                batch = points[lo : lo + query_batch]
+                labels = service.query(batch)
+                if labels.size == batch.shape[0]:
+                    n_ok += 1
+                else:
+                    n_failed += 1
+    except Exception:
+        n_failed += len(indices) - n_ok
+    out_queue.put((client_index, n_ok, n_failed, time.perf_counter() - start))
+
+
+def run_client_sweep(
+    *,
+    dataset: str = "A",
+    cardinality: int | None = None,
+    n_sites: int = 4,
+    client_counts: tuple[int, ...] = (8, 16, 32),
+    n_queries: int = 256,
+    query_batch: int = 256,
+    scheme: str = "rep_scor",
+    seed: int = 42,
+) -> dict:
+    """Query-throughput sweep with *separate client processes*.
+
+    The thread-based bench shares one GIL across all clients, so it
+    understates what a deployment of independent site processes can pull
+    from the service.  This sweep boots one service, uploads the models
+    once, then for each client count spawns that many real processes
+    (``multiprocessing`` spawn — each with its own interpreter and
+    connection) and splits ``n_queries`` across them.
+
+    Args:
+        dataset: data set name (A/B/C).
+        cardinality: data set size override.
+        n_sites: client sites uploading models.
+        client_counts: the swept process counts.
+        n_queries: total label queries per swept point.
+        query_batch: points per label query.
+        scheme: local model scheme.
+        seed: partitioning seed.
+
+    Returns:
+        A JSON-able report with a flat ``metrics`` dict — throughput
+        entries are timing-tagged (``*_rps``), failure counts gate at
+        zero (``*failed*``).
+    """
+    import multiprocessing
+
+    data = load_dataset(dataset, cardinality=cardinality)
+    points = data.points
+    assignment = partition(points, n_sites, seed=seed)
+    parts = split(points, assignment)
+
+    report: dict = {
+        "meta": {
+            "dataset": data.name,
+            "cardinality": int(points.shape[0]),
+            "n_sites": n_sites,
+            "client_counts": [int(count) for count in client_counts],
+            "n_queries": n_queries,
+            "query_batch": query_batch,
+            "scheme": scheme,
+            "seed": seed,
+        }
+    }
+    metrics: dict[str, float] = {}
+    sweep_rows = []
+    context = multiprocessing.get_context("spawn")
+    bench_start = time.perf_counter()
+    with ServiceHandle.start(
+        ServiceConfig(expected_sites=n_sites, metrics_port=None)
+    ) as handle:
+        upload_threads = [
+            threading.Thread(
+                target=run_site_worker,
+                args=(handle.host, handle.port, site_id, parts[site_id]),
+                kwargs={
+                    "eps_local": data.eps_local,
+                    "min_pts_local": data.min_pts,
+                    "scheme": scheme,
+                },
+            )
+            for site_id in range(n_sites)
+        ]
+        for thread in upload_threads:
+            thread.start()
+        for thread in upload_threads:
+            thread.join()
+
+        for n_clients in client_counts:
+            out_queue = context.Queue()
+            processes = [
+                context.Process(
+                    target=_sweep_worker,
+                    args=(
+                        handle.host,
+                        handle.port,
+                        dataset,
+                        cardinality,
+                        n_queries,
+                        query_batch,
+                        client_index,
+                        n_clients,
+                        out_queue,
+                    ),
+                )
+                for client_index in range(n_clients)
+            ]
+            sweep_start = time.perf_counter()
+            for process in processes:
+                process.start()
+            results = [out_queue.get() for __ in processes]
+            for process in processes:
+                process.join()
+            wall = time.perf_counter() - sweep_start
+            n_ok = sum(row[1] for row in results)
+            n_failed = sum(row[2] for row in results)
+            # Process exits without a result (crash before the queue
+            # put) would show up here as missing queries.
+            n_failed += max(0, n_queries - n_ok - n_failed)
+            throughput = n_ok / wall if wall > 0 else 0.0
+            label = f"clients={n_clients}"
+            metrics[f"serve.sweep_query_throughput_rps[{label}]"] = throughput
+            metrics[f"serve.sweep_query_failed[{label}]"] = float(n_failed)
+            metrics[f"serve.sweep_queries_count[{label}]"] = float(n_ok)
+            metrics[f"serve.sweep_wall_seconds[{label}]"] = wall
+            sweep_rows.append(
+                {
+                    "n_clients": int(n_clients),
+                    "n_ok": int(n_ok),
+                    "n_failed": int(n_failed),
+                    "wall_seconds": wall,
+                    "throughput_rps": throughput,
+                }
+            )
+    metrics["serve.sweep_total_wall_seconds"] = (
+        time.perf_counter() - bench_start
+    )
+    metrics["serve.sweep_clients_max"] = float(max(client_counts, default=0))
+    report["sweep"] = sweep_rows
+    report["metrics"] = metrics
+    return report
+
+
+def format_sweep_summary(report: dict) -> str:
+    """Human-readable client-sweep summary."""
+    meta = report["meta"]
+    lines = [
+        f"serve-bench client sweep: data set {meta['dataset']} "
+        f"({meta['cardinality']} objects, {meta['n_sites']} sites) — "
+        f"{meta['n_queries']} queries of {meta['query_batch']} points per "
+        "point, separate client processes",
+    ]
+    for row in report["sweep"]:
+        lines.append(
+            f"  {row['n_clients']:4d} clients: "
+            f"{row['throughput_rps']:8.1f} queries/s  "
+            f"({row['n_ok']} ok, {row['n_failed']} failed, "
+            f"{row['wall_seconds']:.2f}s)"
+        )
+    return "\n".join(lines)
+
+
+def record_client_sweep(report: dict, registry_root: str = ".runs") -> dict:
+    """Append the client sweep to the registry (``serve-sweep`` record)."""
+    from repro.obs.registry import RunRegistry
+
+    meta = report["meta"]
+    record = RunRegistry(registry_root).record(
+        "serve-sweep",
+        config={
+            key: meta[key]
+            for key in (
+                "dataset",
+                "cardinality",
+                "n_sites",
+                "client_counts",
+                "n_queries",
+                "query_batch",
+                "scheme",
+                "seed",
+            )
+        },
+        metrics=report["metrics"],
+        artifacts={"BENCH_serve_sweep.json": report},
+    )
+    meta["run_id"] = record["run_id"]
+    return record
+
+
 def format_serve_summary(report: dict) -> str:
     """Human-readable bench summary."""
     meta = report["meta"]
@@ -333,6 +553,18 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=42, help="partition seed")
     parser.add_argument(
+        "--client-sweep",
+        default="",
+        help="comma-separated client *process* counts; when set, run the "
+        "multi-process throughput sweep after the bench (own RunRecord)",
+    )
+    parser.add_argument(
+        "--sweep-queries",
+        type=int,
+        default=256,
+        help="total label queries per swept client count",
+    )
+    parser.add_argument(
         "--registry", default=".runs", help="run registry root"
     )
     parser.add_argument(
@@ -371,4 +603,29 @@ def main(argv: list[str] | None = None) -> int:
         or report["metrics"]["serve.upload_failed"]
         or report["metrics"]["serve.query_failed"]
     )
+    if args.client_sweep:
+        counts = tuple(
+            int(part) for part in args.client_sweep.split(",") if part.strip()
+        )
+        sweep = run_client_sweep(
+            dataset=args.dataset,
+            cardinality=args.cardinality,
+            n_sites=args.sites,
+            client_counts=counts,
+            n_queries=args.sweep_queries,
+            query_batch=args.query_batch,
+            scheme=args.scheme,
+            seed=args.seed,
+        )
+        print(format_sweep_summary(sweep))
+        if not args.no_registry:
+            try:
+                record = record_client_sweep(sweep, args.registry)
+                print(f"recorded {record['run_id']} in {args.registry}")
+            except Exception as error:
+                print(
+                    f"warning: could not record run: {error}", file=sys.stderr
+                )
+        if any(row["n_failed"] for row in sweep["sweep"]):
+            failed = True
     return 1 if failed else 0

@@ -106,6 +106,68 @@ class ServiceClient:
         )
         return wire.decode_global_model(response.payload)
 
+    # ------------------------------------------------------------------
+    # streaming sessions
+    # ------------------------------------------------------------------
+    def open_round(self, round_index: int) -> str:
+        """Open streaming round ``round_index`` (idempotent per round).
+
+        Raises:
+            ServiceError: ``status == "bad_round"`` when the index is
+                not the next round (or another round is still open).
+        """
+        response = self.transport.request(
+            wire.FrameKind.ROUND_OPEN, wire.encode_round_open(round_index)
+        )
+        status, __ = wire.decode_status(response.payload)
+        return status
+
+    def commit_round(self, round_index: int) -> str:
+        """Explicitly commit round ``round_index`` (partial rounds).
+
+        Sessions running with ``expected_sites`` auto-commit; this verb
+        closes a round early when some sites are known lost.
+        """
+        response = self.transport.request(
+            wire.FrameKind.ROUND_COMMIT, wire.encode_round_commit(round_index)
+        )
+        status, __ = wire.decode_status(response.payload)
+        return status
+
+    def await_model_delta(
+        self,
+        round_index: int,
+        known_model: GlobalModel | None = None,
+        *,
+        timeout_s: float = 30.0,
+    ) -> GlobalModel:
+        """Block until ``round_index`` commits, then fetch the model.
+
+        Representatives strictly append across rounds, so the reply only
+        carries the representatives beyond ``known_model`` plus the full
+        (small) label vector; the client reassembles the complete model.
+
+        Args:
+            round_index: the round whose commit to wait for.
+            known_model: the model from the previous round (``None`` on
+                round 0 — the full model is shipped).
+            timeout_s: how long the server may hold the request open.
+
+        Raises:
+            ServiceError: ``"no_model"`` on timeout, ``"shutting_down"``
+                when the service stops first, ``"bad_delta"`` when
+                ``known_model`` is not a prefix of the server's model.
+        """
+        known = (
+            0 if known_model is None else len(known_model.representatives)
+        )
+        response = self.transport.request(
+            wire.FrameKind.MODEL_DELTA,
+            wire.encode_delta_request(round_index, known, timeout_s),
+        )
+        delta = wire.decode_model_delta(response.payload)
+        return wire.apply_model_delta(known_model, delta)
+
     def query(self, points: np.ndarray) -> np.ndarray:
         """Label a batch of points against the current global model.
 

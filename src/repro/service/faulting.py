@@ -1,0 +1,172 @@
+"""Socket-level fault injection: the FaultPlan DSL on real connections.
+
+:class:`FaultingSocketTransport` sits between
+:class:`~repro.faults.transport.ResilientTransport` and a
+:class:`~repro.service.transport.SocketTransport` and sabotages *actual*
+TCP traffic the way the simulated network sabotages accounting entries:
+drops (nothing hits the wire, the attempt errors), truncation (a prefix
+of a real frame is written and the connection torn down mid-payload),
+corruption (a full frame whose payload bytes were flipped in flight, so
+the server's CRC check quarantines it), and jitter (real sleeps).
+
+Each decision comes from the plan's seeded RNG streams — keyed by link,
+message kind and a per-link call counter, never by wall clock — so a
+seeded chaos run against a live service reproduces the same drop/retry
+trace on every machine.
+
+The injector implements the :class:`~repro.service.transport.Transport`
+protocol as ONE attempt per ``send``: retries stay where they belong, in
+:class:`ResilientTransport`, which must be constructed with
+``retryable_errors=FaultingSocketTransport.RETRYABLE`` so injected
+failures drive its retry/backoff/breaker loop instead of propagating.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.distributed.network import Message
+from repro.faults.plan import FaultPlan
+from repro.faults.transport import ResilientTransport
+from repro.service import wire
+from repro.service.transport import (
+    _KIND_TO_FRAME,
+    ServiceError,
+    SocketTransport,
+)
+
+__all__ = ["InjectedFault", "FaultingSocketTransport"]
+
+
+class InjectedFault(ConnectionError):
+    """An injected socket-level failure (a subclass of ``OSError``, so
+    generic socket error handling treats it like the real thing)."""
+
+
+class FaultingSocketTransport:
+    """A :class:`Transport` that injects plan-driven faults into a real
+    socket connection.
+
+    Args:
+        inner: the live connection to sabotage.
+        plan: the seed-keyed fault plan deciding what goes wrong.
+        sleep: the jitter sleep (monkeypatch in tests to keep them fast).
+
+    Attributes:
+        n_sends: ``send`` calls made.
+        n_dropped: attempts dropped before touching the wire.
+        n_truncated: attempts cut off mid-frame on the wire.
+        n_corrupted: attempts delivered with flipped payload bytes.
+    """
+
+    #: Exception types ``ResilientTransport`` must treat as a lost
+    #: attempt when this injector is in the path: injected faults and
+    #: real socket errors are ``OSError``; a torn-down connection can
+    #: also surface as a truncated response frame.
+    RETRYABLE: tuple = (OSError, wire.WireError)
+
+    def __init__(
+        self,
+        inner: SocketTransport,
+        plan: FaultPlan,
+        *,
+        sleep=time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._sleep = sleep
+        self._calls: dict[tuple[int, int, str], int] = {}
+        self.n_sends = 0
+        self.n_dropped = 0
+        self.n_truncated = 0
+        self.n_corrupted = 0
+
+    def _call_index(self, sender: int, receiver: int, kind: str) -> int:
+        key = (sender, receiver, kind)
+        index = self._calls.get(key, 0)
+        self._calls[key] = index + 1
+        return index
+
+    def send(
+        self, sender: int, receiver: int, kind: str, payload: bytes
+    ) -> Message:
+        """One sabotage-eligible attempt over the real connection.
+
+        Raises:
+            InjectedFault: the attempt was dropped or truncated (the
+                retry layer treats it like a socket error).
+            ServiceError: the frame arrived but the service refused it
+                (e.g. a corrupted upload was quarantined) — a protocol
+                verdict, deliberately *not* retryable.
+        """
+        mapping = _KIND_TO_FRAME.get(kind)
+        if mapping is None:
+            raise ValueError(
+                f"kind {kind!r} has no wire mapping; known: "
+                f"{sorted(_KIND_TO_FRAME)}"
+            )
+        frame_kind, __expected = mapping
+        self.n_sends += 1
+        site_end = sender if receiver < 0 else receiver
+        faults = self.plan.link_faults_for(site_end)
+        index = self._call_index(sender, receiver, kind)
+        rng = self.plan.rng_for("socket", site_end, kind, index)
+        # Fixed draw order keeps decisions independent of which fault
+        # rates are enabled — the same property the simulated path pins.
+        u_drop, u_trunc, u_corrupt, u_jitter = rng.random(4)
+
+        if faults.jitter_s > 0.0:
+            self._sleep(faults.jitter_s * u_jitter)
+
+        if u_drop < faults.drop_prob:
+            # Lost in flight: nothing hits the wire, the request/response
+            # stream stays in sync, the attempt just fails.
+            self.n_dropped += 1
+            raise InjectedFault(
+                f"injected drop ({kind!r} call {index} to site {site_end})"
+            )
+
+        frame = wire.encode_frame(
+            frame_kind, payload, site_id=self.inner.site_id
+        )
+
+        if u_trunc < faults.truncate_prob:
+            # Short write: a prefix of the real frame goes out, then the
+            # connection dies mid-payload — the server sees an actual
+            # truncated read.  Closing resyncs the stream; the inner
+            # transport reconnects on the next attempt.
+            keep = max(1, int(len(frame) * (0.1 + 0.8 * rng.random())))
+            keep = min(keep, len(frame) - 1)
+            self.inner.send_raw(frame[:keep])
+            self.inner.close()
+            self.n_truncated += 1
+            raise InjectedFault(
+                f"injected truncation after {keep}/{len(frame)} bytes "
+                f"({kind!r} call {index} to site {site_end})"
+            )
+
+        if payload and u_corrupt < faults.corrupt_prob:
+            # Flipped in flight: the header (length + CRC of the payload
+            # as *sent*) goes out intact, the payload bytes do not — the
+            # receiver's CRC check is the only thing that can tell.
+            flipped = ResilientTransport._flip_bytes(payload, rng)
+            self.inner.send_raw(frame[: wire.HEADER_SIZE] + flipped)
+            self.n_corrupted += 1
+            start = time.perf_counter()
+            response = self.inner.read_frame()
+            elapsed = time.perf_counter() - start
+            self.inner.n_requests += 1
+            self.inner.last_response = response
+            if response.kind == wire.FrameKind.ERROR:
+                status, detail = wire.decode_status(response.payload)
+                raise ServiceError(status, detail)
+            return Message(
+                sender=sender,
+                receiver=receiver,
+                kind=kind,
+                n_bytes=len(payload),
+                sim_seconds=elapsed,
+                payload_crc=wire.payload_crc32(payload),
+            )
+
+        return self.inner.send(sender, receiver, kind, payload)

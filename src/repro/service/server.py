@@ -18,7 +18,20 @@ Concurrency model: one event loop owns all protocol state, so admission
 and build are race-free by construction; only the numpy-heavy label
 relabeling runs in the default executor (on a model snapshot) to keep
 the loop responsive under query load.  Per-connection deadlines bound
-every read, and :meth:`DBDCService.stop` drains connections gracefully.
+every read (one budget per frame, header and payload together), and
+:meth:`DBDCService.stop` drains connections gracefully — in-flight
+waiters receive a typed ``shutting_down`` frame before their connection
+closes.
+
+Streaming sessions (ROUND_OPEN / ROUND_COMMIT / MODEL_DELTA) put the
+incremental protocol behind the same wire: round 0 commits through the
+standard sorted build, every later round folds its admitted models into
+the session model via
+:class:`~repro.core.global_model.GlobalModelRepairer` — representatives
+strictly append, so MODEL_DELTA replies are exact.  Sites submit each
+round's batch under a fresh *effective* site id, which keeps the
+``(site_id, local_cluster_id)`` inheritance keys of the relabel step
+collision-free across rounds.  See ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from functools import partial
 import numpy as np
 
 from repro.clustering.labels import NOISE
+from repro.core.global_model import GlobalModelRepairer
 from repro.core.relabel import relabel_site
 from repro.distributed.server import CentralServer
 from repro.obs import MetricsRegistry
@@ -61,10 +75,16 @@ class ServiceConfig:
         quorum: minimum admitted fraction for a healthy round.
         relabel_kernel: kernel used to answer label queries.
         idle_timeout_s: per-connection deadline — a connection that
-            sends no complete frame for this long is closed.
-        await_timeout_cap_s: upper bound an AWAIT_GLOBAL request may
-            block, whatever timeout the client asked for.
+            sends no complete frame for this long is closed.  The budget
+            covers one *whole* frame: header and payload reads share a
+            single deadline, so a slow-loris client cannot stretch a
+            frame to twice the configured limit.
+        await_timeout_cap_s: upper bound an AWAIT_GLOBAL or MODEL_DELTA
+            request may block, whatever timeout the client asked for.
         max_frame_bytes: reject frames declaring more payload than this.
+        shutdown_grace_s: how long :meth:`DBDCService.stop` waits for
+            in-flight requests (e.g. released AWAIT_GLOBAL waiters) to
+            flush their response frames before cancelling connections.
     """
 
     host: str = "127.0.0.1"
@@ -80,6 +100,7 @@ class ServiceConfig:
     idle_timeout_s: float = 30.0
     await_timeout_cap_s: float = 120.0
     max_frame_bytes: int = wire.DEFAULT_MAX_PAYLOAD
+    shutdown_grace_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.idle_timeout_s <= 0:
@@ -96,6 +117,19 @@ class ServiceConfig:
                 f"max_frame_bytes must be >= {wire.HEADER_SIZE}, "
                 f"got {self.max_frame_bytes}"
             )
+        if self.shutdown_grace_s < 0:
+            raise ValueError(
+                f"shutdown_grace_s must be >= 0, got {self.shutdown_grace_s}"
+            )
+
+
+@dataclass
+class _StreamRound:
+    """State of the streaming session's currently open round."""
+
+    index: int
+    opened_at_s: float
+    models: list = field(default_factory=list)
 
 
 class DBDCService:
@@ -128,12 +162,22 @@ class DBDCService:
         self._asyncio_server: asyncio.AbstractServer | None = None
         self._http_server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
+        self._busy: set[asyncio.Task] = set()
         self._built = asyncio.Event()
         self._shutdown = asyncio.Event()
         self._model_dirty = False
         self._n_builds = 0
         self._started_monotonic = 0.0
         self._frames_total = 0
+        self._n_shutdown_notices = 0
+        # Streaming-session state: activated by the first ROUND_OPEN.
+        self._session_active = False
+        self._round: _StreamRound | None = None
+        self._rounds_committed = 0
+        self._repairer: GlobalModelRepairer | None = None
+        self._session_model = None
+        self._commit_events: dict[int, asyncio.Event] = {}
+        self._n_repairs = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -169,7 +213,15 @@ class DBDCService:
         self.metrics.set("service.up", 1)
 
     async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain connections."""
+        """Graceful shutdown: stop accepting, drain connections.
+
+        Setting the shutdown event releases every in-flight AWAIT_GLOBAL
+        / MODEL_DELTA waiter (their wait races the event), and each
+        replies to its client with a typed ``shutting_down`` frame before
+        its serve loop exits.  Those in-dispatch connections get a grace
+        window to flush that frame; only connections still idle after it
+        (parked in a read, no request in flight) are cancelled.
+        """
         self._shutdown.set()
         for listener in (self._asyncio_server, self._http_server):
             if listener is not None:
@@ -177,6 +229,9 @@ class DBDCService:
         for listener in (self._asyncio_server, self._http_server):
             if listener is not None:
                 await listener.wait_closed()
+        busy = {task for task in self._busy if not task.done()}
+        if busy:
+            await asyncio.wait(busy, timeout=self.config.shutdown_grace_s)
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -213,7 +268,13 @@ class DBDCService:
 
     def _current_model(self):
         """The up-to-date global model, rebuilding if admissions landed
-        since the last build (``None`` when nothing was ever admitted)."""
+        since the last build (``None`` when nothing was ever admitted).
+
+        In a streaming session the session model is authoritative — it
+        only advances at round commits, never on individual admissions.
+        """
+        if self._session_active:
+            return self._session_model
         if self._model_dirty or not self._built.is_set():
             if not self.server.local_models:
                 return None
@@ -221,8 +282,17 @@ class DBDCService:
         return self.server.model
 
     def _admit(self, frame: wire.Frame) -> tuple[str, str]:
-        """Run one upload through the unchanged admission gate."""
-        arrival_s = self.uptime_s
+        """Run one upload through the unchanged admission gate.
+
+        In a streaming session the upload must land inside an open round:
+        the arrival clock restarts at ROUND_OPEN (round-scoped deadline),
+        admitted models are collected on the round, and the round
+        auto-commits once ``expected_sites`` models are in.
+        """
+        if self._session_active:
+            arrival_s = self.uptime_s - self._round.opened_at_s
+        else:
+            arrival_s = self.uptime_s
         if frame.crc_ok:
             try:
                 model = wire.decode_local_model(frame.payload)
@@ -240,12 +310,153 @@ class DBDCService:
             verdict = self.server.admit(
                 model, arrival_s=arrival_s, checksum_ok=False
             )
-        if verdict == "admitted":
+        if verdict != "admitted":
+            return verdict, ""
+        expected = self.config.expected_sites
+        if self._session_active:
+            self._round.models.append(self.server.local_models[-1])
+            if expected is not None and len(self._round.models) >= expected:
+                self._commit_round()
+        else:
             self._model_dirty = True
-            expected = self.config.expected_sites
             if expected is not None and len(self.server.local_models) >= expected:
                 self._build_global_model()
         return verdict, ""
+
+    # ------------------------------------------------------------------
+    # streaming sessions
+    # ------------------------------------------------------------------
+    def _commit_event(self, round_index: int) -> asyncio.Event:
+        if round_index not in self._commit_events:
+            self._commit_events[round_index] = asyncio.Event()
+        return self._commit_events[round_index]
+
+    def _open_round(self, round_index: int) -> tuple[wire.FrameKind, bytes]:
+        """Handle ROUND_OPEN (idempotent for the currently open round)."""
+        if self._round is not None:
+            if round_index == self._round.index:
+                return wire.FrameKind.ACK, wire.encode_status(
+                    "round_open", f"round {round_index} already open"
+                )
+            return wire.FrameKind.ERROR, wire.encode_status(
+                "bad_round",
+                f"round {self._round.index} is open; cannot open "
+                f"{round_index}",
+            )
+        if round_index != self._rounds_committed:
+            return wire.FrameKind.ERROR, wire.encode_status(
+                "bad_round",
+                f"next round is {self._rounds_committed}, got {round_index}",
+            )
+        if not self._session_active and self.server.local_models:
+            # One-shot uploads already landed: a session cannot retrofit
+            # round semantics onto them.
+            return wire.FrameKind.ERROR, wire.encode_status(
+                "bad_round",
+                "models were admitted outside a session; restart the "
+                "service to stream",
+            )
+        self._session_active = True
+        self._round = _StreamRound(
+            index=round_index, opened_at_s=self.uptime_s
+        )
+        self.metrics.inc("service.rounds_opened")
+        return wire.FrameKind.ACK, wire.encode_status(
+            "round_open", f"round {round_index} open"
+        )
+
+    def _commit_round(self) -> None:
+        """Commit the open round into the session model.
+
+        Round 0 goes through the standard sorted build — the exact code
+        path a one-shot deployment uses — and seeds the repairer; every
+        later round folds its models (sorted by effective site id) into
+        the session model incrementally.  ``eps_global`` freezes at the
+        round-0 radius, matching :class:`GlobalModelRepairer` semantics.
+        """
+        round_ = self._round
+        assert round_ is not None
+        models = sorted(round_.models, key=lambda model: model.site_id)
+        if self._repairer is None:
+            # Round 0: server.local_models holds exactly this round's
+            # admitted models, so the one-shot build applies unchanged.
+            self._build_global_model()
+            self._session_model = self.server.model
+            self._repairer = GlobalModelRepairer(
+                self._session_model, metric=self.config.metric
+            )
+        else:
+            for model in models:
+                self._session_model, __ = self._repairer.add_model(model)
+                self._n_repairs += 1
+            self.metrics.set("service.model_repairs", self._n_repairs)
+        self._rounds_committed = round_.index + 1
+        self._round = None
+        self._built.set()
+        self._commit_event(round_.index).set()
+        self.metrics.set("service.rounds_committed", self._rounds_committed)
+
+    def _handle_round_commit(
+        self, round_index: int
+    ) -> tuple[wire.FrameKind, bytes]:
+        """Handle an explicit ROUND_COMMIT (degraded/partial rounds)."""
+        if self._round is not None and round_index == self._round.index:
+            self._commit_round()
+            return wire.FrameKind.ACK, wire.encode_status(
+                "round_committed", f"round {round_index} committed"
+            )
+        if round_index < self._rounds_committed:
+            return wire.FrameKind.ACK, wire.encode_status(
+                "round_committed", f"round {round_index} already committed"
+            )
+        open_index = self._round.index if self._round is not None else None
+        return wire.FrameKind.ERROR, wire.encode_status(
+            "bad_round",
+            f"cannot commit round {round_index} (open: {open_index}, "
+            f"committed: {self._rounds_committed})",
+        )
+
+    async def _wait_or_shutdown(
+        self, event: asyncio.Event, timeout_s: float
+    ) -> str:
+        """Wait for ``event``, racing graceful shutdown.
+
+        Returns ``"ready"``, ``"shutting_down"`` or ``"timeout"`` — the
+        waiter is never torn down by bare cancellation while the service
+        stops; it gets the verdict and replies before its connection
+        closes (counted in ``service.shutdown_notices``).
+        """
+        if event.is_set():
+            return "ready"
+        if self._shutdown.is_set():
+            return "shutting_down"
+        waiters = [
+            asyncio.ensure_future(event.wait()),
+            asyncio.ensure_future(self._shutdown.wait()),
+        ]
+        try:
+            await asyncio.wait(
+                waiters,
+                timeout=max(timeout_s, 0.0),
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            for waiter in waiters:
+                waiter.cancel()
+            await asyncio.gather(*waiters, return_exceptions=True)
+        if event.is_set():
+            return "ready"
+        if self._shutdown.is_set():
+            return "shutting_down"
+        return "timeout"
+
+    def _shutdown_notice(self) -> tuple[wire.FrameKind, bytes]:
+        """The typed frame an in-flight waiter receives at shutdown."""
+        self._n_shutdown_notices += 1
+        self.metrics.set("service.shutdown_notices", self._n_shutdown_notices)
+        return wire.FrameKind.ERROR, wire.encode_status(
+            "shutting_down", "service is stopping; no model will be built"
+        )
 
     # ------------------------------------------------------------------
     # connection handling
@@ -260,14 +471,20 @@ class DBDCService:
     async def _read_frame(self, reader: asyncio.StreamReader) -> wire.Frame | None:
         """Read one frame under the per-connection deadline.
 
+        The deadline is a single budget for the *whole* frame: the
+        payload read only gets whatever the header read left over, so a
+        client dribbling bytes cannot hold the connection longer than
+        ``idle_timeout_s`` per frame.
+
         Returns ``None`` on clean EOF.  Raises :class:`wire.WireError`
         on protocol violations and :class:`asyncio.TimeoutError` when
-        the idle deadline passes.
+        the frame deadline passes.
         """
-        timeout = self.config.idle_timeout_s
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + self.config.idle_timeout_s
         try:
             header = await asyncio.wait_for(
-                reader.readexactly(wire.HEADER_SIZE), timeout
+                reader.readexactly(wire.HEADER_SIZE), self.config.idle_timeout_s
             )
         except asyncio.IncompleteReadError as error:
             if not error.partial:
@@ -287,10 +504,10 @@ class DBDCService:
             return frame  # zero-payload frame: already complete
         except wire.FrameTruncated:
             pass  # header valid, payload still on the wire
-        declared = int.from_bytes(header[10:14], "little")
+        declared = wire.declared_payload_len(header)
         try:
             payload = await asyncio.wait_for(
-                reader.readexactly(declared), timeout
+                reader.readexactly(declared), max(deadline - loop.time(), 0.0)
             )
         except asyncio.IncompleteReadError as error:
             raise wire.FrameTruncated(
@@ -327,8 +544,18 @@ class DBDCService:
                     break
                 self._frames_total += 1
                 self.metrics.inc(f"service.frames[{frame.kind.name.lower()}]")
-                kind, payload = await self._dispatch(frame)
-                await self._reply(writer, kind, payload)
+                # Mark this connection busy while a request is in flight:
+                # stop() waits for busy connections (grace-bounded) so a
+                # released waiter can flush its shutting_down frame
+                # instead of being torn down mid-write.
+                task = asyncio.current_task()
+                assert task is not None
+                self._busy.add(task)
+                try:
+                    kind, payload = await self._dispatch(frame)
+                    await self._reply(writer, kind, payload)
+                finally:
+                    self._busy.discard(task)
                 if frame.kind == wire.FrameKind.SHUTDOWN:
                     self.request_stop()
                     break
@@ -367,6 +594,11 @@ class DBDCService:
     ) -> tuple[wire.FrameKind, bytes]:
         kind = frame.kind
         if kind == wire.FrameKind.LOCAL_MODEL:
+            if self._session_active and self._round is None:
+                return wire.FrameKind.ERROR, wire.encode_status(
+                    "no_round_open",
+                    "streaming session active; send ROUND_OPEN first",
+                )
             verdict, detail = self._admit(frame)
             status_kind = (
                 wire.FrameKind.ACK if verdict == "admitted" else wire.FrameKind.ERROR
@@ -387,15 +619,50 @@ class DBDCService:
                 or not self.server.local_models
             )
             if round_pending and not self._built.is_set():
-                try:
-                    await asyncio.wait_for(self._built.wait(), max(timeout, 0.0))
-                except asyncio.TimeoutError:
+                outcome = await self._wait_or_shutdown(self._built, timeout)
+                if outcome == "shutting_down":
+                    return self._shutdown_notice()
+                if outcome == "timeout":
                     return wire.FrameKind.ERROR, wire.encode_status(
                         "no_model", f"no global model after {timeout:.3f}s"
                     )
             model = self._current_model()
             assert model is not None
             return wire.FrameKind.GLOBAL_MODEL, wire.encode_global_model(model)
+        if kind == wire.FrameKind.ROUND_OPEN:
+            return self._open_round(wire.decode_round_open(frame.payload))
+        if kind == wire.FrameKind.ROUND_COMMIT:
+            return self._handle_round_commit(
+                wire.decode_round_commit(frame.payload)
+            )
+        if kind == wire.FrameKind.MODEL_DELTA:
+            round_index, known_reps, timeout_s = wire.decode_delta_request(
+                frame.payload
+            )
+            timeout = min(timeout_s, self.config.await_timeout_cap_s)
+            outcome = await self._wait_or_shutdown(
+                self._commit_event(round_index), timeout
+            )
+            if outcome == "shutting_down":
+                return self._shutdown_notice()
+            if outcome == "timeout":
+                return wire.FrameKind.ERROR, wire.encode_status(
+                    "no_model",
+                    f"round {round_index} not committed after {timeout:.3f}s",
+                )
+            model = self._session_model
+            if model is None:
+                return wire.FrameKind.ERROR, wire.encode_status(
+                    "no_model", "session has no committed model"
+                )
+            if not 0 <= known_reps <= len(model.representatives):
+                return wire.FrameKind.ERROR, wire.encode_status(
+                    "bad_delta",
+                    f"known_reps {known_reps} out of range "
+                    f"[0, {len(model.representatives)}]",
+                )
+            delta = wire.delta_from_model(model, known_reps)
+            return wire.FrameKind.MODEL_DELTA, wire.encode_model_delta(delta)
         if kind == wire.FrameKind.LABEL_QUERY:
             points = wire.decode_points(frame.payload)
             model = self._current_model()
@@ -437,6 +704,16 @@ class DBDCService:
     def health(self) -> dict:
         """The service's health document (HEALTH frames serve this)."""
         built = self._built.is_set() and not self._model_dirty
+        if self._session_active:
+            # The session model is authoritative; the hosted server's own
+            # model slot is invalidated by every later-round admission.
+            n_representatives = (
+                len(self._session_model.representatives)
+                if self._session_model is not None
+                else 0
+            )
+        else:
+            n_representatives = len(self.server.model) if built else 0
         return {
             "status": "serving" if not self._shutdown.is_set() else "stopping",
             "uptime_s": round(self.uptime_s, 6),
@@ -447,12 +724,16 @@ class DBDCService:
             "quorum_met": self.server.quorum_met,
             "model_built": built,
             "model_builds": self._n_builds,
-            "n_representatives": (
-                len(self.server.model) if self._built.is_set() else 0
-            ),
+            "n_representatives": n_representatives,
             "connections_active": len(self._connections),
             "frames_total": self._frames_total,
             "protocol_version": wire.PROTOCOL_VERSION,
+            "session_active": self._session_active,
+            "rounds_committed": self._rounds_committed,
+            "round_open": (
+                self._round.index if self._round is not None else None
+            ),
+            "shutdown_notices": self._n_shutdown_notices,
         }
 
     # ------------------------------------------------------------------

@@ -172,7 +172,7 @@ class SocketTransport:
             return frame  # zero-payload frame: already complete
         except wire.FrameTruncated:
             pass
-        declared = int.from_bytes(header[10:14], "little")
+        declared = wire.declared_payload_len(header)
         if declared > self.max_payload:
             raise wire.FrameTooLarge(
                 f"declared payload {declared} exceeds cap {self.max_payload}"
@@ -180,6 +180,18 @@ class SocketTransport:
         payload = self._read_exactly(declared)
         frame, __ = wire.decode_frame(header + payload, max_payload=self.max_payload)
         return frame
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes onto the connection (no framing, no response).
+
+        The seam the socket-level fault injector uses to put truncated
+        or corrupted frames on a *real* connection; production code has
+        no reason to call it.
+        """
+        self.connect()
+        assert self._sock is not None
+        self._sock.sendall(data)
+        self.bytes_sent += len(data)
 
     def request(
         self, kind: wire.FrameKind, payload: bytes = b""

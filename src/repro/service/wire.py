@@ -60,6 +60,7 @@ __all__ = [
     "CodecError",
     "payload_crc32",
     "crc_matches",
+    "declared_payload_len",
     "encode_frame",
     "decode_frame",
     "encode_local_model",
@@ -76,6 +77,17 @@ __all__ = [
     "decode_json",
     "encode_status",
     "decode_status",
+    "ModelDelta",
+    "encode_round_open",
+    "decode_round_open",
+    "encode_round_commit",
+    "decode_round_commit",
+    "encode_delta_request",
+    "decode_delta_request",
+    "encode_model_delta",
+    "decode_model_delta",
+    "delta_from_model",
+    "apply_model_delta",
 ]
 
 MAGIC = b"DBDC"
@@ -105,6 +117,10 @@ class FrameKind(IntEnum):
     METRICS = 10       # client -> server: OpenMetrics snapshot request
     METRICS_REPLY = 11 # server -> client: OpenMetrics exposition text
     SHUTDOWN = 12      # admin -> server: request graceful shutdown
+    ROUND_OPEN = 13    # site -> server: open streaming round N
+    ROUND_COMMIT = 14  # site -> server: commit streaming round N
+    MODEL_DELTA = 15   # request: block until round N commits; reply:
+    #                    appended representatives + full label vector
 
 
 class WireError(Exception):
@@ -174,6 +190,29 @@ def encode_frame(
         )
         + payload
     )
+
+
+def declared_payload_len(header: bytes) -> int:
+    """The payload length a frame header declares.
+
+    The one place the header's length field is read outside
+    :func:`decode_frame` — stream readers (the service's and the socket
+    transport's) that fetch the header and payload separately use this
+    instead of re-deriving the field offset, so the header layout has a
+    single source of truth and cannot drift.
+
+    Args:
+        header: at least the first :data:`HEADER_SIZE` bytes of a frame.
+
+    Raises:
+        FrameTruncated: when fewer than :data:`HEADER_SIZE` bytes are
+            given (the length field would be garbage).
+    """
+    if len(header) < HEADER_SIZE:
+        raise FrameTruncated(
+            f"need {HEADER_SIZE} header bytes, have {len(header)}"
+        )
+    return int(_HEADER.unpack_from(header, 0)[4])
 
 
 def decode_frame(
@@ -506,3 +545,225 @@ def decode_status(payload: bytes) -> tuple[str, str]:
     if offset != len(payload):
         raise CodecError(f"{len(payload) - offset} trailing bytes")
     return status, detail
+
+
+# ----------------------------------------------------------------------
+# Streaming-session codecs (ROUND_OPEN / ROUND_COMMIT / MODEL_DELTA).
+#
+# A MODEL_DELTA exchange is asymmetric: the request names a round and how
+# many representatives the client already holds; the reply carries only
+# the representatives appended since then plus the *full* label vector.
+# This is exact — never an approximation — because the server's
+# incremental repair (GlobalModelRepairer) strictly appends
+# representatives: the first ``base_count`` entries of the repaired model
+# are the client's known prefix, byte for byte, and only labels move.
+# ----------------------------------------------------------------------
+
+_ROUND = struct.Struct("<i")                 # round index
+_DELTA_REQUEST = struct.Struct("<iId")       # round, known reps, timeout
+_DELTA_HEADER = struct.Struct("<dIIII")      # eps_global, min_pts,
+#                                              base_count, n_new, dim
+
+
+@dataclass(frozen=True)
+class ModelDelta:
+    """The appended tail of an incrementally repaired global model.
+
+    Attributes:
+        eps_global: the (frozen) merge radius of the session's model.
+        min_pts_global: the server's ``MinPts_global``.
+        base_count: representatives the receiver already holds — the
+            unchanged prefix the delta builds on.
+        new_representatives: representatives appended since
+            ``base_count`` (order preserved).
+        labels: global labels of the *entire* repaired model, length
+            ``base_count + len(new_representatives)`` — labels of old
+            representatives may change (merges), so the full vector
+            always rides along.
+    """
+
+    eps_global: float
+    min_pts_global: int
+    base_count: int
+    new_representatives: list[Representative]
+    labels: np.ndarray
+
+
+def encode_round_open(round_index: int) -> bytes:
+    """Serialize a ROUND_OPEN payload (the round being opened)."""
+    return _ROUND.pack(int(round_index))
+
+
+@_codec_guard("invalid ROUND_OPEN payload")
+def decode_round_open(payload: bytes) -> int:
+    """Inverse of :func:`encode_round_open`."""
+    if len(payload) != _ROUND.size:
+        raise CodecError(f"payload is {len(payload)} bytes, expected {_ROUND.size}")
+    return int(_ROUND.unpack(payload)[0])
+
+
+def encode_round_commit(round_index: int) -> bytes:
+    """Serialize a ROUND_COMMIT payload (the round being committed)."""
+    return _ROUND.pack(int(round_index))
+
+
+@_codec_guard("invalid ROUND_COMMIT payload")
+def decode_round_commit(payload: bytes) -> int:
+    """Inverse of :func:`encode_round_commit`."""
+    if len(payload) != _ROUND.size:
+        raise CodecError(f"payload is {len(payload)} bytes, expected {_ROUND.size}")
+    return int(_ROUND.unpack(payload)[0])
+
+
+def encode_delta_request(
+    round_index: int, known_reps: int, timeout_s: float
+) -> bytes:
+    """Serialize a MODEL_DELTA request.
+
+    Args:
+        round_index: the round whose commit the client waits for.
+        known_reps: representatives the client already holds (0 for a
+            fresh session — the reply then carries the whole model).
+        timeout_s: how long the server may hold the request open.
+    """
+    return _DELTA_REQUEST.pack(
+        int(round_index), int(known_reps), float(timeout_s)
+    )
+
+
+@_codec_guard("invalid MODEL_DELTA request payload")
+def decode_delta_request(payload: bytes) -> tuple[int, int, float]:
+    """Inverse of :func:`encode_delta_request`."""
+    if len(payload) != _DELTA_REQUEST.size:
+        raise CodecError(
+            f"payload is {len(payload)} bytes, expected {_DELTA_REQUEST.size}"
+        )
+    round_index, known_reps, timeout_s = _DELTA_REQUEST.unpack(payload)
+    return int(round_index), int(known_reps), float(timeout_s)
+
+
+def encode_model_delta(delta: ModelDelta) -> bytes:
+    """Serialize a MODEL_DELTA reply."""
+    reps = delta.new_representatives
+    dim = reps[0].point.size if reps else 0
+    record = struct.Struct(f"<iid{dim}d")
+    labels = np.ascontiguousarray(delta.labels, dtype="<i8")
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size != delta.base_count + len(reps):
+        raise ValueError(
+            f"label vector has {labels.size} entries, model has "
+            f"{delta.base_count + len(reps)} representatives"
+        )
+    chunks = [
+        _DELTA_HEADER.pack(
+            delta.eps_global,
+            delta.min_pts_global,
+            delta.base_count,
+            len(reps),
+            dim,
+        )
+    ]
+    for rep in reps:
+        chunks.append(
+            record.pack(rep.site_id, rep.local_cluster_id, rep.eps_range, *rep.point)
+        )
+    chunks.append(labels.tobytes())
+    return b"".join(chunks)
+
+
+@_codec_guard("invalid MODEL_DELTA payload")
+def decode_model_delta(payload: bytes) -> ModelDelta:
+    """Inverse of :func:`encode_model_delta`."""
+    eps_global, min_pts, base_count, n_new, dim = _DELTA_HEADER.unpack_from(
+        payload, 0
+    )
+    record = struct.Struct(f"<iid{dim}d")
+    labels_offset = _DELTA_HEADER.size + n_new * record.size
+    expected = labels_offset + (base_count + n_new) * 8
+    if len(payload) != expected:
+        raise CodecError(
+            f"payload is {len(payload)} bytes, header declares {expected}"
+        )
+    offset = _DELTA_HEADER.size
+    reps = []
+    for __ in range(n_new):
+        values = record.unpack_from(payload, offset)
+        offset += record.size
+        reps.append(
+            Representative(
+                point=np.asarray(values[3:], dtype=float),
+                eps_range=values[2],
+                site_id=values[0],
+                local_cluster_id=values[1],
+            )
+        )
+    labels = np.frombuffer(payload, dtype="<i8", offset=labels_offset).astype(
+        np.intp
+    )
+    return ModelDelta(
+        eps_global=float(eps_global),
+        min_pts_global=int(min_pts),
+        base_count=int(base_count),
+        new_representatives=reps,
+        labels=labels,
+    )
+
+
+def delta_from_model(model: GlobalModel, known_reps: int) -> ModelDelta:
+    """The delta that advances a client holding ``known_reps``
+    representatives to ``model``.
+
+    Raises:
+        ValueError: when ``known_reps`` exceeds the model (the client
+            claims to know more than exists — a protocol violation).
+    """
+    n = len(model.representatives)
+    if not 0 <= known_reps <= n:
+        raise ValueError(
+            f"known_reps {known_reps} out of range for a model of {n} "
+            "representatives"
+        )
+    return ModelDelta(
+        eps_global=float(model.eps_global),
+        min_pts_global=int(model.min_pts_global),
+        base_count=int(known_reps),
+        new_representatives=list(model.representatives[known_reps:]),
+        labels=np.asarray(model.global_labels, dtype=np.intp).copy(),
+    )
+
+
+def apply_model_delta(
+    known_model: GlobalModel | None, delta: ModelDelta
+) -> GlobalModel:
+    """Reconstruct the full global model from a known prefix + delta.
+
+    Args:
+        known_model: the model the client held before the round
+            (``None`` for a fresh session; the delta must then have
+            ``base_count == 0``).
+        delta: the server's reply.
+
+    Raises:
+        CodecError: when the delta does not extend ``known_model``
+            (mismatched prefix length) — the client must refetch with
+            ``known_reps=0``.
+    """
+    known = [] if known_model is None else list(known_model.representatives)
+    if len(known) != delta.base_count:
+        raise CodecError(
+            f"delta builds on {delta.base_count} representatives, client "
+            f"holds {len(known)}"
+        )
+    reps = known + list(delta.new_representatives)
+    if len(reps) != delta.labels.size:
+        raise CodecError(
+            f"reconstructed model has {len(reps)} representatives but "
+            f"{delta.labels.size} labels"
+        )
+    return GlobalModel(
+        representatives=reps,
+        global_labels=np.asarray(delta.labels, dtype=np.intp).copy(),
+        eps_global=delta.eps_global,
+        min_pts_global=delta.min_pts_global,
+    )

@@ -28,7 +28,12 @@ from repro.service import wire
 from repro.service.client import ServiceClient
 from repro.service.transport import ServiceError, SocketTransport
 
-__all__ = ["SiteWorkerResult", "run_site_worker"]
+__all__ = [
+    "SiteWorkerResult",
+    "SiteSessionResult",
+    "run_site_worker",
+    "run_site_worker_session",
+]
 
 
 @dataclass
@@ -76,6 +81,8 @@ def run_site_worker(
     timeout_s: float = 30.0,
     await_global_s: float = 30.0,
     transport_policy: TransportPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    breaker_policy=None,
 ) -> SiteWorkerResult:
     """Run one site through the full protocol against a live service.
 
@@ -94,6 +101,11 @@ def run_site_worker(
         await_global_s: how long to wait for the global model.
         transport_policy: retry/backoff policy of the upload (default:
             the fault layer's defaults).
+        fault_plan: socket-level fault plan; when set, the upload runs
+            through a :class:`~repro.service.faulting.FaultingSocketTransport`
+            so drops/truncation/corruption hit the *real* connection.
+        breaker_policy: optional per-link circuit breaker
+            (:class:`~repro.faults.transport.BreakerPolicy`).
 
     Returns:
         A :class:`SiteWorkerResult`; never raises for protocol-level
@@ -120,9 +132,24 @@ def run_site_worker(
         with socket_transport:
             model = site.run_local_clustering()
             # The simulated deployments' retry/backoff/breaker layer,
-            # pointed at the socket instead of SimulatedNetwork.
+            # pointed at the socket instead of SimulatedNetwork.  When a
+            # fault plan is set, the injector sits between the two and
+            # sabotages the real connection; the retry loop treats its
+            # failures exactly like in-flight drops.
+            network = socket_transport
+            retryable: tuple = ()
+            if fault_plan is not None:
+                from repro.service.faulting import FaultingSocketTransport
+
+                network = FaultingSocketTransport(socket_transport, fault_plan)
+                retryable = FaultingSocketTransport.RETRYABLE
             resilient = ResilientTransport(
-                socket_transport, FaultPlan.none(), transport_policy
+                network,
+                FaultPlan.none(),
+                transport_policy,
+                breaker_policy=breaker_policy,
+                retryable_errors=retryable,
+                sleep=time.sleep if fault_plan is not None else None,
             )
             payload = wire.encode_local_model(model)
             try:
@@ -162,6 +189,125 @@ def _await_global(
         wire.FrameKind.AWAIT_GLOBAL, wire.encode_await_global(timeout_s)
     )
     return wire.decode_global_model(response.payload)
+
+
+@dataclass
+class SiteSessionResult:
+    """What one streaming-session worker brings home.
+
+    Attributes:
+        site_id: the worker's *base* site id (round ``r`` submits under
+            effective id ``site_id + r * n_sites``).
+        n_rounds: batches the worker processed.
+        verdicts: per-round admission verdicts.
+        labels: per-round label arrays — ``labels[r]`` are the global
+            labels of batch ``r`` under the *final* session model.
+        model: the final session :class:`GlobalModel` (``None`` when the
+            session failed before round 0 committed).
+        bytes_sent: payload bytes the worker put on the wire.
+        wall_seconds: end-to-end worker wall time.
+        error: the failure detail (empty on success).
+    """
+
+    site_id: int
+    n_rounds: int = 0
+    verdicts: list = field(default_factory=list)
+    labels: list = field(default_factory=list)
+    model: GlobalModel | None = None
+    bytes_sent: int = 0
+    wall_seconds: float = 0.0
+    error: str = ""
+
+
+def run_site_worker_session(
+    host: str,
+    port: int,
+    site_id: int,
+    batches: list,
+    *,
+    n_sites: int,
+    eps_local: float,
+    min_pts_local: int,
+    scheme: str = "rep_scor",
+    metric: str = "euclidean",
+    index_kind: str = "auto",
+    relabel_kernel: str = "auto",
+    timeout_s: float = 30.0,
+    await_global_s: float = 30.0,
+) -> SiteSessionResult:
+    """Run one site through an N-round streaming session.
+
+    Per round ``r`` the worker opens the round, clusters batch ``r``
+    under effective site id ``site_id + r * n_sites`` (which keeps the
+    ``(site_id, local_cluster_id)`` inheritance keys collision-free
+    across rounds), submits the local model, then blocks on the round's
+    MODEL_DELTA — representatives strictly append, so each round only
+    ships the new ones.  After every commit all batches seen so far are
+    relabeled against the updated model, so ``labels`` reflects the
+    final session state.
+
+    The round protocol is race-free across workers: a worker only opens
+    round ``r + 1`` after receiving round ``r``'s delta, and round ``r``
+    cannot commit before every worker has submitted to it.
+
+    Args:
+        host: service host.
+        port: service port.
+        site_id: this worker's base site id in ``[0, n_sites)``.
+        batches: one point array per round, shape ``(n_r, d)`` each.
+        n_sites: total workers in the session (the effective-id stride).
+        eps_local: local DBSCAN ``Eps``.
+        min_pts_local: local DBSCAN ``MinPts``.
+        scheme: local model scheme.
+        metric: distance metric.
+        index_kind: neighbor index kind.
+        relabel_kernel: coverage kernel for the update step.
+        timeout_s: per-operation socket timeout.
+        await_global_s: how long each MODEL_DELTA may block server-side.
+
+    Returns:
+        A :class:`SiteSessionResult`; protocol-level refusals land in
+        ``error`` rather than raising.
+    """
+    start = time.perf_counter()
+    result = SiteSessionResult(site_id=site_id, n_rounds=len(batches))
+    sites: list[ClientSite] = []
+    model: GlobalModel | None = None
+    try:
+        with ServiceClient(
+            host, port, site_id=site_id, timeout_s=timeout_s
+        ) as client:
+            for round_index, batch in enumerate(batches):
+                client.open_round(round_index)
+                site = ClientSite(
+                    site_id + round_index * n_sites,
+                    np.asarray(batch, dtype=float),
+                    eps_local=eps_local,
+                    min_pts_local=min_pts_local,
+                    scheme=scheme,
+                    metric=metric,
+                    index_kind=index_kind,
+                    relabel_kernel=relabel_kernel,
+                )
+                local_model = site.run_local_clustering()
+                result.verdicts.append(client.submit(local_model))
+                sites.append(site)
+                model = client.await_model_delta(
+                    round_index, model, timeout_s=await_global_s
+                )
+                # True streaming: every batch seen so far is relabeled
+                # against the round's committed model.
+                for seen in sites:
+                    seen.receive_global_model(model)
+            result.bytes_sent = client.transport.bytes_sent
+    except ServiceError as error:
+        result.error = f"{error.status}: {error.detail}"
+    except (OSError, wire.WireError) as error:
+        result.error = f"{type(error).__name__}: {error}"
+    result.labels = [site.global_labels for site in sites]
+    result.model = model
+    result.wall_seconds = time.perf_counter() - start
+    return result
 
 
 def run_site_worker_simple(

@@ -253,6 +253,117 @@ class TestCodecRoundTrips:
         )
 
 
+# ----------------------------------------------------------------------
+# streaming-session codecs (ROUND_OPEN / ROUND_COMMIT / MODEL_DELTA)
+# ----------------------------------------------------------------------
+
+
+class TestSessionCodecs:
+    @settings(max_examples=50, deadline=None)
+    @given(round_index=int32)
+    def test_round_open_and_commit(self, round_index):
+        assert (
+            wire.decode_round_open(wire.encode_round_open(round_index))
+            == round_index
+        )
+        assert (
+            wire.decode_round_commit(wire.encode_round_commit(round_index))
+            == round_index
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        round_index=int32,
+        known=uint31,
+        timeout=st.floats(allow_nan=False, min_value=0.0, max_value=1e6),
+    )
+    def test_delta_request(self, round_index, known, timeout):
+        decoded = wire.decode_delta_request(
+            wire.encode_delta_request(round_index, known, timeout)
+        )
+        assert decoded == (round_index, known, timeout)
+
+    @settings(max_examples=50, deadline=None)
+    @given(model=global_models(), data=st.data())
+    def test_model_delta_reconstructs_the_model(self, model, data):
+        known = data.draw(
+            st.integers(min_value=0, max_value=len(model.representatives))
+        )
+        delta = wire.delta_from_model(model, known)
+        decoded = wire.decode_model_delta(wire.encode_model_delta(delta))
+        assert decoded.base_count == known
+        assert decoded.eps_global == delta.eps_global
+        assert decoded.min_pts_global == delta.min_pts_global
+        assert np.array_equal(decoded.labels, model.global_labels)
+        assert len(decoded.new_representatives) == (
+            len(model.representatives) - known
+        )
+        for a, b in zip(
+            decoded.new_representatives, model.representatives[known:]
+        ):
+            assert_reps_equal(a, b)
+        known_model = None
+        if known:
+            known_model = GlobalModel(
+                representatives=list(model.representatives[:known]),
+                global_labels=np.asarray(
+                    model.global_labels[:known], dtype=np.intp
+                ),
+                eps_global=model.eps_global,
+                min_pts_global=model.min_pts_global,
+            )
+        rebuilt = wire.apply_model_delta(known_model, decoded)
+        assert np.array_equal(rebuilt.global_labels, model.global_labels)
+        assert rebuilt.eps_global == model.eps_global
+        assert len(rebuilt.representatives) == len(model.representatives)
+        for a, b in zip(rebuilt.representatives, model.representatives):
+            assert_reps_equal(a, b)
+
+    def test_known_reps_out_of_range_rejected_both_ends(self):
+        model = _two_rep_model()
+        with pytest.raises(ValueError):
+            wire.delta_from_model(model, 3)
+        with pytest.raises(ValueError):
+            wire.delta_from_model(model, -1)
+
+    def test_prefix_mismatch_is_a_typed_error(self):
+        model = _two_rep_model()
+        delta = wire.delta_from_model(model, 1)
+        # A client holding nothing cannot apply a delta built on one rep.
+        with pytest.raises(wire.CodecError):
+            wire.apply_model_delta(None, delta)
+
+    @settings(max_examples=60, deadline=None)
+    @given(kind=frame_kinds, site_id=int32, payload=st.binary(max_size=256))
+    def test_declared_payload_len_matches_actual_payload(
+        self, kind, site_id, payload
+    ):
+        frame = wire.encode_frame(kind, payload, site_id=site_id)
+        assert wire.declared_payload_len(frame[: wire.HEADER_SIZE]) == len(
+            payload
+        )
+
+    def test_declared_payload_len_rejects_short_header(self):
+        with pytest.raises(wire.FrameTruncated):
+            wire.declared_payload_len(b"DBDC\x01")
+
+
+def _two_rep_model() -> GlobalModel:
+    return GlobalModel(
+        representatives=[
+            Representative(
+                point=np.asarray([float(i), 0.0]),
+                eps_range=1.0,
+                site_id=i,
+                local_cluster_id=0,
+            )
+            for i in range(2)
+        ],
+        global_labels=np.asarray([0, 1], dtype=np.intp),
+        eps_global=2.0,
+    )
+
+
 #: (encoder-of-sample, decoder) pairs driving the shared fuzz cases.
 CODEC_SAMPLES = [
     (
@@ -306,6 +417,24 @@ CODEC_SAMPLES = [
         wire.decode_await_global,
     ),
     ("status", lambda: wire.encode_status("ok", "detail"), wire.decode_status),
+    ("round_open", lambda: wire.encode_round_open(3), wire.decode_round_open),
+    (
+        "round_commit",
+        lambda: wire.encode_round_commit(3),
+        wire.decode_round_commit,
+    ),
+    (
+        "delta_request",
+        lambda: wire.encode_delta_request(1, 4, 5.0),
+        wire.decode_delta_request,
+    ),
+    (
+        "model_delta",
+        lambda: wire.encode_model_delta(
+            wire.delta_from_model(_two_rep_model(), 1)
+        ),
+        wire.decode_model_delta,
+    ),
 ]
 
 
