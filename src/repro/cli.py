@@ -203,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="'trace': also write Chrome trace_event JSON here",
     )
     parser.add_argument(
+        "--critical-path",
+        default=None,
+        metavar="TRACE_JSON",
+        help="'trace': read a merged session trace document (from "
+        "'serve-trace') and print the per-round critical-path report "
+        "instead of running anything",
+    )
+    parser.add_argument(
         "--registry",
         default=".runs",
         help="run registry root (RunRecords + artifacts)",
@@ -340,6 +348,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.bench import main as serve_bench_main
 
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "serve-trace":
+        from repro.service.tracing import main as serve_trace_main
+
+        return serve_trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     commands = list(args.commands)
     if "all" in commands:

@@ -11,6 +11,7 @@ from repro.obs.export import (
     TRACE_FORMAT_VERSION,
     load_trace_schema,
     phase_totals,
+    shift_span_times,
     to_chrome_trace,
     trace_document,
     validate_document,
@@ -20,6 +21,7 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.openmetrics import (
+    OPENMETRICS_CONTENT_TYPE,
     parse_openmetrics,
     render_registry,
     render_run_record,
@@ -41,7 +43,13 @@ from repro.obs.registry import (
     run_environment,
     validate_run_record,
 )
-from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    new_trace_id,
+)
 
 __all__ = [
     "TRACE_FORMAT_VERSION",
@@ -52,8 +60,10 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "new_trace_id",
     "trace_document",
     "to_chrome_trace",
+    "shift_span_times",
     "write_trace",
     "write_chrome_trace",
     "phase_totals",
@@ -76,4 +86,5 @@ __all__ = [
     "render_run_record",
     "render_registry",
     "parse_openmetrics",
+    "OPENMETRICS_CONTENT_TYPE",
 ]

@@ -24,6 +24,7 @@ __all__ = [
     "TRACE_FORMAT_VERSION",
     "trace_document",
     "to_chrome_trace",
+    "shift_span_times",
     "write_trace",
     "write_chrome_trace",
     "phase_totals",
@@ -56,26 +57,39 @@ def trace_document(tracer, metrics=None) -> dict:
     }
 
 
-def _walk(spans, depth=0, site=None, parent_name=None):
-    """Yield ``(span_dict, depth, site_id, parent_name)`` over a forest."""
+def _walk(spans, depth=0, site=None, parent_name=None, process=None):
+    """Yield ``(span_dict, depth, site_id, parent_name, process)`` over a
+    forest.  ``site`` and ``process`` attrs propagate to descendants."""
     for span in spans:
         span_site = site
+        span_process = process
         attrs = span.get("attrs", {})
         if "site" in attrs:
             span_site = attrs["site"]
-        yield span, depth, span_site, parent_name
+        if "process" in attrs:
+            span_process = attrs["process"]
+        yield span, depth, span_site, parent_name, span_process
         yield from _walk(
-            span.get("children", []), depth + 1, span_site, span["name"]
+            span.get("children", []),
+            depth + 1,
+            span_site,
+            span["name"],
+            span_process,
         )
 
 
 def to_chrome_trace(doc: dict) -> dict:
     """Convert a trace document to Chrome ``trace_event`` JSON.
 
-    Two process lanes: pid 1 replays the wall clock, pid 2 replays the
+    Base process lanes: pid 1 replays the wall clock, pid 2 replays the
     simulated clock (only spans that carry sim timestamps appear there).
-    Within each pid, tid 1 is the driver and tid ``2 + site`` is one lane
-    per site.  Timestamps/durations are microseconds per the format.
+    Spans carrying (or inheriting) a ``process`` attribute — the merged
+    distributed-trace documents the socket service emits — each get their
+    *own* pid lane (3, 4, ...), named ``process <name>`` in first-seen
+    order, with the document's ``processes`` map pre-registering lanes so
+    ordering is stable.  Within each pid, tid 1 is the driver and tid
+    ``2 + site`` is one lane per site.  Timestamps/durations are
+    microseconds per the format.
     """
     events: list[dict] = [
         {
@@ -93,8 +107,30 @@ def to_chrome_trace(doc: dict) -> dict:
             "args": {"name": "simulated clock"},
         },
     ]
-    for span, __, site, __parent in _walk(doc.get("spans", [])):
+    process_pids: dict[str, int] = {}
+
+    def _process_pid(process: str) -> int:
+        pid = process_pids.get(process)
+        if pid is None:
+            pid = 3 + len(process_pids)
+            process_pids[process] = pid
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": f"process {process}"},
+                }
+            )
+        return pid
+
+    for process in doc.get("processes", {}):
+        _process_pid(str(process))
+
+    for span, __, site, __parent, process in _walk(doc.get("spans", [])):
         tid = 1 if site is None else 2 + int(site)
+        wall_pid = 1 if process is None else _process_pid(str(process))
         args = {
             key: value
             for key, value in span.get("attrs", {}).items()
@@ -103,7 +139,7 @@ def to_chrome_trace(doc: dict) -> dict:
         events.append(
             {
                 "ph": "X",
-                "pid": 1,
+                "pid": wall_pid,
                 "tid": tid,
                 "name": span["name"],
                 "ts": span["wall_start"] * 1e6,
@@ -124,6 +160,25 @@ def to_chrome_trace(doc: dict) -> dict:
                 }
             )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def shift_span_times(span: dict, delta: float) -> dict:
+    """Return ``span`` (an exported dict) with all wall timestamps
+    shifted by ``delta`` seconds, recursively.
+
+    Used when merging a remote process's span forest into the server's
+    trace: ``delta`` is the remote origin plus the estimated clock
+    offset minus the local origin, so all lanes share one timeline.
+    Sim timestamps are a shared logical clock and are left alone.
+    """
+    out = dict(span)
+    out["wall_start"] = span["wall_start"] + delta
+    out["wall_end"] = span["wall_end"] + delta
+    if span.get("children"):
+        out["children"] = [
+            shift_span_times(child, delta) for child in span["children"]
+        ]
+    return out
 
 
 def write_trace(doc: dict, path) -> Path:
@@ -149,7 +204,7 @@ def phase_totals(doc: dict) -> dict:
     contents against report timing fields.
     """
     totals: dict[str, dict] = {}
-    for span, __, __site, __parent in _walk(doc.get("spans", [])):
+    for span, __, __site, __parent, __process in _walk(doc.get("spans", [])):
         entry = totals.setdefault(
             span["name"], {"count": 0, "wall_seconds": 0.0, "sim_seconds": None}
         )

@@ -27,6 +27,7 @@ from __future__ import annotations
 import re
 
 __all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
     "sanitize_name",
     "sanitize_label_name",
     "escape_label_value",
@@ -35,6 +36,14 @@ __all__ = [
     "render_run_record",
     "parse_openmetrics",
 ]
+
+#: The content-type an OpenMetrics HTTP endpoint must declare.  The
+#: service's ``/metrics`` responds with exactly this, and
+#: :func:`parse_openmetrics` (given a ``content_type``) rejects
+#: anything else so scrapers fail loudly on a misconfigured endpoint.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
 
 #: Metric names per the OpenMetrics ABNF.
 METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -260,7 +269,7 @@ def _unescape(value: str) -> str:
     )
 
 
-def parse_openmetrics(text: str) -> dict:
+def parse_openmetrics(text: str, *, content_type: str | None = None) -> dict:
     """Parse the exposition subset this module emits.
 
     Returns ``{family_name: {"type": str, "help": str, "samples":
@@ -268,10 +277,24 @@ def parse_openmetrics(text: str) -> dict:
     family whose name prefixes theirs (``_bucket``/``_sum``/``_count``
     fold into their histogram).
 
+    Args:
+        text: the exposition body.
+        content_type: when given (an HTTP scrape), it must declare the
+            OpenMetrics media type — pass the response's Content-Type
+            header to enforce :data:`OPENMETRICS_CONTENT_TYPE` semantics.
+
     Raises:
         ValueError: on illegal metric/label names, duplicate ``# TYPE``
-            declarations, unparseable samples, or a missing ``# EOF``.
+            declarations, unparseable samples, a missing ``# EOF``, or a
+            non-OpenMetrics ``content_type``.
     """
+    if content_type is not None:
+        media_type = content_type.split(";", 1)[0].strip().lower()
+        if media_type != "application/openmetrics-text":
+            raise ValueError(
+                f"content type {content_type!r} is not "
+                f"{OPENMETRICS_CONTENT_TYPE!r}"
+            )
     families: dict[str, dict] = {}
     lines = text.splitlines()
     if not lines or lines[-1].strip() != "# EOF":

@@ -101,6 +101,11 @@ DEFAULT_RULES: tuple[MetricRule, ...] = (
     # rate is a clock reading in disguise, so it is timing-tagged and
     # only gates like-for-like reruns on the same machine.
     MetricRule("*_rps", "higher", 0.30, abs_threshold=1.0, timing=True),
+    # Generic boolean verdicts (schema_ok, attribution_ok, …): like the
+    # named correctness flags above, any drop from 1.0 is a hard
+    # regression and survives --ignore-timing.  Specific *_ok families
+    # (roundtrip_ok) are matched by their own earlier rule.
+    MetricRule("*_ok", "higher", 0.0),
     MetricRule("*", "ignore"),
 )
 

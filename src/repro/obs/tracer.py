@@ -27,9 +27,15 @@ from __future__ import annotations
 
 import math
 import time
+import uuid
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "new_trace_id"]
+
+
+def new_trace_id() -> int:
+    """A fresh random 128-bit trace id (one distributed trace)."""
+    return uuid.uuid4().int
 
 
 @dataclass
@@ -44,6 +50,10 @@ class Span:
     sim_end: float | None = None
     attrs: dict = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    # 64-bit id assigned lazily (Tracer.ensure_span_id) when the span is
+    # referenced from a wire trace context; untraced spans never pay for
+    # one.
+    span_id: int | None = None
 
     @property
     def wall_seconds(self) -> float:
@@ -75,6 +85,8 @@ class Span:
             out["sim_end"] = self.sim_end
         if self.attrs:
             out["attrs"] = dict(self.attrs)
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
         if self.children:
             out["children"] = [c.to_dict(origin) for c in self.children]
         return out
@@ -91,6 +103,7 @@ class Span:
             sim_end=data.get("sim_end"),
             attrs=dict(data.get("attrs", {})),
             children=[cls.from_dict(c) for c in data.get("children", [])],
+            span_id=data.get("span_id"),
         )
 
 
@@ -121,12 +134,20 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, trace_id: int | None = None) -> None:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         # Recorded at construction so exports can normalize wall
         # timestamps to a near-zero origin.
         self.wall_origin = time.perf_counter()
+        #: 128-bit id of the distributed trace this tracer contributes
+        #: to.  Pass the coordinator's id so every process in a session
+        #: records into the same logical trace.
+        self.trace_id = new_trace_id() if trace_id is None else int(trace_id)
+        # Span ids are (random 32-bit base << 32) | sequence — unique
+        # across processes without coordination, assigned only on demand.
+        self._span_id_base = (uuid.uuid4().int & 0xFFFFFFFF) << 32
+        self._span_seq = 0
 
     def span(self, name: str, attrs: dict | None = None) -> _LiveSpan:
         """Open a live span; close it by exiting the ``with`` block."""
@@ -173,6 +194,17 @@ class Tracer:
         else:
             self.roots.append(span)
         return span
+
+    def current_span(self) -> Span | None:
+        """The innermost open live span, or ``None`` outside any."""
+        return self._stack[-1] if self._stack else None
+
+    def ensure_span_id(self, span: Span) -> int:
+        """The span's 64-bit id, assigning one on first request."""
+        if span.span_id is None:
+            self._span_seq += 1
+            span.span_id = self._span_id_base | (self._span_seq & 0xFFFFFFFF)
+        return span.span_id
 
     def _push(self, span: Span) -> None:
         if self._stack:
@@ -222,9 +254,13 @@ class NullTracer:
     enabled = False
     wall_origin = 0.0
     roots: list = []
+    trace_id = 0
 
     def span(self, name: str, attrs: dict | None = None) -> _NullSpanHandle:
         return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
 
     def record(
         self,

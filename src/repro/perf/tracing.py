@@ -46,6 +46,7 @@ __all__ = [
     "smoke_check",
     "format_trace_summary",
     "record_trace_run",
+    "critical_path_command",
     "main",
 ]
 
@@ -225,6 +226,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-out", default=DEFAULT_TRACE_PATH)
     parser.add_argument("--chrome-out", default=None,
                         help="also write Chrome trace_event JSON here")
+    parser.add_argument("--critical-path", default=None, metavar="TRACE_JSON",
+                        help="print the per-round critical path of a merged "
+                        "session trace (from 'serve-trace') and exit")
     parser.add_argument("--registry", default=".runs",
                         help="run registry root")
     parser.add_argument("--no-registry", action="store_true",
@@ -267,8 +271,31 @@ def record_trace_run(
     )
 
 
+def critical_path_command(path: str) -> int:
+    """Print the per-round critical path of a merged session trace.
+
+    The document comes from ``repro serve-trace`` (or
+    ``ServiceHandle.merged_trace``); the analysis itself lives in
+    :mod:`repro.service.tracing` next to the session runner.
+    """
+    from repro.service.tracing import critical_path, format_critical_path
+
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    errors = validate_trace(doc)
+    if errors:
+        for error in errors:
+            print(f"INVALID TRACE: {error}")
+        return 1
+    rows = critical_path(doc)
+    print(format_critical_path(rows))
+    return 0 if rows else 1
+
+
 def run_trace_command(args: argparse.Namespace) -> int:
     """Execute the ``trace`` command from parsed arguments."""
+    if getattr(args, "critical_path", None):
+        return critical_path_command(args.critical_path)
     if args.smoke:
         problems = smoke_check()
         if problems:

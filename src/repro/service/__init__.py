@@ -17,14 +17,30 @@ behind a versioned binary wire protocol:
   real connections).
 * :mod:`repro.service.bench` — the sustained-load bench behind
   ``python -m repro serve-bench`` (plus the multi-process client sweep).
+* :mod:`repro.service.tracing` — distributed tracing of socket
+  sessions: the traced session runner, trace/result reconciliation and
+  the per-round critical-path analysis behind
+  ``python -m repro serve-trace``.
 
 See ``docs/service.md`` for the wire format tables, the
 streaming-session state machine and deployment topology.
 """
 
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    ClockSync,
+    ServiceClient,
+    sync_clock,
+    upload_trace,
+)
 from repro.service.faulting import FaultingSocketTransport, InjectedFault
 from repro.service.server import DBDCService, ServiceConfig, ServiceHandle
+from repro.service.tracing import (
+    SessionTraceReport,
+    critical_path,
+    format_critical_path,
+    reconcile_session_trace,
+    run_traced_socket_session,
+)
 from repro.service.transport import ServiceError, SocketTransport, Transport
 from repro.service.worker import (
     SiteSessionResult,
@@ -34,6 +50,7 @@ from repro.service.worker import (
 )
 
 __all__ = [
+    "ClockSync",
     "DBDCService",
     "FaultingSocketTransport",
     "InjectedFault",
@@ -41,10 +58,17 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceHandle",
+    "SessionTraceReport",
     "SiteSessionResult",
     "SiteWorkerResult",
     "SocketTransport",
     "Transport",
+    "critical_path",
+    "format_critical_path",
+    "reconcile_session_trace",
     "run_site_worker",
     "run_site_worker_session",
+    "run_traced_socket_session",
+    "sync_clock",
+    "upload_trace",
 ]

@@ -33,6 +33,7 @@ import numpy as np
 from repro.data.datasets import load_dataset
 from repro.distributed.partition import partition, split
 from repro.distributed.runner import DistributedRunConfig, DistributedRunner
+from repro.obs import Tracer, validate_trace
 from repro.obs.openmetrics import parse_openmetrics
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceConfig, ServiceHandle
@@ -65,6 +66,7 @@ def run_serve_bench(
     query_batch: int = 256,
     scheme: str = "rep_scor",
     seed: int = 42,
+    trace: bool = False,
 ) -> dict:
     """Run the sustained-load service bench.
 
@@ -83,6 +85,10 @@ def run_serve_bench(
         query_batch: points per label query.
         scheme: local model scheme.
         seed: partitioning seed.
+        trace: also trace the bench — service and site workers share one
+            trace id, workers ship their spans over ``TRACE_UPLOAD``,
+            and the merged document is schema-gated
+            (``serve.trace_*`` metrics) and stored in the report.
 
     Returns:
         A JSON-able report with a flat ``metrics`` dict.
@@ -118,8 +124,18 @@ def run_serve_bench(
     }
     bench_start = time.perf_counter()
 
+    server_tracer = Tracer() if trace else None
+    worker_tracers = (
+        {
+            site_id: Tracer(trace_id=server_tracer.trace_id)
+            for site_id in range(n_sites)
+        }
+        if server_tracer is not None
+        else {}
+    )
     with ServiceHandle.start(
-        ServiceConfig(expected_sites=n_sites, relabel_kernel=run_config.relabel_kernel)
+        ServiceConfig(expected_sites=n_sites, relabel_kernel=run_config.relabel_kernel),
+        tracer=server_tracer,
     ) as handle:
         # Phase 3: concurrent uploads + relabel over real sockets.
         upload_start = time.perf_counter()
@@ -134,6 +150,7 @@ def run_serve_bench(
                 eps_local=data.eps_local,
                 min_pts_local=data.min_pts,
                 scheme=scheme,
+                tracer=worker_tracers.get(site_id),
             )
 
         threads = [
@@ -202,7 +219,8 @@ def run_serve_bench(
         query_seconds = time.perf_counter() - query_start
 
         # Phase 5: live scrape of the HTTP OpenMetrics endpoint, parsed
-        # with the strict parser — a malformed exposition is a failure.
+        # with the strict parser — a malformed exposition *or* a missing
+        # OpenMetrics content-type is a failure.
         scrape_ok = 0.0
         scrape_families = 0
         try:
@@ -210,7 +228,8 @@ def run_serve_bench(
                 f"http://{handle.host}:{handle.metrics_port}/metrics", timeout=10
             ) as response:
                 exposition = response.read().decode("utf-8")
-            families = parse_openmetrics(exposition)
+                content_type = response.headers.get("Content-Type")
+            families = parse_openmetrics(exposition, content_type=content_type)
             scrape_families = len(families)
             scrape_ok = 1.0 if scrape_families > 0 else 0.0
         except Exception as error:
@@ -222,6 +241,13 @@ def run_serve_bench(
                 health = service.health()
         except Exception as error:
             report["health_error"] = str(error)
+
+        # Phase 5b (--trace): merge the distributed trace while the loop
+        # is still running and gate it — schema-valid, every process
+        # shipped its spans, one admission span per site.
+        trace_doc = None
+        if trace:
+            trace_doc = handle.merged_trace()
 
     total_seconds = time.perf_counter() - bench_start
     n_failed_queries = sum(query_failures)
@@ -249,7 +275,44 @@ def run_serve_bench(
         "serve.query_max_wall_seconds": max(latencies, default=0.0),
         "serve.total_wall_seconds": total_seconds,
     }
+    if trace_doc is not None:
+        schema_errors = validate_trace(trace_doc)
+        processes = trace_doc.get("processes", {})
+        expected = {"server"} | {f"site-{i}" for i in range(n_sites)}
+        n_admissions = _count_named_spans(trace_doc, "serve[local_model]")
+        report["trace"] = trace_doc
+        report["metrics"].update(
+            {
+                "serve.trace_schema_ok": 0.0 if schema_errors else 1.0,
+                "serve.trace_processes_ok": (
+                    1.0 if expected <= set(processes) else 0.0
+                ),
+                "serve.trace_admissions_ok": (
+                    1.0 if n_admissions == n_sites else 0.0
+                ),
+                "serve.trace_processes_count": float(len(processes)),
+                "serve.trace_spans_count": float(
+                    _count_named_spans(trace_doc, None)
+                ),
+            }
+        )
+        if schema_errors:
+            report["trace_schema_errors"] = schema_errors
     return report
+
+
+def _count_named_spans(doc: dict, name: str | None) -> int:
+    """Spans named ``name`` anywhere in the document (all when ``None``)."""
+
+    def count(spans: list) -> int:
+        total = 0
+        for span in spans:
+            if name is None or span.get("name") == name:
+                total += 1
+            total += count(span.get("children", []))
+        return total
+
+    return count(doc.get("spans", []))
 
 
 def _sweep_worker(
@@ -495,6 +558,15 @@ def format_serve_summary(report: dict) -> str:
         f"queries {metrics['serve.query_phase_wall_seconds']:.2f}s, "
         f"total {metrics['serve.total_wall_seconds']:.2f}s",
     ]
+    if "serve.trace_schema_ok" in metrics:
+        lines.append(
+            f"  distributed trace: schema "
+            f"{'ok' if metrics['serve.trace_schema_ok'] else 'INVALID'}, "
+            f"{int(metrics['serve.trace_processes_count'])} processes, "
+            f"{int(metrics['serve.trace_spans_count'])} spans "
+            f"(all sites shipped: "
+            f"{'yes' if metrics['serve.trace_processes_ok'] else 'NO'})"
+        )
     return "\n".join(lines)
 
 
@@ -503,6 +575,9 @@ def record_serve_bench(report: dict, registry_root: str = ".runs") -> dict:
     from repro.obs.registry import RunRegistry
 
     meta = report["meta"]
+    artifacts = {"BENCH_serve.json": report}
+    if report.get("trace") is not None:
+        artifacts["TRACE_serve.json"] = report["trace"]
     record = RunRegistry(registry_root).record(
         "serve-bench",
         config={
@@ -519,7 +594,7 @@ def record_serve_bench(report: dict, registry_root: str = ".runs") -> dict:
             )
         },
         metrics=report["metrics"],
-        artifacts={"BENCH_serve.json": report},
+        artifacts=artifacts,
     )
     meta["run_id"] = record["run_id"]
     return record
@@ -552,6 +627,13 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="local model scheme",
     )
     parser.add_argument("--seed", type=int, default=42, help="partition seed")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace the bench: merge the distributed trace, gate it "
+        "(serve.trace_* metrics) and store it as a TRACE_serve.json "
+        "artifact",
+    )
     parser.add_argument(
         "--client-sweep",
         default="",
@@ -589,6 +671,7 @@ def main(argv: list[str] | None = None) -> int:
         query_batch=args.query_batch,
         scheme=args.scheme,
         seed=args.seed,
+        trace=args.trace,
     )
     print(format_serve_summary(report))
     if not args.no_registry:
@@ -603,6 +686,12 @@ def main(argv: list[str] | None = None) -> int:
         or report["metrics"]["serve.upload_failed"]
         or report["metrics"]["serve.query_failed"]
     )
+    if args.trace:
+        failed = failed or not (
+            report["metrics"].get("serve.trace_schema_ok")
+            and report["metrics"].get("serve.trace_processes_ok")
+            and report["metrics"].get("serve.trace_admissions_ok")
+        )
     if args.client_sweep:
         counts = tuple(
             int(part) for part in args.client_sweep.split(",") if part.strip()

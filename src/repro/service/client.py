@@ -17,13 +17,91 @@ for socket failures.  Nothing blocks past the transport timeout.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.models import GlobalModel, LocalModel
 from repro.service import wire
 from repro.service.transport import ServiceError, SocketTransport
 
-__all__ = ["ServiceClient"]
+__all__ = ["ServiceClient", "ClockSync", "sync_clock", "upload_trace"]
+
+
+class ClockSync:
+    """One NTP-style clock-offset estimate for a connection.
+
+    Attributes:
+        offset_s: estimated ``server_clock - client_clock`` in
+            ``perf_counter`` seconds; *add* it to client timestamps to
+            place them on the server's timeline.
+        rtt_s: measured round-trip time net of server hold time — the
+            uncertainty radius of ``offset_s``.
+    """
+
+    __slots__ = ("offset_s", "rtt_s")
+
+    def __init__(self, offset_s: float, rtt_s: float) -> None:
+        self.offset_s = offset_s
+        self.rtt_s = rtt_s
+
+
+def sync_clock(transport: SocketTransport) -> ClockSync:
+    """Estimate the server/client ``perf_counter`` offset.
+
+    A single NTP-style exchange over a ``TRACE_UPLOAD`` probe: the
+    client stamps send/receive times ``t0``/``t3``, the server answers
+    with its receive/send times ``t1``/``t2``, and the offset is
+    ``((t1 - t0) + (t2 - t3)) / 2`` — exact when the two directions are
+    symmetric, otherwise off by at most half the asymmetry (bounded by
+    ``rtt_s``).
+    """
+    t0 = time.perf_counter()
+    response = transport.request(
+        wire.FrameKind.TRACE_UPLOAD,
+        wire.encode_json({"probe": True, "client_send_wall": t0}),
+    )
+    t3 = time.perf_counter()
+    reply = wire.decode_json(response.payload)
+    t1 = float(reply["server_recv_wall"])
+    t2 = float(reply["server_send_wall"])
+    return ClockSync(
+        offset_s=((t1 - t0) + (t2 - t3)) / 2.0,
+        rtt_s=(t3 - t0) - (t2 - t1),
+    )
+
+
+def upload_trace(
+    transport: SocketTransport,
+    tracer,
+    *,
+    process: str,
+    site: int | None = None,
+) -> str:
+    """Ship a tracer's span forest to the service for merging.
+
+    Runs a :func:`sync_clock` exchange first, then uploads the exported
+    spans together with the measured offset so the server can place the
+    remote lane on its own timeline.  No-op (returns ``"disabled"``)
+    when the tracer is off — the untraced path sends nothing.
+    """
+    if not tracer.enabled:
+        return "disabled"
+    sync = sync_clock(transport)
+    document = {
+        "process": process,
+        "site": site,
+        "trace_id": tracer.trace_id,
+        "wall_origin": tracer.wall_origin,
+        "clock_offset_s": sync.offset_s,
+        "rtt_s": sync.rtt_s,
+        "spans": tracer.export_spans(),
+    }
+    response = transport.request(
+        wire.FrameKind.TRACE_UPLOAD, wire.encode_json(document)
+    )
+    status, __ = wire.decode_status(response.payload)
+    return status
 
 
 class ServiceClient:
@@ -37,6 +115,11 @@ class ServiceClient:
         timeout_s: per-operation socket timeout.
         transport: inject a pre-built transport (tests); overrides
             ``host``/``port``.
+        tracer: forwarded to the built transport — outgoing frames then
+            carry this tracer's trace context (see
+            :meth:`SocketTransport.current_context`).
+        metrics: forwarded to the built transport (per-frame-kind byte
+            counters).
     """
 
     def __init__(
@@ -47,11 +130,23 @@ class ServiceClient:
         site_id: int = wire.SERVER_ID,
         timeout_s: float = 30.0,
         transport: SocketTransport | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.transport = transport or SocketTransport(
-            host, port, site_id=site_id, timeout_s=timeout_s
+            host,
+            port,
+            site_id=site_id,
+            timeout_s=timeout_s,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.site_id = self.transport.site_id
+
+    @property
+    def tracer(self):
+        """The transport's tracer (:data:`~repro.obs.NULL_TRACER` when off)."""
+        return self.transport.tracer
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -191,6 +286,18 @@ class ServiceClient:
         """The OpenMetrics exposition, fetched over the protocol port."""
         response = self.transport.request(wire.FrameKind.METRICS)
         return response.payload.decode("utf-8")
+
+    def sync_clock(self) -> ClockSync:
+        """Estimate this connection's server-clock offset (see
+        :func:`sync_clock`)."""
+        return sync_clock(self.transport)
+
+    def upload_trace(self, *, process: str, site: int | None = None) -> str:
+        """Ship the client tracer's spans to the service (see
+        :func:`upload_trace`)."""
+        return upload_trace(
+            self.transport, self.tracer, process=process, site=site
+        )
 
     def shutdown(self) -> bool:
         """Ask the service to shut down gracefully.

@@ -48,8 +48,8 @@ from repro.clustering.labels import NOISE
 from repro.core.global_model import GlobalModelRepairer
 from repro.core.relabel import relabel_site
 from repro.distributed.server import CentralServer
-from repro.obs import MetricsRegistry
-from repro.obs.openmetrics import render_registry
+from repro.obs import MetricsRegistry, NULL_TRACER, shift_span_times, trace_document
+from repro.obs.openmetrics import OPENMETRICS_CONTENT_TYPE, render_registry
 from repro.service import wire
 
 __all__ = ["ServiceConfig", "DBDCService", "ServiceHandle"]
@@ -140,6 +140,12 @@ class DBDCService:
         metrics: optional shared registry (fresh one otherwise); the
             hosted ``CentralServer`` records its ``server.*`` metrics
             into the same registry the HTTP endpoint serves.
+        tracer: optional :class:`~repro.obs.Tracer` for distributed
+            tracing — the service records ``serve[...]`` /
+            ``round_commit`` spans, accepts ``TRACE_UPLOAD`` span
+            forests from remote processes, and merges everything into
+            one document (:meth:`merged_trace_document`).  The default
+            :data:`~repro.obs.NULL_TRACER` keeps serving allocation-free.
     """
 
     def __init__(
@@ -147,9 +153,13 @@ class DBDCService:
         config: ServiceConfig | None = None,
         *,
         metrics: MetricsRegistry | None = None,
+        tracer=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        #: TRACE_UPLOAD documents from remote processes, merge inputs.
+        self._remote_traces: list[dict] = []
         self.server = CentralServer(
             self.config.eps_global,
             metric=self.config.metric,
@@ -376,6 +386,7 @@ class DBDCService:
         """
         round_ = self._round
         assert round_ is not None
+        commit_start = time.perf_counter()
         models = sorted(round_.models, key=lambda model: model.site_id)
         if self._repairer is None:
             # Round 0: server.local_models holds exactly this round's
@@ -395,6 +406,17 @@ class DBDCService:
         self._built.set()
         self._commit_event(round_.index).set()
         self.metrics.set("service.rounds_committed", self._rounds_committed)
+        if self.tracer.enabled:
+            self.tracer.record(
+                "round_commit",
+                wall_start=commit_start,
+                wall_end=time.perf_counter(),
+                attrs={
+                    "process": "server",
+                    "round": round_.index,
+                    "n_models": len(models),
+                },
+            )
 
     def _handle_round_commit(
         self, round_index: int
@@ -542,8 +564,20 @@ class DBDCService:
                     break
                 if frame is None:
                     break
+                recv_wall = time.perf_counter()
                 self._frames_total += 1
-                self.metrics.inc(f"service.frames[{frame.kind.name.lower()}]")
+                kind_label = frame.kind.name.lower()
+                self.metrics.inc(f"service.frames[{kind_label}]")
+                # Payload bytes only — the accounting SimulatedNetwork
+                # keeps in bytes_by_kind, so both backends reconcile.
+                self.metrics.inc(
+                    f"service.frame_bytes_received[{kind_label}]",
+                    len(frame.payload),
+                )
+                self.metrics.observe(
+                    f"service.request_payload_bytes[{kind_label}]",
+                    float(len(frame.payload)),
+                )
                 # Mark this connection busy while a request is in flight:
                 # stop() waits for busy connections (grace-bounded) so a
                 # released waiter can flush its shutting_down frame
@@ -552,7 +586,7 @@ class DBDCService:
                 assert task is not None
                 self._busy.add(task)
                 try:
-                    kind, payload = await self._dispatch(frame)
+                    kind, payload = await self._dispatch(frame, recv_wall)
                     await self._reply(writer, kind, payload)
                 finally:
                     self._busy.discard(task)
@@ -571,26 +605,53 @@ class DBDCService:
     async def _reply(
         self, writer: asyncio.StreamWriter, kind: wire.FrameKind, payload: bytes
     ) -> None:
+        # Count before writing: a client that has read the reply must be
+        # able to observe the counter (payload bytes, the accounting
+        # SimulatedNetwork keeps in bytes_by_kind).
+        self.metrics.inc(
+            f"service.frame_bytes_sent[{kind.name.lower()}]", len(payload)
+        )
         writer.write(wire.encode_frame(kind, payload, site_id=wire.SERVER_ID))
         await writer.drain()
 
-    async def _dispatch(self, frame: wire.Frame) -> tuple[wire.FrameKind, bytes]:
-        """Answer one request frame; always returns a response frame."""
+    async def _dispatch(
+        self, frame: wire.Frame, recv_wall: float
+    ) -> tuple[wire.FrameKind, bytes]:
+        """Answer one request frame; always returns a response frame.
+
+        ``recv_wall`` is the ``perf_counter`` read taken right after the
+        frame was read off the wire — it anchors per-kind latency
+        histograms and the clock-sync handshake's receive stamp.
+        """
         try:
-            return await self._dispatch_inner(frame)
+            result = await self._dispatch_inner(frame, recv_wall)
         except wire.WireError as error:
             self.metrics.inc("service.frame_errors")
-            return wire.FrameKind.ERROR, wire.encode_status(
+            result = wire.FrameKind.ERROR, wire.encode_status(
                 "bad_request", str(error)
             )
         except Exception as error:  # never let one request kill the loop
             self.metrics.inc("service.internal_errors")
-            return wire.FrameKind.ERROR, wire.encode_status(
+            result = wire.FrameKind.ERROR, wire.encode_status(
                 "internal_error", f"{type(error).__name__}: {error}"
             )
+        self.metrics.observe(
+            f"service.dispatch_seconds[{frame.kind.name.lower()}]",
+            time.perf_counter() - recv_wall,
+        )
+        return result
+
+    def _context_attrs(self, frame: wire.Frame) -> dict:
+        """Trace-context span attributes from a version-2 frame (the
+        caller guards on ``self.tracer.enabled``)."""
+        attrs: dict = {}
+        if frame.context is not None:
+            attrs["trace_id"] = f"{frame.context.trace_id:032x}"
+            attrs["parent_span_id"] = f"{frame.context.span_id:016x}"
+        return attrs
 
     async def _dispatch_inner(
-        self, frame: wire.Frame
+        self, frame: wire.Frame, recv_wall: float
     ) -> tuple[wire.FrameKind, bytes]:
         kind = frame.kind
         if kind == wire.FrameKind.LOCAL_MODEL:
@@ -599,7 +660,24 @@ class DBDCService:
                     "no_round_open",
                     "streaming session active; send ROUND_OPEN first",
                 )
+            round_index = self._round.index if self._round is not None else None
             verdict, detail = self._admit(frame)
+            if self.tracer.enabled:
+                attrs = {
+                    "process": "server",
+                    "site": int(frame.site_id),
+                    "verdict": verdict,
+                    "payload_bytes": len(frame.payload),
+                    **self._context_attrs(frame),
+                }
+                if round_index is not None:
+                    attrs["round"] = round_index
+                self.tracer.record(
+                    "serve[local_model]",
+                    wall_start=recv_wall,
+                    wall_end=time.perf_counter(),
+                    attrs=attrs,
+                )
             status_kind = (
                 wire.FrameKind.ACK if verdict == "admitted" else wire.FrameKind.ERROR
             )
@@ -661,8 +739,26 @@ class DBDCService:
                     f"known_reps {known_reps} out of range "
                     f"[0, {len(model.representatives)}]",
                 )
+            encode_start = time.perf_counter()
             delta = wire.delta_from_model(model, known_reps)
-            return wire.FrameKind.MODEL_DELTA, wire.encode_model_delta(delta)
+            payload = wire.encode_model_delta(delta)
+            if self.tracer.enabled:
+                # Covers the delta encode only — the wait before it is
+                # the *client's* await_delta time, not server work.
+                self.tracer.record(
+                    "serve[model_delta]",
+                    wall_start=encode_start,
+                    wall_end=time.perf_counter(),
+                    attrs={
+                        "process": "server",
+                        "site": int(frame.site_id),
+                        "round": round_index,
+                        "waited_s": encode_start - recv_wall,
+                        "payload_bytes": len(payload),
+                        **self._context_attrs(frame),
+                    },
+                )
+            return wire.FrameKind.MODEL_DELTA, payload
         if kind == wire.FrameKind.LABEL_QUERY:
             points = wire.decode_points(frame.payload)
             model = self._current_model()
@@ -690,6 +786,31 @@ class DBDCService:
             )
             self.metrics.inc("service.labels_served", int(labels.size))
             return wire.FrameKind.LABEL_REPLY, wire.encode_labels(labels)
+        if kind == wire.FrameKind.TRACE_UPLOAD:
+            document = wire.decode_json(frame.payload)
+            if document.get("probe"):
+                # Clock-sync handshake: echo the server's receive/send
+                # perf_counter stamps so the client can estimate the
+                # offset NTP-style.
+                return wire.FrameKind.TRACE_REPLY, wire.encode_json(
+                    {
+                        "server_recv_wall": recv_wall,
+                        "server_send_wall": time.perf_counter(),
+                    }
+                )
+            required = ("process", "wall_origin", "clock_offset_s", "spans")
+            missing = [key for key in required if key not in document]
+            if missing:
+                return wire.FrameKind.ERROR, wire.encode_status(
+                    "bad_trace", f"trace upload missing keys {missing}"
+                )
+            self._remote_traces.append(document)
+            self.metrics.inc("service.trace_uploads")
+            return wire.FrameKind.ACK, wire.encode_status(
+                "trace_recorded",
+                f"{len(document['spans'])} root spans from "
+                f"{document['process']}",
+            )
         if kind == wire.FrameKind.HEALTH:
             return wire.FrameKind.HEALTH_REPLY, wire.encode_json(self.health())
         if kind == wire.FrameKind.METRICS:
@@ -734,7 +855,60 @@ class DBDCService:
                 self._round.index if self._round is not None else None
             ),
             "shutdown_notices": self._n_shutdown_notices,
+            "trace_uploads": len(self._remote_traces),
         }
+
+    # ------------------------------------------------------------------
+    # distributed-trace merge
+    # ------------------------------------------------------------------
+    def merged_trace_document(self) -> dict:
+        """One trace document covering every process of the session.
+
+        The server's own spans form the base document; each
+        ``TRACE_UPLOAD`` forest is shifted onto the server's timeline
+        (remote origin + estimated clock offset − server origin), its
+        roots stamped with ``process``/``site`` attributes so the
+        Chrome export gives every remote process its own pid lane, and
+        the top-level ``processes`` map records the per-connection
+        clock-offset estimates.
+        """
+        doc = trace_document(self.tracer, self.metrics)
+        processes: dict[str, dict] = {
+            "server": {
+                "site": None,
+                "clock_offset_s": 0.0,
+                "rtt_s": 0.0,
+                "n_spans": len(self.tracer.roots),
+            }
+        }
+        for upload in self._remote_traces:
+            delta = (
+                float(upload["wall_origin"])
+                + float(upload["clock_offset_s"])
+                - self.tracer.wall_origin
+            )
+            process = str(upload["process"])
+            site = upload.get("site")
+            for root in upload["spans"]:
+                shifted = shift_span_times(root, delta)
+                attrs = dict(shifted.get("attrs", {}))
+                attrs.setdefault("process", process)
+                if site is not None:
+                    attrs.setdefault("site", int(site))
+                shifted["attrs"] = attrs
+                doc["spans"].append(shifted)
+            entry = processes.setdefault(
+                process,
+                {
+                    "site": int(site) if site is not None else None,
+                    "clock_offset_s": float(upload["clock_offset_s"]),
+                    "rtt_s": float(upload.get("rtt_s", 0.0)),
+                    "n_spans": 0,
+                },
+            )
+            entry["n_spans"] += len(upload["spans"])
+        doc["processes"] = processes
+        return doc
 
     # ------------------------------------------------------------------
     # HTTP metrics endpoint
@@ -763,9 +937,7 @@ class DBDCService:
                 self.metrics.inc("service.metrics_scrapes")
                 body = render_registry(self.metrics.to_dict()).encode("utf-8")
                 status = "200 OK"
-                content_type = (
-                    "application/openmetrics-text; version=1.0.0; charset=utf-8"
-                )
+                content_type = OPENMETRICS_CONTENT_TYPE
             else:
                 body = b"only GET /metrics is served\n"
                 status = "404 Not Found"
@@ -837,10 +1009,11 @@ class ServiceHandle:
         config: ServiceConfig | None = None,
         *,
         metrics: MetricsRegistry | None = None,
+        tracer=None,
         timeout_s: float = 10.0,
     ) -> "ServiceHandle":
         """Boot a service thread and block until it is accepting."""
-        handle = cls(service=DBDCService(config, metrics=metrics))
+        handle = cls(service=DBDCService(config, metrics=metrics, tracer=tracer))
         handle._thread = threading.Thread(
             target=handle._thread_main, name="dbdc-service", daemon=True
         )
@@ -868,6 +1041,24 @@ class ServiceHandle:
         self._ready.set()
         await service._shutdown.wait()
         await service.stop()
+
+    def merged_trace(self, timeout_s: float = 10.0) -> dict:
+        """The merged distributed-trace document (thread-safe).
+
+        While the service loop is running the merge executes *on* the
+        loop (its state is loop-owned); after :meth:`stop` the thread is
+        gone and the direct call is safe.
+        """
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            future = asyncio.run_coroutine_threadsafe(
+                self._merged_trace_on_loop(), loop
+            )
+            return future.result(timeout_s)
+        return self.service.merged_trace_document()
+
+    async def _merged_trace_on_loop(self) -> dict:
+        return self.service.merged_trace_document()
 
     def stop(self, timeout_s: float = 10.0) -> None:
         """Request shutdown and join the service thread."""

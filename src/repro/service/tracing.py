@@ -1,0 +1,555 @@
+"""Distributed tracing of socket sessions: the ``serve-trace`` command.
+
+Runs an N-site, R-round streaming session over real sockets with
+tracing enabled end to end — site workers and the service each record
+into :class:`~repro.obs.Tracer` instances sharing one trace id, frames
+carry the wire :class:`~repro.service.wire.TraceContext`, and workers
+ship their span forests to the service over ``TRACE_UPLOAD`` frames —
+then merges everything into ONE trace document
+(:meth:`~repro.service.server.DBDCService.merged_trace_document`).
+
+The merged document is gated three ways, mirroring what ``repro trace
+--smoke`` does for the in-process path:
+
+* **schema**: it validates against the checked-in trace schema
+  (``processes`` map + per-span ``span_id`` are part of the schema);
+* **attribution**: every round's wall time at every site is fully
+  attributed — the per-round trace spans agree with the worker results
+  within 1%, and each round span's phase children exactly partition it;
+* **gating**: :func:`critical_path` names, for every round, the gating
+  site and its gating phase (local DBSCAN vs upload vs await+server
+  work vs relabel), plus the server-side admission / repair / broadcast
+  seconds for the round.
+
+CI runs ``python -m repro serve-trace --smoke-gates`` and regresses the
+recorded metrics against ``baselines/service_trace_smoke.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    validate_trace,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.service.server import ServiceConfig, ServiceHandle
+from repro.service.worker import SiteSessionResult, run_site_worker_session
+
+__all__ = [
+    "SessionTraceReport",
+    "run_traced_socket_session",
+    "reconcile_session_trace",
+    "critical_path",
+    "format_critical_path",
+    "record_serve_trace",
+    "main",
+]
+
+DEFAULT_TRACE_PATH = "TRACE_service.json"
+
+#: The phase children of a worker ``round`` span, in protocol order.
+ROUND_PHASES = ("open_round", "local_dbscan", "upload", "await_delta", "relabel")
+
+
+@dataclass
+class SessionTraceReport:
+    """Outcome of one fully traced socket streaming session.
+
+    Attributes:
+        doc: the merged distributed-trace document.
+        results: per-site :class:`SiteSessionResult`.
+        n_sites: sites per round.
+        n_rounds: rounds run.
+        trace_id: the shared 128-bit trace id.
+        labels_identical: whether every (round, site) label array is
+            bit-identical to the in-process streaming oracle — the PR 8
+            guarantee, re-checked with tracing ON.
+        wall_seconds: end-to-end session wall time (slowest worker).
+    """
+
+    doc: dict
+    results: dict[int, SiteSessionResult]
+    n_sites: int
+    n_rounds: int
+    trace_id: int
+    labels_identical: bool = False
+    wall_seconds: float = 0.0
+    problems: list = field(default_factory=list)
+
+
+def _session_batches(
+    dataset: str, cardinality: int | None, n_sites: int, n_rounds: int, seed: int
+):
+    """Round-robin per-round batches, the layout the session tests use."""
+    from repro.data.datasets import load_dataset
+
+    data = load_dataset(dataset, cardinality=cardinality, seed=seed)
+    points = data.points
+    chunk = points.shape[0] // n_rounds
+    batches = []
+    for round_index in range(n_rounds):
+        block = points[round_index * chunk : (round_index + 1) * chunk]
+        batches.append([block[i::n_sites] for i in range(n_sites)])
+    return data, batches
+
+
+def run_traced_socket_session(
+    *,
+    dataset: str = "A",
+    cardinality: int | None = 960,
+    n_sites: int = 4,
+    n_rounds: int = 3,
+    seed: int = 0,
+    scheme: str = "rep_scor",
+    timeout_s: float = 30.0,
+    check_oracle: bool = True,
+) -> SessionTraceReport:
+    """Run one traced socket session and merge the distributed trace.
+
+    The service and every worker trace into the same logical trace (the
+    workers' tracers are constructed with the server tracer's id), so
+    the merged document is one trace with one id across all processes.
+
+    Args:
+        dataset: paper data set name (``A``/``B``/``C``).
+        cardinality: optional cardinality override.
+        n_sites: concurrent site workers per round.
+        n_rounds: streaming rounds.
+        seed: dataset seed.
+        scheme: local model scheme.
+        timeout_s: per-operation socket timeout.
+        check_oracle: also run the in-process streaming oracle and
+            verify bit-identical labels (the PR 8 pin, with tracing on).
+    """
+    data, batches = _session_batches(
+        dataset, cardinality, n_sites, n_rounds, seed
+    )
+    metrics = MetricsRegistry()
+    server_tracer = Tracer()
+    worker_tracers = {
+        site_id: Tracer(trace_id=server_tracer.trace_id)
+        for site_id in range(n_sites)
+    }
+    results: dict[int, SiteSessionResult] = {}
+    start = time.perf_counter()
+    with ServiceHandle.start(
+        ServiceConfig(expected_sites=n_sites, metrics_port=None),
+        metrics=metrics,
+        tracer=server_tracer,
+    ) as handle:
+
+        def work(site_id: int) -> None:
+            results[site_id] = run_site_worker_session(
+                handle.host,
+                handle.port,
+                site_id,
+                [batches[r][site_id] for r in range(n_rounds)],
+                n_sites=n_sites,
+                eps_local=data.eps_local,
+                min_pts_local=data.min_pts,
+                scheme=scheme,
+                timeout_s=timeout_s,
+                tracer=worker_tracers[site_id],
+            )
+
+        threads = [
+            threading.Thread(target=work, args=(site_id,), daemon=True)
+            for site_id in range(n_sites)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        doc = handle.merged_trace()
+    wall_seconds = time.perf_counter() - start
+
+    labels_identical = False
+    problems: list[str] = []
+    for site_id in range(n_sites):
+        result = results.get(site_id)
+        if result is None or result.error:
+            problems.append(
+                f"site {site_id} failed: "
+                f"{result.error if result else 'no result'}"
+            )
+    if check_oracle and not problems:
+        from repro.distributed.streaming import run_streaming_session
+
+        oracle = run_streaming_session(
+            batches,
+            eps_local=data.eps_local,
+            min_pts_local=data.min_pts,
+            scheme=scheme,
+        )
+        labels_identical = all(
+            np.array_equal(
+                results[site_id].labels[round_index],
+                oracle.labels[round_index][site_id],
+            )
+            for site_id in range(n_sites)
+            for round_index in range(n_rounds)
+        )
+        if not labels_identical:
+            problems.append("traced socket labels diverge from the oracle")
+    return SessionTraceReport(
+        doc=doc,
+        results=results,
+        n_sites=n_sites,
+        n_rounds=n_rounds,
+        trace_id=server_tracer.trace_id,
+        labels_identical=labels_identical,
+        wall_seconds=wall_seconds,
+        problems=problems,
+    )
+
+
+def _walk_doc(spans, site=None, process=None):
+    """Yield ``(span, site, process)`` with attr inheritance."""
+    for span in spans:
+        attrs = span.get("attrs", {})
+        span_site = attrs.get("site", site)
+        span_process = attrs.get("process", process)
+        yield span, span_site, span_process
+        yield from _walk_doc(span.get("children", []), span_site, span_process)
+
+
+def _duration(span: dict) -> float:
+    return span["wall_end"] - span["wall_start"]
+
+
+def _round_spans(doc: dict) -> dict[tuple[int, int], dict]:
+    """``{(round, site): round_span}`` across all worker processes."""
+    out: dict[tuple[int, int], dict] = {}
+    for span, site, __ in _walk_doc(doc.get("spans", [])):
+        if span["name"] == "round" and site is not None:
+            out[(int(span["attrs"]["round"]), int(site))] = span
+    return out
+
+
+def _server_round_seconds(doc: dict) -> dict[int, dict[str, float]]:
+    """Per-round server-side seconds: admission / repair / broadcast.
+
+    ``serve[local_model]`` spans cover the whole admission branch; the
+    ``round_commit`` recorded inside the triggering admission is carved
+    out so *admission* counts gate work only and *repair* the commit.
+    ``serve[model_delta]`` covers the delta encode (broadcast).
+    """
+    totals: dict[int, dict[str, float]] = {}
+
+    def entry(round_index: int) -> dict[str, float]:
+        return totals.setdefault(
+            round_index, {"admission": 0.0, "repair": 0.0, "broadcast": 0.0}
+        )
+
+    for span, __, __p in _walk_doc(doc.get("spans", [])):
+        attrs = span.get("attrs", {})
+        if "round" not in attrs:
+            continue
+        round_index = int(attrs["round"])
+        if span["name"] == "serve[local_model]":
+            entry(round_index)["admission"] += _duration(span)
+        elif span["name"] == "round_commit":
+            row = entry(round_index)
+            row["repair"] += _duration(span)
+            # The commit ran inside one serve[local_model] window.
+            row["admission"] -= _duration(span)
+        elif span["name"] == "serve[model_delta]":
+            entry(round_index)["broadcast"] += _duration(span)
+    for row in totals.values():
+        row["admission"] = max(row["admission"], 0.0)
+    return totals
+
+
+def reconcile_session_trace(
+    report: SessionTraceReport, *, tolerance: float = 0.01
+) -> list[str]:
+    """Gate the merged trace: schema, attribution, completeness.
+
+    Attribution is exact by construction — the round spans are recorded
+    from the same ``perf_counter`` reads that fill
+    ``SiteSessionResult.round_wall_seconds``, and the phase children
+    share boundary reads so they exactly partition each round —
+    ``tolerance`` (relative) only absorbs float round-trips.
+
+    Returns:
+        Human-readable problems (empty = fully reconciled).
+    """
+    doc = report.doc
+    problems = [f"schema: {err}" for err in validate_trace(doc)]
+    problems += list(report.problems)
+
+    rounds = _round_spans(doc)
+    for site_id in range(report.n_sites):
+        result = report.results.get(site_id)
+        if result is None:
+            continue
+        for round_index in range(report.n_rounds):
+            span = rounds.get((round_index, site_id))
+            if span is None:
+                problems.append(
+                    f"round span missing for round {round_index} "
+                    f"site {site_id}"
+                )
+                continue
+            span_s = _duration(span)
+            if round_index < len(result.round_wall_seconds):
+                result_s = result.round_wall_seconds[round_index]
+                if abs(span_s - result_s) > tolerance * max(result_s, 1e-9):
+                    problems.append(
+                        f"round {round_index} site {site_id}: span "
+                        f"{span_s:.6f}s vs result {result_s:.6f}s"
+                    )
+            children = span.get("children", [])
+            names = [child["name"] for child in children]
+            if names != list(ROUND_PHASES):
+                problems.append(
+                    f"round {round_index} site {site_id}: phases {names} "
+                    f"!= {list(ROUND_PHASES)}"
+                )
+                continue
+            covered = sum(_duration(child) for child in children)
+            if abs(covered - span_s) > tolerance * max(span_s, 1e-9):
+                problems.append(
+                    f"round {round_index} site {site_id}: phases cover "
+                    f"{covered:.6f}s of {span_s:.6f}s"
+                )
+
+    server = _server_round_seconds(doc)
+    for round_index in range(report.n_rounds):
+        if round_index not in server:
+            problems.append(f"no server spans for round {round_index}")
+        elif server[round_index]["repair"] <= 0.0:
+            problems.append(f"no round_commit span for round {round_index}")
+
+    expected_uploads = report.n_sites * report.n_rounds
+    n_admissions = sum(
+        1
+        for span, __, __p in _walk_doc(doc.get("spans", []))
+        if span["name"] == "serve[local_model]"
+    )
+    if n_admissions != expected_uploads:
+        problems.append(
+            f"{n_admissions} serve[local_model] spans, "
+            f"expected {expected_uploads}"
+        )
+
+    trace_hex = f"{report.trace_id:032x}"
+    stamped = [
+        span
+        for span, __, __p in _walk_doc(doc.get("spans", []))
+        if span["name"] == "serve[local_model]"
+        and span.get("attrs", {}).get("trace_id") == trace_hex
+    ]
+    if len(stamped) != n_admissions:
+        problems.append(
+            f"only {len(stamped)}/{n_admissions} admissions carry the "
+            f"session trace id (context not propagated?)"
+        )
+
+    processes = doc.get("processes", {})
+    expected_processes = {"server"} | {
+        f"site-{site_id}" for site_id in range(report.n_sites)
+    }
+    missing = expected_processes - set(processes)
+    if missing:
+        problems.append(f"processes missing from merged doc: {sorted(missing)}")
+    return problems
+
+
+def critical_path(doc: dict) -> list[dict]:
+    """Per-round critical-path rows from a merged session trace.
+
+    For each round: the *gating site* is the one whose round span is
+    longest (the round cannot commit before its slowest site), the
+    *gating phase* is that site's longest phase child, and the server
+    columns break the round's server work into admission (gate checks),
+    repair (the commit's model fold) and broadcast (delta encodes).
+    """
+    rounds = _round_spans(doc)
+    server = _server_round_seconds(doc)
+    by_round: dict[int, list[tuple[int, dict]]] = {}
+    for (round_index, site_id), span in rounds.items():
+        by_round.setdefault(round_index, []).append((site_id, span))
+    rows: list[dict] = []
+    for round_index in sorted(by_round):
+        site_id, span = max(
+            by_round[round_index], key=lambda pair: _duration(pair[1])
+        )
+        children = span.get("children", [])
+        phase = (
+            max(children, key=_duration) if children else None
+        )
+        row = {
+            "round": round_index,
+            "gating_site": site_id,
+            "site_wall_seconds": _duration(span),
+            "gating_phase": phase["name"] if phase else "",
+            "phase_seconds": _duration(phase) if phase else 0.0,
+            "n_sites": len(by_round[round_index]),
+        }
+        row.update(
+            {
+                f"server_{key}_seconds": value
+                for key, value in server.get(
+                    round_index,
+                    {"admission": 0.0, "repair": 0.0, "broadcast": 0.0},
+                ).items()
+            }
+        )
+        rows.append(row)
+    return rows
+
+
+def format_critical_path(rows: list[dict]) -> str:
+    """Human-readable per-round critical-path report."""
+    if not rows:
+        return "critical path: no round spans in trace"
+    lines = ["round critical path (gating site / phase, server breakdown):"]
+    for row in rows:
+        lines.append(
+            f"  round {row['round']}: site {row['gating_site']} gates at "
+            f"{row['site_wall_seconds']:.4f}s "
+            f"({row['gating_phase']} {row['phase_seconds']:.4f}s); "
+            f"server admission {row['server_admission_seconds'] * 1e3:.2f}ms, "
+            f"repair {row['server_repair_seconds'] * 1e3:.2f}ms, "
+            f"broadcast {row['server_broadcast_seconds'] * 1e3:.2f}ms"
+        )
+    return "\n".join(lines)
+
+
+def _count_spans(doc: dict) -> int:
+    return sum(1 for __ in _walk_doc(doc.get("spans", [])))
+
+
+def record_serve_trace(
+    report: SessionTraceReport,
+    rows: list[dict],
+    problems: list[str],
+    args: argparse.Namespace,
+    registry_root: str,
+) -> dict:
+    """Append one serve-trace run to the run registry.
+
+    The boolean gates (``*_ok`` + ``labels_identical``) regress at zero
+    tolerance and survive ``--ignore-timing``; counts are deterministic
+    for the pinned seed; wall clocks are timing-tagged.
+    """
+    from repro.obs.registry import RunRegistry
+
+    doc = report.doc
+    gating_named = bool(rows) and len(rows) == report.n_rounds and all(
+        row["gating_phase"] for row in rows
+    )
+    attribution_problems = [p for p in problems if not p.startswith("schema:")]
+    metrics: dict = {
+        "serve_trace.schema_ok": float(
+            not any(p.startswith("schema:") for p in problems)
+        ),
+        "serve_trace.attribution_ok": float(not attribution_problems),
+        "serve_trace.gating_named_ok": float(gating_named),
+        "serve_trace.labels_identical": float(report.labels_identical),
+        "serve_trace.rounds_count": float(report.n_rounds),
+        "serve_trace.sites_count": float(report.n_sites),
+        "serve_trace.spans_count": float(_count_spans(doc)),
+        "serve_trace.processes_count": float(len(doc.get("processes", {}))),
+        "serve_trace.wall_seconds": report.wall_seconds,
+    }
+    for row in rows:
+        metrics[
+            f"serve_trace.round_wall_seconds[{row['round']}]"
+        ] = row["site_wall_seconds"]
+    return RunRegistry(registry_root).record(
+        "serve-trace",
+        config={
+            "dataset": args.dataset,
+            "cardinality": args.cardinality,
+            "n_sites": args.sites,
+            "n_rounds": args.rounds,
+            "scheme": args.scheme,
+            "seed": args.seed,
+        },
+        metrics=metrics,
+        metrics_registry=doc.get("metrics"),
+        artifacts={"TRACE_service.json": doc},
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: ``python -m repro serve-trace``."""
+    parser = argparse.ArgumentParser(
+        description="Traced multi-process socket session + merged trace"
+    )
+    parser.add_argument("--dataset", default="A")
+    parser.add_argument("--cardinality", type=int, default=960)
+    parser.add_argument("--sites", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--scheme", default="rep_scor",
+                        choices=["rep_scor", "rep_kmeans"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--trace-out", default=DEFAULT_TRACE_PATH)
+    parser.add_argument("--chrome-out", default=None,
+                        help="also write Chrome trace_event JSON here")
+    parser.add_argument("--no-oracle", action="store_true",
+                        help="skip the in-process bit-identity check")
+    parser.add_argument("--registry", default=".runs",
+                        help="run registry root")
+    parser.add_argument("--no-registry", action="store_true",
+                        help="skip the RunRecord append")
+    args = parser.parse_args(argv)
+
+    report = run_traced_socket_session(
+        dataset=args.dataset,
+        cardinality=args.cardinality,
+        n_sites=args.sites,
+        n_rounds=args.rounds,
+        seed=args.seed,
+        scheme=args.scheme,
+        timeout_s=args.timeout,
+        check_oracle=not args.no_oracle,
+    )
+    problems = reconcile_session_trace(report)
+    rows = critical_path(report.doc)
+    print(
+        f"traced socket session: {args.sites} sites x {args.rounds} rounds, "
+        f"trace {report.trace_id:032x}, {_count_spans(report.doc)} spans, "
+        f"{len(report.doc.get('processes', {}))} processes"
+    )
+    print(format_critical_path(rows))
+
+    if not getattr(args, "no_registry", False):
+        registry_root = getattr(args, "registry", ".runs")
+        try:
+            record = record_serve_trace(
+                report, rows, problems, args, registry_root
+            )
+        except Exception as error:  # never fail the run over bookkeeping
+            print(f"warning: could not record run: {error}", file=sys.stderr)
+        else:
+            print(f"recorded {record['run_id']} in {registry_root}")
+    path = write_trace(report.doc, args.trace_out)
+    print(f"wrote {path}")
+    if args.chrome_out:
+        chrome_path = write_chrome_trace(report.doc, args.chrome_out)
+        print(f"wrote {chrome_path} (load in chrome://tracing)")
+
+    failed = bool(problems) or not rows or len(rows) != args.rounds
+    for problem in problems:
+        print(f"TRACE GATE FAIL: {problem}")
+    if failed and not problems:
+        print(f"TRACE GATE FAIL: {len(rows)}/{args.rounds} rounds in report")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

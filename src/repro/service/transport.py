@@ -24,6 +24,7 @@ import time
 from typing import Protocol, runtime_checkable
 
 from repro.distributed.network import Message
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.service import wire
 
 __all__ = ["Transport", "SocketTransport", "ServiceError"]
@@ -88,6 +89,15 @@ class SocketTransport:
         site_id: the site id stamped on outgoing frames.
         timeout_s: per-operation socket timeout (connect, send, read).
         max_payload: reject response frames declaring more than this.
+        tracer: when an enabled :class:`~repro.obs.Tracer` is given,
+            every request carries a version-2 frame with a
+            :class:`~repro.service.wire.TraceContext` naming the
+            tracer's trace id and the innermost open span as parent.
+            The default :data:`~repro.obs.NULL_TRACER` keeps the wire
+            bytes exactly version 1.
+        metrics: registry for ``service.frame_bytes_{sent,received}``
+            per-frame-kind counters (payload bytes, matching the
+            ``SimulatedNetwork.bytes_by_kind`` accounting).
     """
 
     def __init__(
@@ -98,6 +108,8 @@ class SocketTransport:
         site_id: int = wire.SERVER_ID,
         timeout_s: float = 30.0,
         max_payload: int = wire.DEFAULT_MAX_PAYLOAD,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s}")
@@ -106,6 +118,8 @@ class SocketTransport:
         self.site_id = site_id
         self.timeout_s = timeout_s
         self.max_payload = max_payload
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = NULL_METRICS if metrics is None else metrics
         self.bytes_sent = 0
         self.bytes_received = 0
         self.n_requests = 0
@@ -193,6 +207,24 @@ class SocketTransport:
         self._sock.sendall(data)
         self.bytes_sent += len(data)
 
+    def current_context(self) -> wire.TraceContext | None:
+        """The trace context outgoing frames should carry right now.
+
+        ``None`` when tracing is disabled — :func:`wire.encode_frame`
+        then emits plain version-1 bytes, keeping the untraced wire path
+        bit-identical.  With tracing on, the innermost open span becomes
+        the parent; outside any span the context still names the trace.
+        """
+        if not self.tracer.enabled:
+            return None
+        span = self.tracer.current_span()
+        span_id = 0 if span is None else self.tracer.ensure_span_id(span)
+        return wire.TraceContext(
+            trace_id=self.tracer.trace_id,
+            span_id=span_id,
+            flags=wire.TRACE_FLAG_SAMPLED,
+        )
+
     def request(
         self, kind: wire.FrameKind, payload: bytes = b""
     ) -> wire.Frame:
@@ -205,11 +237,26 @@ class SocketTransport:
         """
         self.connect()
         assert self._sock is not None
-        data = wire.encode_frame(kind, payload, site_id=self.site_id)
+        data = wire.encode_frame(
+            kind, payload, site_id=self.site_id, context=self.current_context()
+        )
         self._sock.sendall(data)
         self.bytes_sent += len(data)
         self.n_requests += 1
+        if self.metrics.enabled:
+            # Payload bytes only — the same accounting SimulatedNetwork
+            # keeps in bytes_by_kind, so the two backends reconcile.
+            self.metrics.inc(
+                f"service.frame_bytes_sent"
+                f"[{wire.FrameKind(kind).name.lower()}]",
+                len(payload),
+            )
         response = self.read_frame()
+        if self.metrics.enabled:
+            self.metrics.inc(
+                f"service.frame_bytes_received[{response.kind.name.lower()}]",
+                len(response.payload),
+            )
         if response.kind == wire.FrameKind.ERROR:
             status, detail = wire.decode_status(response.payload)
             raise ServiceError(status, detail)

@@ -14,12 +14,27 @@ Frame layout (little-endian, 18-byte header)::
 
     offset  size  field
     0       4     magic  b"DBDC"
-    4       1     protocol version (currently 1)
+    4       1     protocol version (1 = plain, 2 = trace-context prefixed)
     5       1     frame kind (:class:`FrameKind`)
     6       4     sender site id (int32; -1 = the central server)
-    10      4     payload length (uint32, capped by ``max_payload``)
+    10      4     body length (uint32, capped by ``max_payload``)
     14      4     CRC-32 of the payload (:func:`payload_crc32`)
-    18      ...   payload bytes
+    18      ...   body bytes
+
+A version-1 body is the payload itself.  A version-2 body carries a
+length-prefixed distributed-tracing context before the payload::
+
+    0       1     context length (must be TRACE_CONTEXT_SIZE)
+    1       25    trace context (:class:`TraceContext` — 128-bit trace
+                  id, 64-bit parent span id, 8-bit flags)
+    26      ...   payload bytes
+
+The CRC field covers the *payload only*, never the context prefix: the
+stamp must equal the :func:`payload_crc32` the simulated network and the
+admission gate compute over the same payload, so turning tracing on
+cannot perturb integrity semantics.  ``encode_frame`` without a context
+emits exactly the version-1 bytes — the no-trace wire path is
+bit-identical by construction.
 
 Every malformed input raises a typed :class:`WireError` subclass —
 decoders never hang and never return garbage: short buffers raise
@@ -46,8 +61,14 @@ from repro.faults.integrity import crc_matches, payload_crc32
 __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
+    "TRACE_PROTOCOL_VERSION",
     "SERVER_ID",
     "DEFAULT_MAX_PAYLOAD",
+    "TRACE_CONTEXT_SIZE",
+    "TRACE_FLAG_SAMPLED",
+    "TraceContext",
+    "encode_trace_context",
+    "decode_trace_context",
     "FrameKind",
     "Frame",
     "WireError",
@@ -92,6 +113,8 @@ __all__ = [
 
 MAGIC = b"DBDC"
 PROTOCOL_VERSION = 1
+#: Protocol version of frames carrying a :class:`TraceContext` prefix.
+TRACE_PROTOCOL_VERSION = 2
 #: Sender id of the central server (mirrors ``repro.distributed.network.SERVER``).
 SERVER_ID = -1
 #: Default cap on a frame's declared payload length (64 MiB) — a corrupt
@@ -121,6 +144,8 @@ class FrameKind(IntEnum):
     ROUND_COMMIT = 14  # site -> server: commit streaming round N
     MODEL_DELTA = 15   # request: block until round N commits; reply:
     #                    appended representatives + full label vector
+    TRACE_UPLOAD = 16  # site -> server: JSON span forest (or clock probe)
+    TRACE_REPLY = 17   # server -> site: JSON clock-probe timestamps
 
 
 class WireError(Exception):
@@ -155,6 +180,76 @@ class CodecError(WireError):
     """A payload failed to decode into its typed object."""
 
 
+#: Flag bit: the sender is actively sampling this trace.
+TRACE_FLAG_SAMPLED = 0x01
+
+# 128-bit trace id (as two uint64 halves), 64-bit span id, 8-bit flags.
+_TRACE_CONTEXT = struct.Struct("<QQQB")
+#: Encoded size of one :class:`TraceContext` (25 bytes).
+TRACE_CONTEXT_SIZE = _TRACE_CONTEXT.size
+_UINT64_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The compact distributed-tracing context a version-2 frame carries.
+
+    Attributes:
+        trace_id: 128-bit id of the distributed trace this request
+            belongs to.
+        span_id: 64-bit id of the sender's span that caused the request
+            (the *parent* of any server-side span it spawns).
+        flags: 8-bit flag field (:data:`TRACE_FLAG_SAMPLED`).
+    """
+
+    trace_id: int
+    span_id: int
+    flags: int = TRACE_FLAG_SAMPLED
+
+    @property
+    def sampled(self) -> bool:
+        """Whether the sampled flag bit is set."""
+        return bool(self.flags & TRACE_FLAG_SAMPLED)
+
+
+def encode_trace_context(context: TraceContext) -> bytes:
+    """Serialize a :class:`TraceContext` (:data:`TRACE_CONTEXT_SIZE` bytes).
+
+    Raises:
+        ValueError: when an id or the flags field is out of range.
+    """
+    if not 0 <= context.trace_id < (1 << 128):
+        raise ValueError(f"trace_id out of 128-bit range: {context.trace_id}")
+    if not 0 <= context.span_id < (1 << 64):
+        raise ValueError(f"span_id out of 64-bit range: {context.span_id}")
+    if not 0 <= context.flags < (1 << 8):
+        raise ValueError(f"flags out of 8-bit range: {context.flags}")
+    return _TRACE_CONTEXT.pack(
+        (context.trace_id >> 64) & _UINT64_MASK,
+        context.trace_id & _UINT64_MASK,
+        context.span_id,
+        context.flags,
+    )
+
+
+def decode_trace_context(payload: bytes) -> TraceContext:
+    """Inverse of :func:`encode_trace_context`.
+
+    Raises:
+        CodecError: when the payload is not exactly
+            :data:`TRACE_CONTEXT_SIZE` bytes.
+    """
+    if len(payload) != TRACE_CONTEXT_SIZE:
+        raise CodecError(
+            f"trace context is {len(payload)} bytes, "
+            f"expected {TRACE_CONTEXT_SIZE}"
+        )
+    high, low, span_id, flags = _TRACE_CONTEXT.unpack(payload)
+    return TraceContext(
+        trace_id=(high << 64) | low, span_id=span_id, flags=flags
+    )
+
+
 @dataclass(frozen=True)
 class Frame:
     """One decoded frame.
@@ -166,29 +261,57 @@ class Frame:
         crc_ok: whether the payload matched the header checksum — always
             true when the reader verifies eagerly; carries the verdict
             when it opted out via ``verify_crc=False``.
+        context: the trace context a version-2 frame carried (``None``
+            on version-1 frames — the untraced path).
     """
 
     kind: FrameKind
     site_id: int
     payload: bytes
     crc_ok: bool = True
+    context: TraceContext | None = None
 
 
 def encode_frame(
-    kind: FrameKind | int, payload: bytes = b"", *, site_id: int = SERVER_ID
+    kind: FrameKind | int,
+    payload: bytes = b"",
+    *,
+    site_id: int = SERVER_ID,
+    context: TraceContext | None = None,
 ) -> bytes:
-    """Assemble one frame: header (with CRC stamp) + payload."""
+    """Assemble one frame: header (with CRC stamp) + body.
+
+    Without ``context`` this emits exactly the protocol-version-1 bytes
+    the pre-tracing code emitted — the untraced wire path stays
+    bit-identical.  With ``context`` the frame is version 2 and the body
+    gains a length-prefixed context block before the payload; the CRC
+    still covers the payload alone (see the module docstring).
+    """
     kind = FrameKind(kind)
+    if context is None:
+        return (
+            _HEADER.pack(
+                MAGIC,
+                PROTOCOL_VERSION,
+                int(kind),
+                int(site_id),
+                len(payload),
+                payload_crc32(payload),
+            )
+            + payload
+        )
+    context_block = encode_trace_context(context)
+    body = bytes((len(context_block),)) + context_block + payload
     return (
         _HEADER.pack(
             MAGIC,
-            PROTOCOL_VERSION,
+            TRACE_PROTOCOL_VERSION,
             int(kind),
             int(site_id),
-            len(payload),
+            len(body),
             payload_crc32(payload),
         )
-        + payload
+        + body
     )
 
 
@@ -249,9 +372,10 @@ def decode_frame(
     )
     if magic != MAGIC:
         raise BadMagic(f"bad magic {magic!r}")
-    if version != PROTOCOL_VERSION:
+    if version not in (PROTOCOL_VERSION, TRACE_PROTOCOL_VERSION):
         raise UnsupportedVersion(
-            f"protocol version {version}, expected {PROTOCOL_VERSION}"
+            f"protocol version {version}, expected {PROTOCOL_VERSION} "
+            f"or {TRACE_PROTOCOL_VERSION}"
         )
     try:
         kind = FrameKind(kind_byte)
@@ -264,15 +388,39 @@ def decode_frame(
         raise FrameTruncated(
             f"declared payload {length}, have {len(buffer) - start}"
         )
-    payload = bytes(buffer[start : start + length])
+    body = bytes(buffer[start : start + length])
+    context: TraceContext | None = None
+    if version == TRACE_PROTOCOL_VERSION:
+        # The context prefix is structural, so parse it before the CRC
+        # verdict: a server reading with verify_crc=False still needs
+        # the context of a frame it is about to quarantine.
+        if length < 1:
+            raise CodecError("version-2 frame has no context-length byte")
+        ctx_len = body[0]
+        if ctx_len != TRACE_CONTEXT_SIZE:
+            raise CodecError(
+                f"context length {ctx_len}, expected {TRACE_CONTEXT_SIZE}"
+            )
+        if 1 + ctx_len > length:
+            raise CodecError(
+                f"context needs {1 + ctx_len} body bytes, declared {length}"
+            )
+        context = decode_trace_context(body[1 : 1 + ctx_len])
+        payload = body[1 + ctx_len :]
+    else:
+        payload = body
     crc_ok = crc_matches(payload, crc)
     if verify_crc and not crc_ok:
         raise ChecksumMismatch(
             f"payload CRC {payload_crc32(payload):#010x} != header {crc:#010x}"
         )
-    return Frame(kind=kind, site_id=site_id, payload=payload, crc_ok=crc_ok), (
-        start + length
-    )
+    return Frame(
+        kind=kind,
+        site_id=site_id,
+        payload=payload,
+        crc_ok=crc_ok,
+        context=context,
+    ), (start + length)
 
 
 # ----------------------------------------------------------------------

@@ -24,8 +24,9 @@ from repro.core.models import GlobalModel
 from repro.distributed.site import ClientSite
 from repro.faults.plan import FaultPlan
 from repro.faults.transport import ResilientTransport, TransportPolicy
+from repro.obs import NULL_TRACER
 from repro.service import wire
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, upload_trace
 from repro.service.transport import ServiceError, SocketTransport
 
 __all__ = [
@@ -51,6 +52,9 @@ class SiteWorkerResult:
         upload_attempts: transport attempts the upload took.
         bytes_sent: payload bytes the worker put on the wire.
         wall_seconds: end-to-end worker wall time.
+        phase_seconds: per-phase wall breakdown (``local_dbscan`` /
+            ``upload`` / ``await_global`` / ``relabel``) — populated
+            only when the worker ran with an enabled tracer.
         error: the failure detail when ``verdict == "failed"``.
     """
 
@@ -63,6 +67,7 @@ class SiteWorkerResult:
     upload_attempts: int = 0
     bytes_sent: int = 0
     wall_seconds: float = 0.0
+    phase_seconds: dict = field(default_factory=dict)
     error: str = ""
 
 
@@ -83,6 +88,8 @@ def run_site_worker(
     transport_policy: TransportPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     breaker_policy=None,
+    tracer=None,
+    metrics=None,
 ) -> SiteWorkerResult:
     """Run one site through the full protocol against a live service.
 
@@ -106,11 +113,17 @@ def run_site_worker(
             so drops/truncation/corruption hit the *real* connection.
         breaker_policy: optional per-link circuit breaker
             (:class:`~repro.faults.transport.BreakerPolicy`).
+        tracer: optional :class:`~repro.obs.Tracer` — records the
+            worker's phase spans, stamps trace contexts on outgoing
+            frames, and ships the span forest to the service at the end.
+        metrics: optional registry for the transport's per-frame-kind
+            byte counters.
 
     Returns:
         A :class:`SiteWorkerResult`; never raises for protocol-level
         refusals — the verdict records them.
     """
+    tracer = NULL_TRACER if tracer is None else tracer
     start = time.perf_counter()
     site = ClientSite(
         site_id,
@@ -126,11 +139,37 @@ def run_site_worker(
         site_id=site_id, verdict="failed", n_objects=int(points.shape[0])
     )
     socket_transport = SocketTransport(
-        host, port, site_id=site_id, timeout_s=timeout_s
+        host,
+        port,
+        site_id=site_id,
+        timeout_s=timeout_s,
+        tracer=tracer,
+        metrics=metrics,
     )
+    worker_span = tracer.span(
+        "site_worker",
+        (
+            {
+                "process": f"site-{site_id}",
+                "site": int(site_id),
+                "n_objects": int(points.shape[0]),
+            }
+            if tracer.enabled
+            else None
+        ),
+    )
+    if tracer.enabled:
+        # Anchor the root at the same read that feeds wall_seconds so
+        # the trace and the result reconcile exactly.
+        worker_span.span.wall_start = start
     try:
-        with socket_transport:
+        with socket_transport, worker_span:
             model = site.run_local_clustering()
+            local_done = time.perf_counter()
+            if tracer.enabled:
+                tracer.record(
+                    "local_dbscan", wall_start=start, wall_end=local_done
+                )
             # The simulated deployments' retry/backoff/breaker layer,
             # pointed at the socket instead of SimulatedNetwork.  When a
             # fault plan is set, the injector sits between the two and
@@ -171,14 +210,53 @@ def run_site_worker(
                 result.verdict, __ = wire.decode_status(response.payload)
             else:
                 result.verdict = "admitted"
+            upload_done = time.perf_counter()
+            if tracer.enabled:
+                tracer.record(
+                    "upload",
+                    wall_start=local_done,
+                    wall_end=upload_done,
+                    attrs={
+                        "attempts": outcome.attempts,
+                        "bytes": outcome.bytes_sent,
+                    },
+                )
             global_model = _await_global(socket_transport, await_global_s)
+            await_done = time.perf_counter()
+            if tracer.enabled:
+                tracer.record(
+                    "await_global", wall_start=upload_done, wall_end=await_done
+                )
             site.receive_global_model(global_model)
             result.labels = site.global_labels
+            if tracer.enabled:
+                tracer.record(
+                    "relabel",
+                    wall_start=await_done,
+                    wall_end=time.perf_counter(),
+                )
     except (OSError, wire.WireError, ServiceError) as error:
         result.verdict = "failed"
         result.error = f"{type(error).__name__}: {error}"
     finally:
         result.wall_seconds = time.perf_counter() - start
+    if tracer.enabled:
+        for root in tracer.roots:
+            if root is worker_span.span:
+                result.phase_seconds = {
+                    child.name: child.wall_seconds for child in root.children
+                }
+                break
+        try:
+            with socket_transport:
+                upload_trace(
+                    socket_transport,
+                    tracer,
+                    process=f"site-{site_id}",
+                    site=int(site_id),
+                )
+        except (OSError, wire.WireError, ServiceError):
+            pass  # tracing is best-effort; never fail the protocol result
     return result
 
 
@@ -206,6 +284,13 @@ class SiteSessionResult:
             session failed before round 0 committed).
         bytes_sent: payload bytes the worker put on the wire.
         wall_seconds: end-to-end worker wall time.
+        round_wall_seconds: wall time of each completed round, measured
+            from the same ``perf_counter`` reads that bound the round's
+            trace spans (so trace and result reconcile exactly).
+        round_phase_seconds: per-round ``{phase: seconds}`` breakdown
+            (``open_round`` / ``local_dbscan`` / ``upload`` /
+            ``await_delta`` / ``relabel``); the phases exactly partition
+            the round's wall time.
         error: the failure detail (empty on success).
     """
 
@@ -216,6 +301,8 @@ class SiteSessionResult:
     model: GlobalModel | None = None
     bytes_sent: int = 0
     wall_seconds: float = 0.0
+    round_wall_seconds: list = field(default_factory=list)
+    round_phase_seconds: list = field(default_factory=list)
     error: str = ""
 
 
@@ -234,6 +321,8 @@ def run_site_worker_session(
     relabel_kernel: str = "auto",
     timeout_s: float = 30.0,
     await_global_s: float = 30.0,
+    tracer=None,
+    metrics=None,
 ) -> SiteSessionResult:
     """Run one site through an N-round streaming session.
 
@@ -264,42 +353,116 @@ def run_site_worker_session(
         relabel_kernel: coverage kernel for the update step.
         timeout_s: per-operation socket timeout.
         await_global_s: how long each MODEL_DELTA may block server-side.
+        tracer: optional :class:`~repro.obs.Tracer` — records one
+            ``round`` span per round (children: the five phases below),
+            stamps trace contexts on every frame, and ships the span
+            forest to the service after the last round.
+        metrics: optional registry for the transport's per-frame-kind
+            byte counters.
 
     Returns:
         A :class:`SiteSessionResult`; protocol-level refusals land in
         ``error`` rather than raising.
     """
+    tracer = NULL_TRACER if tracer is None else tracer
     start = time.perf_counter()
     result = SiteSessionResult(site_id=site_id, n_rounds=len(batches))
     sites: list[ClientSite] = []
     model: GlobalModel | None = None
     try:
         with ServiceClient(
-            host, port, site_id=site_id, timeout_s=timeout_s
+            host,
+            port,
+            site_id=site_id,
+            timeout_s=timeout_s,
+            tracer=tracer,
+            metrics=metrics,
         ) as client:
-            for round_index, batch in enumerate(batches):
-                client.open_round(round_index)
-                site = ClientSite(
-                    site_id + round_index * n_sites,
-                    np.asarray(batch, dtype=float),
-                    eps_local=eps_local,
-                    min_pts_local=min_pts_local,
-                    scheme=scheme,
-                    metric=metric,
-                    index_kind=index_kind,
-                    relabel_kernel=relabel_kernel,
-                )
-                local_model = site.run_local_clustering()
-                result.verdicts.append(client.submit(local_model))
-                sites.append(site)
-                model = client.await_model_delta(
-                    round_index, model, timeout_s=await_global_s
-                )
-                # True streaming: every batch seen so far is relabeled
-                # against the round's committed model.
-                for seen in sites:
-                    seen.receive_global_model(model)
+            # A live session span parents the per-round records and is
+            # the trace context outgoing frames carry.
+            with tracer.span(
+                "session",
+                (
+                    {
+                        "process": f"site-{site_id}",
+                        "site": int(site_id),
+                        "n_rounds": len(batches),
+                    }
+                    if tracer.enabled
+                    else None
+                ),
+            ):
+                for round_index, batch in enumerate(batches):
+                    r0 = time.perf_counter()
+                    client.open_round(round_index)
+                    opened = time.perf_counter()
+                    site = ClientSite(
+                        site_id + round_index * n_sites,
+                        np.asarray(batch, dtype=float),
+                        eps_local=eps_local,
+                        min_pts_local=min_pts_local,
+                        scheme=scheme,
+                        metric=metric,
+                        index_kind=index_kind,
+                        relabel_kernel=relabel_kernel,
+                    )
+                    local_model = site.run_local_clustering()
+                    r1 = time.perf_counter()
+                    result.verdicts.append(client.submit(local_model))
+                    r2 = time.perf_counter()
+                    sites.append(site)
+                    model = client.await_model_delta(
+                        round_index, model, timeout_s=await_global_s
+                    )
+                    r3 = time.perf_counter()
+                    # True streaming: every batch seen so far is
+                    # relabeled against the round's committed model.
+                    for seen in sites:
+                        seen.receive_global_model(model)
+                    r4 = time.perf_counter()
+                    result.round_wall_seconds.append(r4 - r0)
+                    result.round_phase_seconds.append(
+                        {
+                            "open_round": opened - r0,
+                            "local_dbscan": r1 - opened,
+                            "upload": r2 - r1,
+                            "await_delta": r3 - r2,
+                            "relabel": r4 - r3,
+                        }
+                    )
+                    if tracer.enabled:
+                        round_span = tracer.record(
+                            "round",
+                            wall_start=r0,
+                            wall_end=r4,
+                            attrs={
+                                "round": round_index,
+                                "site": int(site_id),
+                                "process": f"site-{site_id}",
+                            },
+                        )
+                        for name, (lo, hi) in (
+                            ("open_round", (r0, opened)),
+                            ("local_dbscan", (opened, r1)),
+                            ("upload", (r1, r2)),
+                            ("await_delta", (r2, r3)),
+                            ("relabel", (r3, r4)),
+                        ):
+                            tracer.record(
+                                name,
+                                wall_start=lo,
+                                wall_end=hi,
+                                attrs={"round": round_index},
+                                parent=round_span,
+                            )
             result.bytes_sent = client.transport.bytes_sent
+            if tracer.enabled:
+                try:
+                    client.upload_trace(
+                        process=f"site-{site_id}", site=int(site_id)
+                    )
+                except (OSError, wire.WireError, ServiceError):
+                    pass  # tracing is best-effort
     except ServiceError as error:
         result.error = f"{error.status}: {error.detail}"
     except (OSError, wire.WireError) as error:

@@ -17,6 +17,7 @@ from repro.obs import (
 from repro.obs.openmetrics import (
     LABEL_NAME_RE,
     METRIC_NAME_RE,
+    OPENMETRICS_CONTENT_TYPE,
     escape_label_value,
     sanitize_label_name,
     sanitize_name,
@@ -203,6 +204,32 @@ class TestParserStrictness:
         families = parse_openmetrics(text)
         ((__, labels, __v),) = families["x"]["samples"]
         assert labels["a"] == 'q"w\\e\nr'
+
+    def test_accepts_openmetrics_content_type(self):
+        text = "# TYPE x gauge\nx 1\n# EOF"
+        families = parse_openmetrics(
+            text, content_type=OPENMETRICS_CONTENT_TYPE
+        )
+        assert "x" in families
+        # Parameter order/casing of the media type must not matter.
+        families = parse_openmetrics(
+            text, content_type="Application/OpenMetrics-Text; charset=utf-8"
+        )
+        assert "x" in families
+
+    def test_rejects_non_openmetrics_content_type(self):
+        text = "# TYPE x gauge\nx 1\n# EOF"
+        with pytest.raises(ValueError, match="content"):
+            parse_openmetrics(text, content_type="text/plain; version=0.0.4")
+        with pytest.raises(ValueError, match="content"):
+            parse_openmetrics(text, content_type="")
+
+    def test_content_type_constant_is_versioned(self):
+        assert OPENMETRICS_CONTENT_TYPE.startswith(
+            "application/openmetrics-text"
+        )
+        assert "version=1.0.0" in OPENMETRICS_CONTENT_TYPE
+        assert "charset=utf-8" in OPENMETRICS_CONTENT_TYPE
 
 
 def test_golden_regeneration_helper_is_consistent():

@@ -315,6 +315,7 @@ class TestRuleCoverage:
             "*tracemalloc_peak_mb*": "scale.tracemalloc_peak_mb[20000:local]",
             "*rss_peak_mb*": "scale.rss_peak_mb[20000]",
             "*_rps": "serve.query_throughput_rps",
+            "*_ok": "serve_trace.schema_ok",
             "*": "anything.else",
         }
         for rule in DEFAULT_RULES:

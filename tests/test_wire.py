@@ -173,6 +173,111 @@ class TestFrameRoundTrip:
 
 
 # ----------------------------------------------------------------------
+# trace context (version-2 frames)
+# ----------------------------------------------------------------------
+
+trace_ids = st.integers(min_value=0, max_value=2**128 - 1)
+span_ids = st.integers(min_value=0, max_value=2**64 - 1)
+flag_bytes = st.integers(min_value=0, max_value=255)
+
+
+def trace_contexts():
+    return st.builds(
+        wire.TraceContext, trace_id=trace_ids, span_id=span_ids,
+        flags=flag_bytes,
+    )
+
+
+class TestTraceContext:
+    @settings(max_examples=80, deadline=None)
+    @given(context=trace_contexts())
+    def test_codec_roundtrip(self, context):
+        block = wire.encode_trace_context(context)
+        assert len(block) == wire.TRACE_CONTEXT_SIZE
+        decoded = wire.decode_trace_context(block)
+        assert decoded == context
+        assert decoded.sampled == bool(context.flags & wire.TRACE_FLAG_SAMPLED)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        kind=frame_kinds,
+        site_id=int32,
+        payload=st.binary(max_size=256),
+        context=trace_contexts(),
+    )
+    def test_context_frame_roundtrip(self, kind, site_id, payload, context):
+        data = wire.encode_frame(
+            kind, payload, site_id=site_id, context=context
+        )
+        frame, consumed = wire.decode_frame(data)
+        assert consumed == len(data)
+        assert frame.kind == kind
+        assert frame.site_id == site_id
+        assert frame.payload == payload
+        assert frame.context == context
+        assert frame.crc_ok
+
+    @settings(max_examples=60, deadline=None)
+    @given(kind=frame_kinds, payload=st.binary(max_size=256))
+    def test_no_context_emits_version1_bits(self, kind, payload):
+        # The untraced path must stay byte-identical to the v1 protocol:
+        # context=None is not "an empty context", it is the old frame.
+        plain = wire.encode_frame(kind, payload, site_id=5)
+        explicit = wire.encode_frame(kind, payload, site_id=5, context=None)
+        assert plain == explicit
+        assert plain[4] == wire.PROTOCOL_VERSION
+        frame, __ = wire.decode_frame(plain)
+        assert frame.context is None
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        kind=frame_kinds,
+        payload=st.binary(max_size=128),
+        context=trace_contexts(),
+        data=st.data(),
+    )
+    def test_every_truncation_raises_wire_error(
+        self, kind, payload, context, data
+    ):
+        frame = wire.encode_frame(kind, payload, context=context)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(wire.WireError):
+            wire.decode_frame(frame[:cut])
+
+    def test_context_survives_crc_quarantine(self):
+        # The server decodes with verify_crc=False so corrupted frames
+        # still carry their trace context into the quarantine verdict.
+        context = wire.TraceContext(trace_id=7, span_id=9, flags=1)
+        data = bytearray(
+            wire.encode_frame(wire.FrameKind.LOCAL_MODEL, b"abc",
+                              context=context)
+        )
+        data[-1] ^= 0xFF  # flip a payload byte; context block is earlier
+        frame, __ = wire.decode_frame(bytes(data), verify_crc=False)
+        assert not frame.crc_ok
+        assert frame.context == context
+
+    def test_bad_context_length_is_codec_error(self):
+        good = wire.encode_frame(
+            wire.FrameKind.ACK, b"", context=wire.TraceContext(1, 2, 1)
+        )
+        bad = bytearray(good)
+        bad[wire.HEADER_SIZE] = 7  # ctx_len byte: not TRACE_CONTEXT_SIZE
+        with pytest.raises(wire.CodecError):
+            wire.decode_frame(bytes(bad))
+
+    def test_out_of_range_ids_raise_value_error(self):
+        with pytest.raises(ValueError):
+            wire.encode_trace_context(wire.TraceContext(2**128, 0, 0))
+        with pytest.raises(ValueError):
+            wire.encode_trace_context(wire.TraceContext(0, 2**64, 0))
+        with pytest.raises(ValueError):
+            wire.encode_trace_context(wire.TraceContext(0, 0, 256))
+        with pytest.raises(wire.CodecError):
+            wire.decode_trace_context(b"\x00" * 7)
+
+
+# ----------------------------------------------------------------------
 # payload codecs
 # ----------------------------------------------------------------------
 
