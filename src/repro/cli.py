@@ -182,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
         "the same resilient link (gives circuit breakers traffic)",
     )
     parser.add_argument(
+        "--server-crashes",
+        type=int,
+        default=0,
+        help="'chaos --transport socket': hard-kill and restart the "
+        "journaled service this many times per trial between site "
+        "uploads (exercises write-ahead recovery)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="'trace': tiny run + schema/reconciliation validation (CI gate)",
@@ -352,6 +360,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.tracing import main as serve_trace_main
 
         return serve_trace_main(argv[1:])
+    if argv and argv[0] == "serve-recovery-smoke":
+        from repro.service.recovery_smoke import main as recovery_smoke_main
+
+        return recovery_smoke_main(argv[1:])
     args = build_parser().parse_args(argv)
     commands = list(args.commands)
     if "all" in commands:
@@ -485,6 +497,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 corrupt_rate=args.corrupt_rate,
                 probe_messages=args.probe_messages,
+                server_crashes=args.server_crashes,
                 breaker_policy=BreakerPolicy(
                     failure_threshold=2, cooldown_s=0.5
                 ),

@@ -384,6 +384,7 @@ def run_socket_chaos_sweep(
     breaker_policy=None,
     corrupt_rate: float = 0.0,
     probe_messages: int = 2,
+    server_crashes: int = 0,
 ) -> dict:
     """The chaos sweep against a *live* socket service.
 
@@ -417,10 +418,16 @@ def run_socket_chaos_sweep(
         probe_messages: extra health probes per site through the same
             resilient transport (gives breakers enough traffic to trip
             and recover).
+        server_crashes: per trial, hard-kill and restart the service
+            this many times between site uploads (before sites 1..N).
+            The trial runs with a write-ahead journal, so every crash
+            exercises the full recovery path: admitted models survive
+            and the end-of-trial quality must match the crash-free run.
 
     Returns:
         A machine-readable report dict shaped like the simulated sweep's.
     """
+    import tempfile
     import time as _time
 
     from repro.clustering.labels import NOISE
@@ -439,6 +446,8 @@ def run_socket_chaos_sweep(
         raise ValueError(f"trials must be >= 1, got {trials}")
     if not 0.0 <= corrupt_rate <= 1.0:
         raise ValueError(f"corrupt_rate must be in [0, 1], got {corrupt_rate}")
+    if server_crashes < 0:
+        raise ValueError(f"server_crashes must be >= 0, got {server_crashes}")
     policy = transport_policy or TransportPolicy(
         timeout_s=0.2,
         max_attempts=4,
@@ -459,14 +468,36 @@ def run_socket_chaos_sweep(
             fault_seed = seed + 1000 * prob_index + trial
             plan = _plan_for(mode, prob, fault_seed, corrupt_rate)
             trial_start = _time.perf_counter()
-            handle = ServiceHandle.start(ServiceConfig(metrics_port=None))
+            # Crash trials journal the service state so the kills have
+            # something to recover from; crash-free trials keep the
+            # journal off (identical to the historical sweep).
+            journal_tmp = (
+                tempfile.TemporaryDirectory(prefix="dbdc-chaos-wal-")
+                if server_crashes > 0
+                else None
+            )
+            service_config = ServiceConfig(
+                metrics_port=None,
+                journal_dir=(
+                    journal_tmp.name if journal_tmp is not None else None
+                ),
+            )
+            handle = ServiceHandle.start(service_config)
             sites: dict[int, ClientSite] = {}
             verdicts: dict[int, str] = {}
             retries = drops = truncations = corruptions = 0
             fast_fails = breaker_changes = 0
             n_crashed = n_stragglers = n_silent = 0
+            n_server_restarts = 0
             try:
                 for site_id in range(n_sites):
+                    if 1 <= site_id <= server_crashes:
+                        # Hard-kill the service between uploads and boot
+                        # a fresh one on the same journal — the admitted
+                        # models so far must survive the restart.
+                        handle.kill()
+                        handle = ServiceHandle.start(service_config)
+                        n_server_restarts += 1
                     behavior = plan.resolve_site(site_id)
                     if behavior.crashes_before_local:
                         verdicts[site_id] = "crashed"
@@ -563,6 +594,8 @@ def run_socket_chaos_sweep(
                         )
             finally:
                 handle.stop()
+                if journal_tmp is not None:
+                    journal_tmp.cleanup()
             failed_sites = sorted(
                 site_id
                 for site_id in range(n_sites)
@@ -603,6 +636,7 @@ def run_socket_chaos_sweep(
                     "corruptions": corruptions,
                     "fast_fails": fast_fails,
                     "breaker_state_changes": breaker_changes,
+                    "server_restarts": n_server_restarts,
                     "q_p1_overall": quality.overall.q_p1_percent,
                     "q_p2_overall": quality.overall.q_p2_percent,
                     "q_p2_surviving": (
@@ -668,6 +702,7 @@ def run_socket_chaos_sweep(
             "seed": int(seed),
             "corrupt_rate": float(corrupt_rate),
             "probe_messages": int(probe_messages),
+            "server_crashes": int(server_crashes),
             "transport": "socket",
             "central_seconds": float(central_seconds),
             "created_utc": utc_now_iso(),

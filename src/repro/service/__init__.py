@@ -9,6 +9,8 @@ behind a versioned binary wire protocol:
   :class:`~repro.distributed.network.SimulatedNetwork` and
   :class:`SocketTransport` implement.
 * :mod:`repro.service.server` — the asyncio :class:`DBDCService`.
+* :mod:`repro.service.journal` — the CRC-guarded write-ahead journal
+  behind crash-restart recovery (:class:`WriteAheadJournal`).
 * :mod:`repro.service.client` — the blocking :class:`ServiceClient`.
 * :mod:`repro.service.worker` — the site-worker process body (one-shot
   and streaming-session loops).
@@ -17,6 +19,9 @@ behind a versioned binary wire protocol:
   real connections).
 * :mod:`repro.service.bench` — the sustained-load bench behind
   ``python -m repro serve-bench`` (plus the multi-process client sweep).
+* :mod:`repro.service.recovery_smoke` — the subprocess ``kill -9`` /
+  restart / resume drill behind ``python -m repro serve-recovery-smoke``
+  (plus the typed-overload query storm).
 * :mod:`repro.service.tracing` — distributed tracing of socket
   sessions: the traced session runner, trace/result reconciliation and
   the per-round critical-path analysis behind
@@ -33,6 +38,13 @@ from repro.service.client import (
     upload_trace,
 )
 from repro.service.faulting import FaultingSocketTransport, InjectedFault
+from repro.service.journal import (
+    JournalCorrupt,
+    JournalError,
+    JournalTruncated,
+    RecordKind,
+    WriteAheadJournal,
+)
 from repro.service.server import DBDCService, ServiceConfig, ServiceHandle
 from repro.service.tracing import (
     SessionTraceReport,
@@ -54,6 +66,10 @@ __all__ = [
     "DBDCService",
     "FaultingSocketTransport",
     "InjectedFault",
+    "JournalCorrupt",
+    "JournalError",
+    "JournalTruncated",
+    "RecordKind",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
@@ -63,6 +79,7 @@ __all__ = [
     "SiteWorkerResult",
     "SocketTransport",
     "Transport",
+    "WriteAheadJournal",
     "critical_path",
     "format_critical_path",
     "reconcile_session_trace",

@@ -24,6 +24,7 @@ benches.
 from __future__ import annotations
 
 import argparse
+import tempfile
 import threading
 import time
 import urllib.request
@@ -33,7 +34,7 @@ import numpy as np
 from repro.data.datasets import load_dataset
 from repro.distributed.partition import partition, split
 from repro.distributed.runner import DistributedRunConfig, DistributedRunner
-from repro.obs import Tracer, validate_trace
+from repro.obs import MetricsRegistry, Tracer, validate_trace
 from repro.obs.openmetrics import parse_openmetrics
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceConfig, ServiceHandle
@@ -67,14 +68,17 @@ def run_serve_bench(
     scheme: str = "rep_scor",
     seed: int = 42,
     trace: bool = False,
+    journal_dir: str | None = None,
 ) -> dict:
     """Run the sustained-load service bench.
 
     Phases: (1) reference run through the simulated path; (2) boot the
-    service; (3) concurrent site uploads over sockets + bit-identity
-    check; (4) ``n_clients`` threads issuing ``n_queries`` label queries
-    total; (5) live HTTP metrics scrape, strict-parsed; (6) graceful
-    shutdown.
+    service with a write-ahead journal; (3) concurrent site uploads over
+    sockets + bit-identity check; (4) ``n_clients`` threads issuing
+    ``n_queries`` label queries total; (5) live HTTP metrics scrape,
+    strict-parsed; (6) the recovery drill — hard-kill the service
+    thread, restart it against the same journal directory, and check
+    that the recovered model labels the data set identically.
 
     Args:
         dataset: data set name (A/B/C).
@@ -89,10 +93,45 @@ def run_serve_bench(
             trace id, workers ship their spans over ``TRACE_UPLOAD``,
             and the merged document is schema-gated
             (``serve.trace_*`` metrics) and stored in the report.
+        journal_dir: write-ahead journal directory (a temporary one per
+            bench run when omitted — the journal and recovery drill are
+            always exercised).
 
     Returns:
-        A JSON-able report with a flat ``metrics`` dict.
+        A JSON-able report with a flat ``metrics`` dict — including
+        ``serve.journal_bytes``, ``serve.journal_fsync_count``,
+        ``serve.recovery_wall_seconds`` and
+        ``serve.recovery_labels_identical`` from the drill.
     """
+    with tempfile.TemporaryDirectory(prefix="dbdc-wal-") as scratch_dir:
+        return _run_serve_bench_journaled(
+            dataset=dataset,
+            cardinality=cardinality,
+            n_sites=n_sites,
+            n_clients=n_clients,
+            n_queries=n_queries,
+            query_batch=query_batch,
+            scheme=scheme,
+            seed=seed,
+            trace=trace,
+            journal_dir=journal_dir if journal_dir is not None else scratch_dir,
+        )
+
+
+def _run_serve_bench_journaled(
+    *,
+    dataset: str,
+    cardinality: int | None,
+    n_sites: int,
+    n_clients: int,
+    n_queries: int,
+    query_batch: int,
+    scheme: str,
+    seed: int,
+    trace: bool,
+    journal_dir: str,
+) -> dict:
+    """The bench body with a concrete journal directory."""
     data = load_dataset(dataset, cardinality=cardinality)
     points = data.points
     run_config = DistributedRunConfig(
@@ -133,10 +172,18 @@ def run_serve_bench(
         if server_tracer is not None
         else {}
     )
-    with ServiceHandle.start(
-        ServiceConfig(expected_sites=n_sites, relabel_kernel=run_config.relabel_kernel),
+    server_metrics = MetricsRegistry()
+    service_config = ServiceConfig(
+        expected_sites=n_sites,
+        relabel_kernel=run_config.relabel_kernel,
+        journal_dir=journal_dir,
+    )
+    handle = ServiceHandle.start(
+        service_config,
+        metrics=server_metrics,
         tracer=server_tracer,
-    ) as handle:
+    )
+    with handle:
         # Phase 3: concurrent uploads + relabel over real sockets.
         upload_start = time.perf_counter()
         worker_results: dict[int, object] = {}
@@ -249,6 +296,48 @@ def run_serve_bench(
         if trace:
             trace_doc = handle.merged_trace()
 
+        # Phase 6: recovery drill.  Snapshot what the live server says
+        # about the data set, then stop its loop dead — no drain, no
+        # journal close — and bring a fresh service up on the same
+        # journal directory.  The recovered model must answer the same
+        # query bit-identically.
+        precrash_labels = None
+        try:
+            with ServiceClient(handle.host, handle.port) as service:
+                precrash_labels = service.query(points)
+        except Exception as error:
+            report["precrash_query_error"] = str(error)
+        handle.kill()
+
+    journal_bytes = server_metrics.value("service.journal_bytes")
+    journal_fsyncs = server_metrics.value("service.journal_fsyncs")
+    recovery_metrics = MetricsRegistry()
+    recovery_labels_identical = 0.0
+    drill_start = time.perf_counter()
+    with ServiceHandle.start(
+        ServiceConfig(
+            expected_sites=n_sites,
+            relabel_kernel=run_config.relabel_kernel,
+            journal_dir=journal_dir,
+            metrics_port=None,
+        ),
+        metrics=recovery_metrics,
+    ) as recovered_handle:
+        try:
+            with ServiceClient(
+                recovered_handle.host, recovered_handle.port
+            ) as service:
+                recovered_labels = service.query(points)
+            recovery_labels_identical = (
+                1.0
+                if precrash_labels is not None
+                and np.array_equal(precrash_labels, recovered_labels)
+                else 0.0
+            )
+        except Exception as error:
+            report["recovery_error"] = str(error)
+    drill_seconds = time.perf_counter() - drill_start
+
     total_seconds = time.perf_counter() - bench_start
     n_failed_queries = sum(query_failures)
     n_ok_queries = len(latencies)
@@ -273,6 +362,19 @@ def run_serve_bench(
         "serve.query_p95_wall_seconds": _percentile(latencies, 95),
         "serve.query_p99_wall_seconds": _percentile(latencies, 99),
         "serve.query_max_wall_seconds": max(latencies, default=0.0),
+        "serve.journal_bytes": journal_bytes,
+        "serve.journal_fsync_count": journal_fsyncs,
+        "serve.journal_records_count": server_metrics.value(
+            "service.journal_records"
+        ),
+        "serve.recovery_labels_identical": recovery_labels_identical,
+        "serve.recovered_models_count": recovery_metrics.value(
+            "service.recovered_models"
+        ),
+        "serve.recovery_wall_seconds": recovery_metrics.value(
+            "service.recovery_wall_seconds"
+        ),
+        "serve.recovery_drill_wall_seconds": drill_seconds,
         "serve.total_wall_seconds": total_seconds,
     }
     if trace_doc is not None:
@@ -554,6 +656,13 @@ def format_serve_summary(report: dict) -> str:
         f"p95 {1e3 * metrics['serve.query_p95_wall_seconds']:.2f}ms  "
         f"p99 {1e3 * metrics['serve.query_p99_wall_seconds']:.2f}ms  "
         f"max {1e3 * metrics['serve.query_max_wall_seconds']:.2f}ms",
+        f"  journal: {int(metrics['serve.journal_bytes'])} bytes, "
+        f"{int(metrics['serve.journal_records_count'])} records, "
+        f"{int(metrics['serve.journal_fsync_count'])} fsyncs",
+        f"  recovery drill: labels identical "
+        f"{'yes' if metrics['serve.recovery_labels_identical'] else 'NO'} "
+        f"({int(metrics['serve.recovered_models_count'])} models replayed "
+        f"in {1e3 * metrics['serve.recovery_wall_seconds']:.2f}ms)",
         f"  phases: upload {metrics['serve.upload_phase_wall_seconds']:.2f}s, "
         f"queries {metrics['serve.query_phase_wall_seconds']:.2f}s, "
         f"total {metrics['serve.total_wall_seconds']:.2f}s",
@@ -628,6 +737,12 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=42, help="partition seed")
     parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="write-ahead journal directory (default: a fresh temporary "
+        "directory per run)",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="trace the bench: merge the distributed trace, gate it "
@@ -672,6 +787,7 @@ def main(argv: list[str] | None = None) -> int:
         scheme=args.scheme,
         seed=args.seed,
         trace=args.trace,
+        journal_dir=args.journal_dir,
     )
     print(format_serve_summary(report))
     if not args.no_registry:
@@ -683,6 +799,7 @@ def main(argv: list[str] | None = None) -> int:
     failed = (
         not report["metrics"]["serve.labels_identical"]
         or not report["metrics"]["serve.scrape_roundtrip_ok"]
+        or not report["metrics"]["serve.recovery_labels_identical"]
         or report["metrics"]["serve.upload_failed"]
         or report["metrics"]["serve.query_failed"]
     )

@@ -68,6 +68,44 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-connection idle deadline in seconds",
     )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="write-ahead journal directory (enables crash-restart "
+        "recovery; replayed on startup when it already holds state)",
+    )
+    parser.add_argument(
+        "--no-journal-fsync",
+        action="store_true",
+        help="skip the per-record fsync (faster, loses the power-failure "
+        "guarantee; process crashes are still covered)",
+    )
+    parser.add_argument(
+        "--snapshot-bytes",
+        type=int,
+        default=4 * 1024 * 1024,
+        help="compact the journal into a snapshot once the log exceeds "
+        "this many bytes",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission-queue bound: shed work requests beyond this many "
+        "in flight with a typed 'overloaded' reply",
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="refuse connections beyond this many concurrent ones",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.05,
+        help="retry_after hint (seconds) stamped on overloaded replies",
+    )
     return parser
 
 
@@ -88,6 +126,12 @@ def serve_main(argv: list[str] | None = None) -> int:
         deadline_s=args.deadline,
         quorum=args.quorum,
         idle_timeout_s=args.idle_timeout,
+        journal_dir=args.journal_dir,
+        journal_fsync=not args.no_journal_fsync,
+        journal_snapshot_bytes=args.snapshot_bytes,
+        max_inflight_requests=args.max_inflight,
+        max_connections=args.max_connections,
+        retry_after_s=args.retry_after,
     )
 
     async def run() -> None:

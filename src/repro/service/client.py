@@ -148,6 +148,24 @@ class ServiceClient:
         """The transport's tracer (:data:`~repro.obs.NULL_TRACER` when off)."""
         return self.transport.tracer
 
+    @property
+    def server_epoch(self) -> int | None:
+        """The last server epoch observed on this connection.
+
+        A durability-aware server stamps its generation counter on every
+        status reply; a change mid-session means the server crashed and
+        recovered between two requests.  ``None`` until a stamped reply
+        arrives.
+        """
+        return self.transport.last_epoch
+
+    def _ack_status(self, response) -> str:
+        """Decode an ACK status payload, tracking the server epoch."""
+        status, __, epoch, __ = wire.decode_status_ext(response.payload)
+        if epoch is not None:
+            self.transport.last_epoch = epoch
+        return status
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -182,8 +200,7 @@ class ServiceClient:
         response = self.transport.request(
             wire.FrameKind.LOCAL_MODEL, wire.encode_local_model(model)
         )
-        status, __ = wire.decode_status(response.payload)
-        return status
+        return self._ack_status(response)
 
     def await_global_model(self, timeout_s: float = 30.0) -> GlobalModel:
         """Block until the global model exists, then fetch it.
@@ -214,8 +231,7 @@ class ServiceClient:
         response = self.transport.request(
             wire.FrameKind.ROUND_OPEN, wire.encode_round_open(round_index)
         )
-        status, __ = wire.decode_status(response.payload)
-        return status
+        return self._ack_status(response)
 
     def commit_round(self, round_index: int) -> str:
         """Explicitly commit round ``round_index`` (partial rounds).
@@ -226,8 +242,7 @@ class ServiceClient:
         response = self.transport.request(
             wire.FrameKind.ROUND_COMMIT, wire.encode_round_commit(round_index)
         )
-        status, __ = wire.decode_status(response.payload)
-        return status
+        return self._ack_status(response)
 
     def await_model_delta(
         self,

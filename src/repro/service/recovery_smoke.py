@@ -1,0 +1,575 @@
+"""Crash-restart recovery smoke: kill -9 a real server mid-session.
+
+``python -m repro serve-recovery-smoke`` is the CI gate behind the
+durability tentpole (ISSUE 10).  It runs the full disaster drill against
+a **separate server process** — not an in-process thread — so the kill
+is a real ``SIGKILL`` and the restart a real process boot:
+
+1. Compute the in-process streaming oracle for an N-round session.
+2. Spawn ``python -m repro serve`` with a write-ahead journal.
+3. Run every site's streaming session concurrently; after round
+   ``kill_after_round`` commits, one designated worker ``kill -9``'s the
+   server process and boots a fresh one on the same port and journal
+   while the others hold at a barrier.
+4. The workers reconnect-and-resume and finish the session; per-round
+   labels and the final global model must be **bit-identical** to the
+   oracle — the crash must be invisible in the output.
+5. An overload storm against a ``max_inflight_requests=1`` service
+   checks that every shed reply is a *typed* ``overloaded`` status with
+   a retry hint and that no query is ever lost — retries always land.
+
+The report records ``recovery.*`` metrics shaped for the regress rules:
+``*identical*`` / ``*_ok`` gate at zero tolerance and survive
+``--ignore-timing``; ``recovery.journal_bytes`` is deterministic for the
+pinned workload; wall clocks are timing-tagged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.data.datasets import load_dataset
+from repro.distributed.site import ClientSite
+from repro.distributed.streaming import run_streaming_session
+from repro.service import wire
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, ServiceHandle
+from repro.service.transport import ServiceError
+from repro.service.worker import run_site_worker_session
+
+__all__ = [
+    "run_recovery_smoke",
+    "run_overload_storm",
+    "format_recovery_summary",
+    "record_recovery_smoke",
+    "main",
+]
+
+
+def _free_port() -> int:
+    """An OS-assigned free TCP port (released before use; the restart
+    needs a *fixed* port, so an ephemeral bind won't do)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _spawn_server(
+    port: int, n_sites: int, journal_dir: str, log_file
+) -> subprocess.Popen:
+    """Start one ``repro serve`` process on ``port`` with the journal."""
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(port),
+            "--metrics-port",
+            "-1",
+            "--expected-sites",
+            str(n_sites),
+            "--journal-dir",
+            journal_dir,
+            "--idle-timeout",
+            "60",
+        ],
+        stdout=log_file,
+        stderr=log_file,
+        env=os.environ.copy(),
+    )
+
+
+def _wait_ready(
+    port: int, proc: subprocess.Popen, deadline_s: float = 30.0
+) -> dict:
+    """Poll the health verb until the server process accepts requests."""
+    deadline = time.monotonic() + deadline_s
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server process exited with {proc.returncode} before "
+                "becoming ready"
+            )
+        try:
+            with ServiceClient("127.0.0.1", port, timeout_s=2.0) as client:
+                return client.health()
+        except (OSError, wire.WireError, ServiceError) as error:
+            last_error = error
+            time.sleep(0.1)
+    raise RuntimeError(
+        f"server on port {port} not ready after {deadline_s}s "
+        f"(last error: {last_error})"
+    )
+
+
+def run_recovery_smoke(
+    *,
+    dataset: str = "A",
+    cardinality: int = 480,
+    n_sites: int = 2,
+    n_rounds: int = 3,
+    seed: int = 0,
+    kill_after_round: int = 0,
+    timeout_s: float = 60.0,
+) -> dict:
+    """Run the kill -9 / restart / resume drill against a real process.
+
+    Args:
+        dataset: data set name (A/B/C).
+        cardinality: data set size.
+        n_sites: concurrent session workers.
+        n_rounds: rounds per session (must exceed ``kill_after_round``).
+        seed: data set seed.
+        kill_after_round: crash the server right after this round
+            commits (a deterministic round boundary — no uploads are in
+            flight, so the journal contents are reproducible).
+        timeout_s: barrier/join budget for the whole session.
+
+    Returns:
+        A JSON-able report with a flat ``metrics`` dict.
+    """
+    if not 0 <= kill_after_round < n_rounds - 1:
+        raise ValueError(
+            f"kill_after_round must be in [0, {n_rounds - 1}), got "
+            f"{kill_after_round} (the session must continue after the kill)"
+        )
+    data = load_dataset(dataset, cardinality=cardinality, seed=seed)
+    points = data.points
+    chunk = points.shape[0] // n_rounds
+    batches = []
+    for round_index in range(n_rounds):
+        block = points[round_index * chunk : (round_index + 1) * chunk]
+        batches.append([block[i::n_sites] for i in range(n_sites)])
+    oracle = run_streaming_session(
+        batches, eps_local=data.eps_local, min_pts_local=data.min_pts
+    )
+
+    report: dict = {
+        "meta": {
+            "dataset": data.name,
+            "cardinality": int(points.shape[0]),
+            "n_sites": int(n_sites),
+            "n_rounds": int(n_rounds),
+            "seed": int(seed),
+            "kill_after_round": int(kill_after_round),
+        }
+    }
+    smoke_start = time.perf_counter()
+    port = _free_port()
+    barrier = threading.Barrier(n_sites, timeout=timeout_s)
+    restarted = threading.Event()
+    restart_wall: dict[str, float] = {}
+    results: dict[int, object] = {}
+    hook_errors: list[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="dbdc-recovery-") as tmp:
+        journal_dir = os.path.join(tmp, "wal")
+        os.mkdir(journal_dir)
+        log_path = os.path.join(tmp, "server.log")
+        log_file = open(log_path, "ab")
+        proc_box = {"proc": _spawn_server(port, n_sites, journal_dir, log_file)}
+        try:
+            _wait_ready(port, proc_box["proc"])
+
+            def kill_and_restart() -> None:
+                start = time.perf_counter()
+                proc = proc_box["proc"]
+                proc.kill()  # SIGKILL: no drain, no journal close
+                proc.wait(timeout=15)
+                proc_box["proc"] = _spawn_server(
+                    port, n_sites, journal_dir, log_file
+                )
+                _wait_ready(port, proc_box["proc"])
+                restart_wall["seconds"] = time.perf_counter() - start
+
+            def make_hook(site_id: int):
+                def hook(round_index: int, model) -> None:
+                    if round_index != kill_after_round:
+                        return
+                    try:
+                        barrier.wait()
+                        if site_id == 0:
+                            kill_and_restart()
+                            restarted.set()
+                        else:
+                            restarted.wait(timeout_s)
+                    except Exception as error:
+                        hook_errors.append(f"site {site_id}: {error}")
+                        raise
+
+                return hook
+
+            def work(site_id: int) -> None:
+                results[site_id] = run_site_worker_session(
+                    "127.0.0.1",
+                    port,
+                    site_id,
+                    [batches[r][site_id] for r in range(n_rounds)],
+                    n_sites=n_sites,
+                    eps_local=data.eps_local,
+                    min_pts_local=data.min_pts,
+                    timeout_s=10.0,
+                    max_reconnects=60,
+                    round_hook=make_hook(site_id),
+                )
+
+            threads = [
+                threading.Thread(target=work, args=(site_id,))
+                for site_id in range(n_sites)
+            ]
+            session_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout_s)
+            session_seconds = time.perf_counter() - session_start
+
+            health = {}
+            try:
+                with ServiceClient("127.0.0.1", port, timeout_s=5.0) as client:
+                    health = client.health()
+                    client.shutdown()
+            except (OSError, wire.WireError, ServiceError) as error:
+                report["shutdown_error"] = str(error)
+            try:
+                proc_box["proc"].wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc_box["proc"].kill()
+                proc_box["proc"].wait(timeout=15)
+
+            journal_bytes = sum(
+                os.path.getsize(os.path.join(journal_dir, name))
+                for name in os.listdir(journal_dir)
+            )
+        finally:
+            if proc_box["proc"].poll() is None:
+                proc_box["proc"].kill()
+                proc_box["proc"].wait(timeout=15)
+            log_file.close()
+            with open(log_path, "r", encoding="utf-8", errors="replace") as f:
+                report["server_log_tail"] = f.read()[-4000:]
+
+    # Score the drill against the oracle.
+    labels_identical = 1.0
+    verdicts_ok = 1.0
+    epochs_ok = 1.0
+    model_identical = 0.0
+    reconnects = 0
+    errors: list[str] = list(hook_errors)
+    if sorted(results) != list(range(n_sites)):
+        labels_identical = verdicts_ok = epochs_ok = 0.0
+        errors.append(
+            f"missing worker results: have {sorted(results)}, "
+            f"want {list(range(n_sites))}"
+        )
+    for site_id, result in sorted(results.items()):
+        if result.error:
+            errors.append(f"site {site_id}: {result.error}")
+        if result.verdicts != ["admitted"] * n_rounds:
+            verdicts_ok = 0.0
+            errors.append(f"site {site_id} verdicts: {result.verdicts}")
+        if len(result.labels) != n_rounds:
+            labels_identical = 0.0
+        else:
+            for round_index in range(n_rounds):
+                if not np.array_equal(
+                    result.labels[round_index],
+                    oracle.labels[round_index][site_id],
+                ):
+                    labels_identical = 0.0
+                    errors.append(
+                        f"site {site_id} round {round_index} labels diverge"
+                    )
+        # Two distinct epochs = the worker provably talked to both the
+        # original and the recovered server generation.
+        if len(result.epochs) < 2:
+            epochs_ok = 0.0
+            errors.append(f"site {site_id} epochs: {result.epochs}")
+        reconnects += result.reconnects
+        if site_id == 0 and result.model is not None:
+            model_identical = 1.0 if _models_identical(
+                result.model, oracle.model
+            ) else 0.0
+
+    storm = run_overload_storm(points=points[: min(256, points.shape[0])])
+    report["health"] = health
+    report["errors"] = errors
+    report["metrics"] = {
+        "recovery.labels_identical": labels_identical,
+        "recovery.model_identical": model_identical,
+        "recovery.verdicts_ok": verdicts_ok,
+        "recovery.epochs_ok": epochs_ok,
+        "recovery.server_kills_count": 1.0,
+        "recovery.reconnects_count": float(reconnects),
+        "recovery.recovered_models_count": float(
+            health.get("recovered_models", 0)
+        ),
+        "recovery.final_epoch_count": float(health.get("epoch", 0)),
+        "recovery.duplicate_uploads_count": float(
+            health.get("duplicate_uploads", 0)
+        ),
+        "recovery.journal_bytes": float(journal_bytes),
+        "recovery.session_wall_seconds": session_seconds,
+        "recovery.restart_wall_seconds": restart_wall.get("seconds", 0.0),
+        "recovery.total_wall_seconds": time.perf_counter() - smoke_start,
+        **storm["metrics"],
+    }
+    report["overload"] = storm["detail"]
+    return report
+
+
+def _models_identical(model, oracle) -> bool:
+    """Bit-identity of two global models: every representative's
+    identity and point, every global label, the merge radius."""
+    if model.eps_global != oracle.eps_global:
+        return False
+    if not np.array_equal(model.global_labels, oracle.global_labels):
+        return False
+    if len(model.representatives) != len(oracle.representatives):
+        return False
+    return all(
+        a.site_id == b.site_id
+        and a.local_cluster_id == b.local_cluster_id
+        and np.array_equal(a.point, b.point)
+        for a, b in zip(model.representatives, oracle.representatives)
+    )
+
+
+def run_overload_storm(
+    *,
+    points: np.ndarray,
+    n_threads: int = 6,
+    n_queries: int = 8,
+) -> dict:
+    """Storm a ``max_inflight_requests=1`` service with label queries.
+
+    Every failure must be a *typed* ``overloaded`` reply carrying a
+    positive ``retry_after_s`` — raw socket errors, hung connections or
+    dropped queries fail the smoke — and honoring the hint must always
+    land the query eventually (no livelock, no starvation).
+
+    Returns:
+        ``{"metrics": {...}, "detail": {...}}`` with
+        ``recovery.overload_typed_ok`` / ``recovery.overload_shed_count``.
+    """
+    eps = float(np.ptp(points, axis=0).max()) / 4 or 1.0
+    site = ClientSite(0, points, eps_local=eps, min_pts_local=4)
+    model = site.run_local_clustering()
+    lock = threading.Lock()
+    counts = {"ok": 0, "shed": 0, "untyped": 0}
+    storm_start = time.perf_counter()
+    with ServiceHandle.start(
+        ServiceConfig(metrics_port=None, max_inflight_requests=1)
+    ) as handle:
+        with ServiceClient(handle.host, handle.port, site_id=0) as client:
+            client.submit(model)
+            client.await_global_model(timeout_s=10.0)
+
+        def storm(thread_index: int) -> None:
+            try:
+                with ServiceClient(handle.host, handle.port) as client:
+                    for __ in range(n_queries):
+                        budget = 500
+                        while True:
+                            try:
+                                labels = client.query(points)
+                                with lock:
+                                    if labels.size == points.shape[0]:
+                                        counts["ok"] += 1
+                                    else:
+                                        counts["untyped"] += 1
+                                break
+                            except ServiceError as error:
+                                typed = (
+                                    error.status == "overloaded"
+                                    and error.retry_after_s is not None
+                                    and error.retry_after_s > 0
+                                )
+                                with lock:
+                                    if typed:
+                                        counts["shed"] += 1
+                                    else:
+                                        counts["untyped"] += 1
+                                if not typed or budget <= 0:
+                                    break
+                                budget -= 1
+                                time.sleep(error.retry_after_s)
+            except (OSError, wire.WireError) as error:
+                with lock:
+                    counts["untyped"] += 1
+                    counts["last_socket_error"] = f"{error}"  # type: ignore[assignment]
+
+        threads = [
+            threading.Thread(target=storm, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        shed_metric = handle.service.metrics.to_dict()["gauges"].get(
+            "service.overloaded_replies", 0.0
+        )
+    expected = n_threads * n_queries
+    typed_ok = 1.0 if (
+        counts["untyped"] == 0 and counts["ok"] == expected
+    ) else 0.0
+    return {
+        "metrics": {
+            "recovery.overload_typed_ok": typed_ok,
+            "recovery.overload_shed_count": float(counts["shed"]),
+            "recovery.overload_queries_count": float(counts["ok"]),
+            "recovery.overload_wall_seconds": (
+                time.perf_counter() - storm_start
+            ),
+        },
+        "detail": {
+            **{k: v for k, v in counts.items()},
+            "expected_queries": expected,
+            "server_overloaded_replies": shed_metric,
+        },
+    }
+
+
+def format_recovery_summary(report: dict) -> str:
+    """Human-readable smoke summary."""
+    meta = report["meta"]
+    metrics = report["metrics"]
+    lines = [
+        f"serve-recovery-smoke: data set {meta['dataset']} "
+        f"({meta['cardinality']} objects, {meta['n_sites']} sites x "
+        f"{meta['n_rounds']} rounds, kill -9 after round "
+        f"{meta['kill_after_round']})",
+        f"  per-round labels bit-identical to oracle: "
+        f"{'yes' if metrics['recovery.labels_identical'] else 'NO'}",
+        f"  final model bit-identical to oracle:      "
+        f"{'yes' if metrics['recovery.model_identical'] else 'NO'}",
+        f"  all uploads admitted: "
+        f"{'yes' if metrics['recovery.verdicts_ok'] else 'NO'}   "
+        f"two epochs observed per worker: "
+        f"{'yes' if metrics['recovery.epochs_ok'] else 'NO'}",
+        f"  recovery: {int(metrics['recovery.recovered_models_count'])} "
+        f"models replayed, epoch {int(metrics['recovery.final_epoch_count'])}, "
+        f"{int(metrics['recovery.reconnects_count'])} client reconnects, "
+        f"{int(metrics['recovery.duplicate_uploads_count'])} duplicate "
+        f"uploads deduped",
+        f"  journal: {int(metrics['recovery.journal_bytes'])} bytes on disk",
+        f"  overload storm: typed sheds only "
+        f"{'yes' if metrics['recovery.overload_typed_ok'] else 'NO'} "
+        f"({int(metrics['recovery.overload_shed_count'])} sheds, "
+        f"{int(metrics['recovery.overload_queries_count'])} queries landed)",
+        f"  walls: restart {metrics['recovery.restart_wall_seconds']:.2f}s, "
+        f"session {metrics['recovery.session_wall_seconds']:.2f}s, "
+        f"total {metrics['recovery.total_wall_seconds']:.2f}s",
+    ]
+    if report.get("errors"):
+        lines.append("  errors:")
+        lines.extend(f"    - {error}" for error in report["errors"])
+    return "\n".join(lines)
+
+
+def record_recovery_smoke(report: dict, registry_root: str = ".runs") -> dict:
+    """Append the smoke to the registry (``service-recovery`` record)."""
+    from repro.obs.registry import RunRegistry
+
+    meta = report["meta"]
+    record = RunRegistry(registry_root).record(
+        "service-recovery",
+        config={
+            key: meta[key]
+            for key in (
+                "dataset",
+                "cardinality",
+                "n_sites",
+                "n_rounds",
+                "seed",
+                "kill_after_round",
+            )
+        },
+        metrics=report["metrics"],
+        artifacts={"SMOKE_recovery.json": report},
+    )
+    meta["run_id"] = record["run_id"]
+    return record
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Parser of the ``serve-recovery-smoke`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve-recovery-smoke",
+        description="kill -9 a live journaled DBDC server mid-session, "
+        "restart it, and require bit-identical output",
+    )
+    parser.add_argument("--dataset", default="A", help="data set name (A/B/C)")
+    parser.add_argument(
+        "--cardinality", type=int, default=480, help="data set size"
+    )
+    parser.add_argument(
+        "--sites", type=int, default=2, help="concurrent session workers"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="rounds per session"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="data set seed")
+    parser.add_argument(
+        "--kill-after-round",
+        type=int,
+        default=0,
+        help="crash the server after this round commits",
+    )
+    parser.add_argument(
+        "--registry", default=".runs", help="run registry root"
+    )
+    parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="do not append a RunRecord to the registry",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """The ``serve-recovery-smoke`` command body."""
+    args = build_parser().parse_args(argv)
+    report = run_recovery_smoke(
+        dataset=args.dataset,
+        cardinality=args.cardinality,
+        n_sites=args.sites,
+        n_rounds=args.rounds,
+        seed=args.seed,
+        kill_after_round=args.kill_after_round,
+    )
+    print(format_recovery_summary(report))
+    if not args.no_registry:
+        try:
+            record = record_recovery_smoke(report, args.registry)
+            print(f"recorded {record['run_id']} in {args.registry}")
+        except Exception as error:
+            print(f"warning: could not record run: {error}", file=sys.stderr)
+    metrics = report["metrics"]
+    failed = not (
+        metrics["recovery.labels_identical"]
+        and metrics["recovery.model_identical"]
+        and metrics["recovery.verdicts_ok"]
+        and metrics["recovery.epochs_ok"]
+        and metrics["recovery.overload_typed_ok"]
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

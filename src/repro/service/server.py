@@ -32,6 +32,17 @@ strictly append, so MODEL_DELTA replies are exact.  Sites submit each
 round's batch under a fresh *effective* site id, which keeps the
 ``(site_id, local_cluster_id)`` inheritance keys of the relabel step
 collision-free across rounds.  See ``docs/service.md``.
+
+Durability (ISSUE 10): with ``journal_dir`` configured, every admitted
+model, round open/commit and quarantine decision is written to a
+CRC-guarded write-ahead journal (:mod:`repro.service.journal`) *before*
+it is acknowledged; :meth:`DBDCService.start` replays snapshot + journal
+through the very same admission/commit code path, so a crash-restarted
+server is bit-identical to one that never crashed.  Every status reply
+carries the server *epoch* (generation counter), duplicate session
+resubmissions are acknowledged idempotently, and bounded admission
+(``max_inflight_requests`` / ``max_connections``) sheds overload with
+typed ``overloaded`` replies carrying a retry hint.
 """
 
 from __future__ import annotations
@@ -50,7 +61,7 @@ from repro.core.relabel import relabel_site
 from repro.distributed.server import CentralServer
 from repro.obs import MetricsRegistry, NULL_TRACER, shift_span_times, trace_document
 from repro.obs.openmetrics import OPENMETRICS_CONTENT_TYPE, render_registry
-from repro.service import wire
+from repro.service import journal, wire
 
 __all__ = ["ServiceConfig", "DBDCService", "ServiceHandle"]
 
@@ -85,6 +96,28 @@ class ServiceConfig:
         shutdown_grace_s: how long :meth:`DBDCService.stop` waits for
             in-flight requests (e.g. released AWAIT_GLOBAL waiters) to
             flush their response frames before cancelling connections.
+        journal_dir: directory of the write-ahead journal; ``None``
+            disables durability (the pre-journal behavior).  When set,
+            every admitted model, round open/commit and quarantine
+            decision is journaled *before* it is acknowledged, and
+            :meth:`DBDCService.start` replays snapshot + journal so a
+            restarted server is bit-identical to one that never crashed.
+        journal_fsync: fsync the journal per record (the durability
+            guarantee; disable only to measure the fsync cost).
+        journal_snapshot_bytes: compact the journal into its snapshot
+            once the log outgrows this (at round-commit safe points).
+        max_inflight_requests: cap on concurrently dispatching *work*
+            frames (LOCAL_MODEL / LABEL_QUERY / TRACE_UPLOAD); excess
+            requests are shed with a typed ``overloaded`` reply carrying
+            ``retry_after_s`` instead of queueing unboundedly.  Parked
+            AWAIT_GLOBAL / MODEL_DELTA waiters never count — they hold
+            no work, and counting them would deadlock small caps.
+            ``None`` = unbounded (the pre-overload behavior).
+        max_connections: cap on concurrent protocol connections; excess
+            connects receive one ``overloaded`` frame and are closed.
+            ``None`` = unbounded.
+        retry_after_s: the backoff hint stamped on ``overloaded``
+            replies.
     """
 
     host: str = "127.0.0.1"
@@ -101,6 +134,12 @@ class ServiceConfig:
     await_timeout_cap_s: float = 120.0
     max_frame_bytes: int = wire.DEFAULT_MAX_PAYLOAD
     shutdown_grace_s: float = 5.0
+    journal_dir: str | None = None
+    journal_fsync: bool = True
+    journal_snapshot_bytes: int = 4 * 1024 * 1024
+    max_inflight_requests: int | None = None
+    max_connections: int | None = None
+    retry_after_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.idle_timeout_s <= 0:
@@ -121,6 +160,38 @@ class ServiceConfig:
             raise ValueError(
                 f"shutdown_grace_s must be >= 0, got {self.shutdown_grace_s}"
             )
+        if self.journal_snapshot_bytes <= 0:
+            raise ValueError(
+                "journal_snapshot_bytes must be positive, got "
+                f"{self.journal_snapshot_bytes}"
+            )
+        if (
+            self.max_inflight_requests is not None
+            and self.max_inflight_requests < 1
+        ):
+            raise ValueError(
+                "max_inflight_requests must be >= 1, got "
+                f"{self.max_inflight_requests}"
+            )
+        if self.max_connections is not None and self.max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {self.max_connections}"
+            )
+        if self.retry_after_s <= 0:
+            raise ValueError(
+                f"retry_after_s must be positive, got {self.retry_after_s}"
+            )
+
+
+#: Frame kinds that consume the bounded admission budget; everything
+#: else (health, metrics, parked waiters) is cheap or must never shed.
+_WORK_KINDS = frozenset(
+    {
+        wire.FrameKind.LOCAL_MODEL,
+        wire.FrameKind.LABEL_QUERY,
+        wire.FrameKind.TRACE_UPLOAD,
+    }
+)
 
 
 @dataclass
@@ -188,6 +259,17 @@ class DBDCService:
         self._session_model = None
         self._commit_events: dict[int, asyncio.Event] = {}
         self._n_repairs = 0
+        # Durability + overload state (ISSUE 10): the journal is only
+        # attached *after* recovery replay, so replaying never journals.
+        self._journal: journal.WriteAheadJournal | None = None
+        self._epoch = 0
+        self._recovered_models = 0
+        self._recovery_wall_s = 0.0
+        self._session_site_ids: set[int] = set()
+        self._inflight = 0
+        self._n_load_shed = 0
+        self._n_connections_refused = 0
+        self._n_duplicate_uploads = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -211,8 +293,15 @@ class DBDCService:
         return time.monotonic() - self._started_monotonic
 
     async def start(self) -> None:
-        """Bind the protocol and metrics listeners."""
+        """Bind the protocol and metrics listeners.
+
+        With a ``journal_dir`` configured, the snapshot + journal are
+        replayed *before* the listeners bind: no client can observe a
+        half-recovered server.
+        """
         self._started_monotonic = time.monotonic()
+        if self.config.journal_dir is not None:
+            self._recover_from_journal()
         self._asyncio_server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
@@ -246,6 +335,8 @@ class DBDCService:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._journal is not None:
+            self._journal.close()
         self.metrics.set("service.up", 0)
 
     async def serve_until_shutdown(self) -> None:
@@ -258,6 +349,131 @@ class DBDCService:
     def request_stop(self) -> None:
         """Ask the service to shut down (safe from the loop thread)."""
         self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    # durability: journal + crash-restart recovery
+    # ------------------------------------------------------------------
+    def _status(
+        self, status: str, detail: str = "", *, retry_after: bool = False
+    ) -> bytes:
+        """Encode a status payload stamped with the server epoch.
+
+        Without a journal the epoch stays 0 and the payload is the
+        plain pre-durability encoding, byte for byte.
+        """
+        return wire.encode_status(
+            status,
+            detail,
+            epoch=self._epoch if self._epoch else None,
+            retry_after_s=self.config.retry_after_s if retry_after else None,
+        )
+
+    def _recover_from_journal(self) -> None:
+        """Replay snapshot + journal into live protocol state.
+
+        Every record runs through the same admission/commit code path a
+        live request would take, so the recovered global model, round
+        state machine and commit events are bit-identical to a server
+        that never crashed (pinned per round by the recovery tests).
+        The journal is attached only after replay — recovery itself
+        never journals — and the new epoch is the first record of the
+        generation that just started.
+        """
+        start = time.perf_counter()
+        wal = journal.WriteAheadJournal(
+            self.config.journal_dir,
+            fsync=self.config.journal_fsync,
+            snapshot_every_bytes=self.config.journal_snapshot_bytes,
+        )
+        recovery = wal.recover()
+        for record in recovery.records:
+            self._replay_record(record)
+        expected = self.config.expected_sites
+        if self._round is not None:
+            # The crash landed between the round's last journaled model
+            # and its commit record: an uninterrupted run would have
+            # auto-committed at that admission, so finish the job.
+            if expected is not None and len(self._round.models) >= expected:
+                self._commit_round()
+        elif (
+            not self._session_active
+            and expected is not None
+            and len(self.server.local_models) >= expected
+        ):
+            self._build_global_model()
+        self._epoch += 1
+        self._journal = wal
+        wal.append(journal.RecordKind.EPOCH, journal.encode_epoch(self._epoch))
+        self._recovery_wall_s = time.perf_counter() - start
+        self.metrics.set("service.epoch", self._epoch)
+        self.metrics.set("service.recovery_wall_seconds", self._recovery_wall_s)
+        self.metrics.set("service.recovered_models", self._recovered_models)
+        self.metrics.set("service.recovered_rounds", self._rounds_committed)
+        self.metrics.set(
+            "service.journal_truncated_bytes", recovery.truncated_bytes
+        )
+        self._journal_metrics()
+
+    def _replay_record(self, record: journal.Record) -> None:
+        """Apply one journal record through the live code path."""
+        kind = record.kind
+        if kind == journal.RecordKind.EPOCH:
+            self._epoch = max(self._epoch, journal.decode_epoch(record.payload))
+        elif kind == journal.RecordKind.ROUND_OPEN:
+            index = journal.decode_round_marker(record.payload)
+            self._session_active = True
+            self._round = _StreamRound(index=index, opened_at_s=self.uptime_s)
+            self.metrics.inc("service.rounds_opened")
+        elif kind == journal.RecordKind.ROUND_COMMIT:
+            index = journal.decode_round_marker(record.payload)
+            if self._round is not None and self._round.index == index:
+                self._commit_round()
+            # Already-committed indices are no-ops: the gap-closing
+            # auto-commit above may have run first.
+        elif kind == journal.RecordKind.MODEL_ADMITTED:
+            round_index, payload = journal.decode_admitted(record.payload)
+            model = wire.decode_local_model(payload)
+            # The deadline was enforced (and passed) before the record
+            # was written; re-checking it against the *restart* clock
+            # would wrongly reject every recovered model.
+            verdict = self.server.admit(
+                model, arrival_s=0.0, enforce_deadline=False
+            )
+            if verdict != "admitted":
+                return
+            self._recovered_models += 1
+            if round_index >= 0:
+                if self._round is None or self._round.index != round_index:
+                    return
+                self._round.models.append(self.server.local_models[-1])
+                self._session_site_ids.add(model.site_id)
+            else:
+                self._model_dirty = True
+        elif kind == journal.RecordKind.QUARANTINE:
+            __, site_id, reason = journal.decode_quarantine(record.payload)
+            self.server.quarantine(
+                _placeholder_model(site_id), reason or "replayed quarantine"
+            )
+
+    def _journal_quarantine(
+        self, round_index: int, site_id: int, reason: str
+    ) -> None:
+        if self._journal is None:
+            return
+        self._journal.append(
+            journal.RecordKind.QUARANTINE,
+            journal.encode_quarantine(round_index, site_id, reason),
+        )
+        self._journal_metrics()
+
+    def _journal_metrics(self) -> None:
+        wal = self._journal
+        if wal is None:
+            return
+        self.metrics.set("service.journal_bytes", wal.bytes_written)
+        self.metrics.set("service.journal_fsyncs", wal.fsync_count)
+        self.metrics.set("service.journal_records", wal.records_written)
+        self.metrics.set("service.journal_compactions", wal.compactions)
 
     # ------------------------------------------------------------------
     # protocol state
@@ -303,6 +519,8 @@ class DBDCService:
             arrival_s = self.uptime_s - self._round.opened_at_s
         else:
             arrival_s = self.uptime_s
+        round_index = self._round.index if self._round is not None else -1
+        detail = ""
         if frame.crc_ok:
             try:
                 model = wire.decode_local_model(frame.payload)
@@ -311,8 +529,9 @@ class DBDCService:
                 # placeholder so the quarantine bookkeeping names the site.
                 model = _placeholder_model(frame.site_id)
                 verdict = self.server.admit(model, checksum_ok=False)
-                return verdict, f"undecodable payload: {error}"
-            verdict = self.server.admit(model, arrival_s=arrival_s)
+                detail = f"undecodable payload: {error}"
+            else:
+                verdict = self.server.admit(model, arrival_s=arrival_s)
         else:
             # Bit-flipped in flight: the admission gate quarantines it —
             # same behavior, same code path, as the simulated transport.
@@ -320,18 +539,31 @@ class DBDCService:
             verdict = self.server.admit(
                 model, arrival_s=arrival_s, checksum_ok=False
             )
+        if verdict == "quarantined":
+            self._journal_quarantine(round_index, model.site_id, detail)
         if verdict != "admitted":
-            return verdict, ""
+            return verdict, detail
+        # Durability before acknowledgement: the admission is journaled
+        # (and fsynced) before any bookkeeping that could produce an ACK
+        # or trigger a commit — a crash after this line replays the
+        # model, a crash before it never acknowledged anything.
+        if self._journal is not None:
+            self._journal.append(
+                journal.RecordKind.MODEL_ADMITTED,
+                journal.encode_admitted(round_index, frame.payload),
+            )
+            self._journal_metrics()
         expected = self.config.expected_sites
         if self._session_active:
             self._round.models.append(self.server.local_models[-1])
+            self._session_site_ids.add(model.site_id)
             if expected is not None and len(self._round.models) >= expected:
                 self._commit_round()
         else:
             self._model_dirty = True
             if expected is not None and len(self.server.local_models) >= expected:
                 self._build_global_model()
-        return verdict, ""
+        return verdict, detail
 
     # ------------------------------------------------------------------
     # streaming sessions
@@ -345,33 +577,46 @@ class DBDCService:
         """Handle ROUND_OPEN (idempotent for the currently open round)."""
         if self._round is not None:
             if round_index == self._round.index:
-                return wire.FrameKind.ACK, wire.encode_status(
+                return wire.FrameKind.ACK, self._status(
                     "round_open", f"round {round_index} already open"
                 )
-            return wire.FrameKind.ERROR, wire.encode_status(
+            return wire.FrameKind.ERROR, self._status(
                 "bad_round",
                 f"round {self._round.index} is open; cannot open "
                 f"{round_index}",
             )
+        if self._session_active and 0 <= round_index < self._rounds_committed:
+            # A reconnecting worker may re-open a round that committed
+            # while its ACK was lost (crash or restart window): answer
+            # idempotently — its submit dedupes, its delta replays.
+            return wire.FrameKind.ACK, self._status(
+                "round_committed", f"round {round_index} already committed"
+            )
         if round_index != self._rounds_committed:
-            return wire.FrameKind.ERROR, wire.encode_status(
+            return wire.FrameKind.ERROR, self._status(
                 "bad_round",
                 f"next round is {self._rounds_committed}, got {round_index}",
             )
         if not self._session_active and self.server.local_models:
             # One-shot uploads already landed: a session cannot retrofit
             # round semantics onto them.
-            return wire.FrameKind.ERROR, wire.encode_status(
+            return wire.FrameKind.ERROR, self._status(
                 "bad_round",
                 "models were admitted outside a session; restart the "
                 "service to stream",
             )
+        if self._journal is not None:
+            self._journal.append(
+                journal.RecordKind.ROUND_OPEN,
+                journal.encode_round_marker(round_index),
+            )
+            self._journal_metrics()
         self._session_active = True
         self._round = _StreamRound(
             index=round_index, opened_at_s=self.uptime_s
         )
         self.metrics.inc("service.rounds_opened")
-        return wire.FrameKind.ACK, wire.encode_status(
+        return wire.FrameKind.ACK, self._status(
             "round_open", f"round {round_index} open"
         )
 
@@ -387,6 +632,14 @@ class DBDCService:
         round_ = self._round
         assert round_ is not None
         commit_start = time.perf_counter()
+        if self._journal is not None:
+            # Journal the commit decision before applying it: a crash
+            # mid-apply replays the commit record and re-derives the
+            # exact same fold (replay runs this very method).
+            self._journal.append(
+                journal.RecordKind.ROUND_COMMIT,
+                journal.encode_round_marker(round_.index),
+            )
         models = sorted(round_.models, key=lambda model: model.site_id)
         if self._repairer is None:
             # Round 0: server.local_models holds exactly this round's
@@ -406,6 +659,11 @@ class DBDCService:
         self._built.set()
         self._commit_event(round_.index).set()
         self.metrics.set("service.rounds_committed", self._rounds_committed)
+        if self._journal is not None:
+            # Commit boundaries are the journal's safe points: no round
+            # is open, so the snapshot captures a consistent prefix.
+            self._journal.maybe_compact()
+            self._journal_metrics()
         if self.tracer.enabled:
             self.tracer.record(
                 "round_commit",
@@ -424,15 +682,15 @@ class DBDCService:
         """Handle an explicit ROUND_COMMIT (degraded/partial rounds)."""
         if self._round is not None and round_index == self._round.index:
             self._commit_round()
-            return wire.FrameKind.ACK, wire.encode_status(
+            return wire.FrameKind.ACK, self._status(
                 "round_committed", f"round {round_index} committed"
             )
         if round_index < self._rounds_committed:
-            return wire.FrameKind.ACK, wire.encode_status(
+            return wire.FrameKind.ACK, self._status(
                 "round_committed", f"round {round_index} already committed"
             )
         open_index = self._round.index if self._round is not None else None
-        return wire.FrameKind.ERROR, wire.encode_status(
+        return wire.FrameKind.ERROR, self._status(
             "bad_round",
             f"cannot commit round {round_index} (open: {open_index}, "
             f"committed: {self._rounds_committed})",
@@ -476,7 +734,7 @@ class DBDCService:
         """The typed frame an in-flight waiter receives at shutdown."""
         self._n_shutdown_notices += 1
         self.metrics.set("service.shutdown_notices", self._n_shutdown_notices)
-        return wire.FrameKind.ERROR, wire.encode_status(
+        return wire.FrameKind.ERROR, self._status(
             "shutting_down", "service is stopping; no model will be built"
         )
 
@@ -486,9 +744,53 @@ class DBDCService:
     def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        cap = self.config.max_connections
+        if cap is not None and len(self._connections) >= cap:
+            self._n_connections_refused += 1
+            self.metrics.set(
+                "service.connections_refused", self._n_connections_refused
+            )
+            task = asyncio.ensure_future(self._refuse_connection(writer))
+        else:
+            task = asyncio.ensure_future(self._serve_connection(reader, writer))
         self._connections.add(task)
         task.add_done_callback(self._connections.discard)
+
+    async def _refuse_connection(self, writer: asyncio.StreamWriter) -> None:
+        """Turn one connection away with a typed ``overloaded`` frame —
+        never a silent drop, so the client backs off instead of hanging."""
+        try:
+            await self._reply(
+                writer,
+                wire.FrameKind.ERROR,
+                self._status(
+                    "overloaded",
+                    f"{len(self._connections)} connections active "
+                    f"(cap {self.config.max_connections})",
+                    retry_after=True,
+                ),
+            )
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    def _should_shed(self, kind: wire.FrameKind) -> bool:
+        """Whether one more request of ``kind`` exceeds the admission cap.
+
+        Only *work* kinds count toward (and against) the in-flight
+        budget: parked AWAIT_GLOBAL / MODEL_DELTA waiters hold no CPU
+        and shedding on them would deadlock sessions whose workers park
+        while their peers still need to submit.
+        """
+        cap = self.config.max_inflight_requests
+        return (
+            cap is not None and kind in _WORK_KINDS and self._inflight >= cap
+        )
 
     async def _read_frame(self, reader: asyncio.StreamReader) -> wire.Frame | None:
         """Read one frame under the per-connection deadline.
@@ -559,7 +861,7 @@ class DBDCService:
                     await self._reply(
                         writer,
                         wire.FrameKind.ERROR,
-                        wire.encode_status("protocol_error", str(error)),
+                        self._status("protocol_error", str(error)),
                     )
                     break
                 if frame is None:
@@ -578,18 +880,43 @@ class DBDCService:
                     f"service.request_payload_bytes[{kind_label}]",
                     float(len(frame.payload)),
                 )
+                if self._should_shed(frame.kind):
+                    # Bounded admission: shed with a typed reply and a
+                    # retry hint — the connection stays open, nothing
+                    # queues unboundedly, nothing hangs.
+                    self._n_load_shed += 1
+                    self.metrics.inc(f"service.load_shed[{kind_label}]")
+                    self.metrics.set(
+                        "service.overloaded_replies", self._n_load_shed
+                    )
+                    await self._reply(
+                        writer,
+                        wire.FrameKind.ERROR,
+                        self._status(
+                            "overloaded",
+                            f"{self._inflight} requests in flight "
+                            f"(cap {self.config.max_inflight_requests})",
+                            retry_after=True,
+                        ),
+                    )
+                    continue
                 # Mark this connection busy while a request is in flight:
                 # stop() waits for busy connections (grace-bounded) so a
                 # released waiter can flush its shutting_down frame
                 # instead of being torn down mid-write.
                 task = asyncio.current_task()
                 assert task is not None
+                work = frame.kind in _WORK_KINDS
+                if work:
+                    self._inflight += 1
                 self._busy.add(task)
                 try:
                     kind, payload = await self._dispatch(frame, recv_wall)
                     await self._reply(writer, kind, payload)
                 finally:
                     self._busy.discard(task)
+                    if work:
+                        self._inflight -= 1
                 if frame.kind == wire.FrameKind.SHUTDOWN:
                     self.request_stop()
                     break
@@ -627,12 +954,12 @@ class DBDCService:
             result = await self._dispatch_inner(frame, recv_wall)
         except wire.WireError as error:
             self.metrics.inc("service.frame_errors")
-            result = wire.FrameKind.ERROR, wire.encode_status(
+            result = wire.FrameKind.ERROR, self._status(
                 "bad_request", str(error)
             )
         except Exception as error:  # never let one request kill the loop
             self.metrics.inc("service.internal_errors")
-            result = wire.FrameKind.ERROR, wire.encode_status(
+            result = wire.FrameKind.ERROR, self._status(
                 "internal_error", f"{type(error).__name__}: {error}"
             )
         self.metrics.observe(
@@ -655,8 +982,22 @@ class DBDCService:
     ) -> tuple[wire.FrameKind, bytes]:
         kind = frame.kind
         if kind == wire.FrameKind.LOCAL_MODEL:
+            if self._session_active and frame.crc_ok:
+                peeked = wire.peek_local_model_site(frame.payload)
+                if peeked is not None and peeked in self._session_site_ids:
+                    # Idempotent resubmission: the model was journaled
+                    # and admitted before a crash/disconnect ate the
+                    # ACK — re-acknowledge without re-admitting.
+                    self._n_duplicate_uploads += 1
+                    self.metrics.set(
+                        "service.duplicate_uploads", self._n_duplicate_uploads
+                    )
+                    return wire.FrameKind.ACK, self._status(
+                        "admitted",
+                        f"duplicate upload from site {peeked} ignored",
+                    )
             if self._session_active and self._round is None:
-                return wire.FrameKind.ERROR, wire.encode_status(
+                return wire.FrameKind.ERROR, self._status(
                     "no_round_open",
                     "streaming session active; send ROUND_OPEN first",
                 )
@@ -681,7 +1022,7 @@ class DBDCService:
             status_kind = (
                 wire.FrameKind.ACK if verdict == "admitted" else wire.FrameKind.ERROR
             )
-            return status_kind, wire.encode_status(verdict, detail)
+            return status_kind, self._status(verdict, detail)
         if kind == wire.FrameKind.AWAIT_GLOBAL:
             timeout = min(
                 wire.decode_await_global(frame.payload),
@@ -701,7 +1042,7 @@ class DBDCService:
                 if outcome == "shutting_down":
                     return self._shutdown_notice()
                 if outcome == "timeout":
-                    return wire.FrameKind.ERROR, wire.encode_status(
+                    return wire.FrameKind.ERROR, self._status(
                         "no_model", f"no global model after {timeout:.3f}s"
                     )
             model = self._current_model()
@@ -724,17 +1065,17 @@ class DBDCService:
             if outcome == "shutting_down":
                 return self._shutdown_notice()
             if outcome == "timeout":
-                return wire.FrameKind.ERROR, wire.encode_status(
+                return wire.FrameKind.ERROR, self._status(
                     "no_model",
                     f"round {round_index} not committed after {timeout:.3f}s",
                 )
             model = self._session_model
             if model is None:
-                return wire.FrameKind.ERROR, wire.encode_status(
+                return wire.FrameKind.ERROR, self._status(
                     "no_model", "session has no committed model"
                 )
             if not 0 <= known_reps <= len(model.representatives):
-                return wire.FrameKind.ERROR, wire.encode_status(
+                return wire.FrameKind.ERROR, self._status(
                     "bad_delta",
                     f"known_reps {known_reps} out of range "
                     f"[0, {len(model.representatives)}]",
@@ -763,7 +1104,7 @@ class DBDCService:
             points = wire.decode_points(frame.payload)
             model = self._current_model()
             if model is None:
-                return wire.FrameKind.ERROR, wire.encode_status(
+                return wire.FrameKind.ERROR, self._status(
                     "no_model", "no local model admitted yet"
                 )
             start = time.perf_counter()
@@ -801,12 +1142,12 @@ class DBDCService:
             required = ("process", "wall_origin", "clock_offset_s", "spans")
             missing = [key for key in required if key not in document]
             if missing:
-                return wire.FrameKind.ERROR, wire.encode_status(
+                return wire.FrameKind.ERROR, self._status(
                     "bad_trace", f"trace upload missing keys {missing}"
                 )
             self._remote_traces.append(document)
             self.metrics.inc("service.trace_uploads")
-            return wire.FrameKind.ACK, wire.encode_status(
+            return wire.FrameKind.ACK, self._status(
                 "trace_recorded",
                 f"{len(document['spans'])} root spans from "
                 f"{document['process']}",
@@ -817,8 +1158,8 @@ class DBDCService:
             text = render_registry(self.metrics.to_dict())
             return wire.FrameKind.METRICS_REPLY, text.encode("utf-8")
         if kind == wire.FrameKind.SHUTDOWN:
-            return wire.FrameKind.ACK, wire.encode_status("shutting_down")
-        return wire.FrameKind.ERROR, wire.encode_status(
+            return wire.FrameKind.ACK, self._status("shutting_down")
+        return wire.FrameKind.ERROR, self._status(
             "unexpected_frame", f"cannot serve {kind.name} requests"
         )
 
@@ -856,6 +1197,12 @@ class DBDCService:
             ),
             "shutdown_notices": self._n_shutdown_notices,
             "trace_uploads": len(self._remote_traces),
+            "epoch": self._epoch,
+            "journal_enabled": self._journal is not None,
+            "recovered_models": self._recovered_models,
+            "duplicate_uploads": self._n_duplicate_uploads,
+            "load_shed": self._n_load_shed,
+            "connections_refused": self._n_connections_refused,
         }
 
     # ------------------------------------------------------------------
@@ -1002,6 +1349,7 @@ class ServiceHandle:
     _loop: asyncio.AbstractEventLoop | None = None
     _ready: threading.Event = field(default_factory=threading.Event)
     _error: BaseException | None = None
+    _killed: bool = False
 
     @classmethod
     def start(
@@ -1028,7 +1376,11 @@ class ServiceHandle:
         try:
             asyncio.run(self._serve())
         except BaseException as error:  # surfaced via .stop()/start()
-            self._error = error
+            # A hard kill() stops the loop dead, which asyncio.run
+            # reports as a RuntimeError — that is the crash being
+            # simulated, not a service failure to surface.
+            if not self._killed:
+                self._error = error
             self._ready.set()
 
     async def _serve(self) -> None:
@@ -1059,6 +1411,44 @@ class ServiceHandle:
 
     async def _merged_trace_on_loop(self) -> dict:
         return self.service.merged_trace_document()
+
+    def kill(self, timeout_s: float = 10.0) -> None:
+        """Hard-kill the service thread — a crash, not a shutdown.
+
+        The event loop is stopped dead between callbacks: no drain, no
+        shutdown notices, no journal compaction or close.  Connections
+        are severed mid-whatever and clients see raw socket errors —
+        exactly what a ``kill -9`` of a service process produces, which
+        is what the crash-recovery tests simulate in-process.  The
+        journal directory is left as the crash left it; a new
+        :meth:`start` against the same directory replays it.
+        """
+        self._killed = True
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(loop.stop)
+            except RuntimeError:
+                pass  # loop already closed: the thread is on its way out
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            if self._thread.is_alive():
+                raise RuntimeError("DBDCService thread survived kill()")
+        # A stopped-dead loop leaks its listening sockets (a real kill -9
+        # would have the OS reclaim the fds).  Server.close() is safe on
+        # a closed loop and closes the actual socket objects — closing
+        # the raw fds instead would leave the dead objects believing
+        # they still own those fd numbers and re-close them (possibly
+        # recycled by a restarted server) at garbage collection.
+        for listener in (
+            self.service._asyncio_server,
+            self.service._http_server,
+        ):
+            if listener is not None:
+                try:
+                    listener.close()
+                except (OSError, RuntimeError):
+                    pass
 
     def stop(self, timeout_s: float = 10.0) -> None:
         """Request shutdown and join the service thread."""

@@ -48,12 +48,31 @@ _KIND_TO_FRAME: dict[str, tuple[wire.FrameKind, tuple[wire.FrameKind, ...]]] = {
 
 
 class ServiceError(RuntimeError):
-    """The service answered a request with an ERROR frame."""
+    """The service answered a request with an ERROR frame.
 
-    def __init__(self, status: str, detail: str = "") -> None:
+    Attributes:
+        status: the typed status string (``"quarantined"``,
+            ``"overloaded"``, ``"bad_round"``, ...).
+        detail: the human-readable detail string.
+        epoch: the server epoch stamped on the reply (``None`` when the
+            server runs without a journal).
+        retry_after_s: the backoff the server suggested (``overloaded``
+            replies); ``None`` otherwise.
+    """
+
+    def __init__(
+        self,
+        status: str,
+        detail: str = "",
+        *,
+        epoch: int | None = None,
+        retry_after_s: float | None = None,
+    ) -> None:
         super().__init__(f"{status}: {detail}" if detail else status)
         self.status = status
         self.detail = detail
+        self.epoch = epoch
+        self.retry_after_s = retry_after_s
 
 
 @runtime_checkable
@@ -124,6 +143,9 @@ class SocketTransport:
         self.bytes_received = 0
         self.n_requests = 0
         self.last_response: wire.Frame | None = None
+        #: Last server epoch observed on any status reply (ACK or
+        #: ERROR); ``None`` until a durability-aware server answers.
+        self.last_epoch: int | None = None
         self._sock: socket.socket | None = None
 
     # ------------------------------------------------------------------
@@ -230,36 +252,56 @@ class SocketTransport:
     ) -> wire.Frame:
         """Send one frame, return the response frame.
 
+        Any socket or framing failure tears the connection down before
+        re-raising: the stream state after a half-delivered exchange is
+        unknowable, so the next request reconnects from scratch — the
+        seam the retry layer leans on to ride out server restarts.
+
         Raises:
             ServiceError: when the service answers with an ERROR frame.
             WireError: on malformed responses.
-            OSError: on socket failures/timeouts.
+            OSError: on socket failures/timeouts (including
+                ``ConnectionRefusedError`` during a restart window).
         """
-        self.connect()
-        assert self._sock is not None
-        data = wire.encode_frame(
-            kind, payload, site_id=self.site_id, context=self.current_context()
-        )
-        self._sock.sendall(data)
-        self.bytes_sent += len(data)
-        self.n_requests += 1
-        if self.metrics.enabled:
-            # Payload bytes only — the same accounting SimulatedNetwork
-            # keeps in bytes_by_kind, so the two backends reconcile.
-            self.metrics.inc(
-                f"service.frame_bytes_sent"
-                f"[{wire.FrameKind(kind).name.lower()}]",
-                len(payload),
+        try:
+            self.connect()
+            assert self._sock is not None
+            data = wire.encode_frame(
+                kind,
+                payload,
+                site_id=self.site_id,
+                context=self.current_context(),
             )
-        response = self.read_frame()
+            self._sock.sendall(data)
+            self.bytes_sent += len(data)
+            self.n_requests += 1
+            if self.metrics.enabled:
+                # Payload bytes only — the same accounting
+                # SimulatedNetwork keeps in bytes_by_kind, so the two
+                # backends reconcile.
+                self.metrics.inc(
+                    f"service.frame_bytes_sent"
+                    f"[{wire.FrameKind(kind).name.lower()}]",
+                    len(payload),
+                )
+            response = self.read_frame()
+        except (OSError, wire.WireError):
+            self.close()
+            raise
         if self.metrics.enabled:
             self.metrics.inc(
                 f"service.frame_bytes_received[{response.kind.name.lower()}]",
                 len(response.payload),
             )
         if response.kind == wire.FrameKind.ERROR:
-            status, detail = wire.decode_status(response.payload)
-            raise ServiceError(status, detail)
+            status, detail, epoch, retry_after_s = wire.decode_status_ext(
+                response.payload
+            )
+            if epoch is not None:
+                self.last_epoch = epoch
+            raise ServiceError(
+                status, detail, epoch=epoch, retry_after_s=retry_after_s
+            )
         return response
 
     # ------------------------------------------------------------------

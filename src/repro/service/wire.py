@@ -98,6 +98,8 @@ __all__ = [
     "decode_json",
     "encode_status",
     "decode_status",
+    "decode_status_ext",
+    "peek_local_model_site",
     "ModelDelta",
     "encode_round_open",
     "decode_round_open",
@@ -544,6 +546,19 @@ def decode_local_model(payload: bytes) -> LocalModel:
     )
 
 
+def peek_local_model_site(payload: bytes) -> int | None:
+    """The site id of a LOCAL_MODEL payload without a full decode.
+
+    The server's duplicate-resubmission check runs on every session
+    upload; the site id is the first header field, so peeking it skips
+    re-decoding the representative records.  ``None`` when the payload
+    is too short to carry one.
+    """
+    if len(payload) < 4:
+        return None
+    return int(struct.unpack_from("<i", payload, 0)[0])
+
+
 def encode_global_model(model: GlobalModel) -> bytes:
     """Serialize a full :class:`GlobalModel` broadcast.
 
@@ -680,19 +695,75 @@ def decode_json(payload: bytes) -> dict:
     return document
 
 
-def encode_status(status: str, detail: str = "") -> bytes:
-    """Serialize an ACK/ERROR payload (status + human detail strings)."""
-    return _pack_str(status) + _pack_str(detail)
+#: Fixed-size durability extension of a status payload: the server
+#: epoch (generation counter across crash restarts; 0 = not stamped)
+#: and the suggested retry-after seconds of an ``overloaded`` reply
+#: (negative = not set).
+_STATUS_EXT = struct.Struct("<Qd")
+
+
+def encode_status(
+    status: str,
+    detail: str = "",
+    *,
+    epoch: int | None = None,
+    retry_after_s: float | None = None,
+) -> bytes:
+    """Serialize an ACK/ERROR payload (status + human detail strings).
+
+    When ``epoch`` or ``retry_after_s`` is given, a fixed 16-byte
+    extension follows the strings; decoders accept payloads with or
+    without it, so durability-aware servers interoperate with clients
+    that only call :func:`decode_status`.
+    """
+    payload = _pack_str(status) + _pack_str(detail)
+    if epoch is not None or retry_after_s is not None:
+        payload += _STATUS_EXT.pack(
+            0 if epoch is None else int(epoch),
+            -1.0 if retry_after_s is None else float(retry_after_s),
+        )
+    return payload
+
+
+def _decode_status_parts(
+    payload: bytes,
+) -> tuple[str, str, int | None, float | None]:
+    status, offset = _unpack_str(payload, 0)
+    detail, offset = _unpack_str(payload, offset)
+    remaining = len(payload) - offset
+    if remaining == 0:
+        return status, detail, None, None
+    if remaining != _STATUS_EXT.size:
+        raise CodecError(f"{remaining} trailing bytes")
+    epoch, retry_after_s = _STATUS_EXT.unpack_from(payload, offset)
+    return (
+        status,
+        detail,
+        int(epoch) if epoch else None,
+        float(retry_after_s) if retry_after_s >= 0 else None,
+    )
 
 
 @_codec_guard("invalid status payload")
 def decode_status(payload: bytes) -> tuple[str, str]:
-    """Inverse of :func:`encode_status`."""
-    status, offset = _unpack_str(payload, 0)
-    detail, offset = _unpack_str(payload, offset)
-    if offset != len(payload):
-        raise CodecError(f"{len(payload) - offset} trailing bytes")
+    """Inverse of :func:`encode_status` (extension tolerated, dropped)."""
+    status, detail, __, __ = _decode_status_parts(payload)
     return status, detail
+
+
+@_codec_guard("invalid status payload")
+def decode_status_ext(
+    payload: bytes,
+) -> tuple[str, str, int | None, float | None]:
+    """Like :func:`decode_status` but surfaces the durability extension.
+
+    Returns:
+        ``(status, detail, epoch, retry_after_s)`` — ``epoch`` is
+        ``None`` when the server did not stamp one (plain payload or
+        epoch 0), ``retry_after_s`` is ``None`` unless the server
+        suggested a backoff (``overloaded`` replies).
+    """
+    return _decode_status_parts(payload)
 
 
 # ----------------------------------------------------------------------

@@ -175,8 +175,13 @@ def run_site_worker(
             # fault plan is set, the injector sits between the two and
             # sabotages the real connection; the retry loop treats its
             # failures exactly like in-flight drops.
+            # Socket failures are always retryable: a connect refused
+            # during a server restart window, a connection severed by a
+            # crash, a torn frame — all of them ride the retry/backoff
+            # seam instead of surfacing raw (the transport closed the
+            # connection, so each retry reconnects from scratch).
             network = socket_transport
-            retryable: tuple = ()
+            retryable: tuple = (OSError, wire.WireError)
             if fault_plan is not None:
                 from repro.service.faulting import FaultingSocketTransport
 
@@ -188,18 +193,31 @@ def run_site_worker(
                 transport_policy,
                 breaker_policy=breaker_policy,
                 retryable_errors=retryable,
-                sleep=time.sleep if fault_plan is not None else None,
+                sleep=time.sleep,
             )
             payload = wire.encode_local_model(model)
-            try:
-                outcome = resilient.deliver(
-                    site_id, wire.SERVER_ID, "local_model", payload
-                )
-            except ServiceError as error:
-                # The admission gate said no: surface its verdict.
-                result.verdict = error.status
-                result.error = error.detail
-                return result
+            overload_budget = 50
+            while True:
+                try:
+                    outcome = resilient.deliver(
+                        site_id, wire.SERVER_ID, "local_model", payload
+                    )
+                    break
+                except ServiceError as error:
+                    if (
+                        error.status == "overloaded"
+                        and error.retry_after_s is not None
+                        and overload_budget > 0
+                    ):
+                        # Typed backpressure: honor the server's retry
+                        # hint instead of treating the shed as a verdict.
+                        overload_budget -= 1
+                        time.sleep(error.retry_after_s)
+                        continue
+                    # The admission gate said no: surface its verdict.
+                    result.verdict = error.status
+                    result.error = error.detail
+                    return result
             result.upload_attempts = outcome.attempts
             result.bytes_sent = outcome.bytes_sent
             if not outcome.delivered:
@@ -291,6 +309,11 @@ class SiteSessionResult:
             (``open_round`` / ``local_dbscan`` / ``upload`` /
             ``await_delta`` / ``relabel``); the phases exactly partition
             the round's wall time.
+        reconnects: transport reconnects the session survived (server
+            restarts, severed connections).
+        epochs: server epochs observed, in order of first sighting — a
+            second entry means the server crashed and recovered
+            mid-session.
         error: the failure detail (empty on success).
     """
 
@@ -303,6 +326,8 @@ class SiteSessionResult:
     wall_seconds: float = 0.0
     round_wall_seconds: list = field(default_factory=list)
     round_phase_seconds: list = field(default_factory=list)
+    reconnects: int = 0
+    epochs: list = field(default_factory=list)
     error: str = ""
 
 
@@ -323,6 +348,10 @@ def run_site_worker_session(
     await_global_s: float = 30.0,
     tracer=None,
     metrics=None,
+    resume: bool = True,
+    max_reconnects: int = 10,
+    reconnect_backoff_s: float = 0.05,
+    round_hook=None,
 ) -> SiteSessionResult:
     """Run one site through an N-round streaming session.
 
@@ -359,6 +388,20 @@ def run_site_worker_session(
             forest to the service after the last round.
         metrics: optional registry for the transport's per-frame-kind
             byte counters.
+        resume: survive server crashes/restarts — socket failures close
+            the connection and retry the failed verb with capped
+            exponential backoff; every verb is idempotent server-side
+            (duplicate submits dedupe, re-opened rounds acknowledge,
+            committed rounds replay their deltas), so a mid-session
+            restart from the journal continues seamlessly.  Typed
+            ``overloaded`` replies always sleep the server's
+            ``retry_after`` hint and retry, resume or not.
+        max_reconnects: reconnect budget per verb when resuming.
+        reconnect_backoff_s: first reconnect delay; doubles per attempt,
+            capped at 1 second.
+        round_hook: optional ``hook(round_index, model)`` called after
+            each round's relabel — the seam the recovery tests use to
+            crash the server at a deterministic round boundary.
 
     Returns:
         A :class:`SiteSessionResult`; protocol-level refusals land in
@@ -378,6 +421,48 @@ def run_site_worker_session(
             tracer=tracer,
             metrics=metrics,
         ) as client:
+
+            def call(verb, *args, **kwargs):
+                """One protocol verb through the reconnect-and-resume seam.
+
+                ``overloaded`` replies sleep the server's retry hint and
+                go again (typed backpressure is not a failure).  Socket
+                and framing errors reconnect with capped exponential
+                backoff up to ``max_reconnects`` — every verb is
+                idempotent server-side, so a retried request against a
+                recovered server lands exactly once.
+                """
+                reconnects = 0
+                overload_budget = 200
+                while True:
+                    try:
+                        return verb(*args, **kwargs)
+                    except ServiceError as error:
+                        if (
+                            error.status == "overloaded"
+                            and error.retry_after_s is not None
+                            and overload_budget > 0
+                        ):
+                            overload_budget -= 1
+                            time.sleep(error.retry_after_s)
+                            continue
+                        raise
+                    except (OSError, wire.WireError):
+                        if not resume or reconnects >= max_reconnects:
+                            raise
+                        client.close()
+                        delay = min(
+                            reconnect_backoff_s * (2.0 ** reconnects), 1.0
+                        )
+                        reconnects += 1
+                        result.reconnects += 1
+                        time.sleep(delay)
+
+            def note_epoch() -> None:
+                epoch = client.server_epoch
+                if epoch is not None and epoch not in result.epochs:
+                    result.epochs.append(epoch)
+
             # A live session span parents the per-round records and is
             # the trace context outgoing frames carry.
             with tracer.span(
@@ -394,7 +479,7 @@ def run_site_worker_session(
             ):
                 for round_index, batch in enumerate(batches):
                     r0 = time.perf_counter()
-                    client.open_round(round_index)
+                    call(client.open_round, round_index)
                     opened = time.perf_counter()
                     site = ClientSite(
                         site_id + round_index * n_sites,
@@ -408,11 +493,14 @@ def run_site_worker_session(
                     )
                     local_model = site.run_local_clustering()
                     r1 = time.perf_counter()
-                    result.verdicts.append(client.submit(local_model))
+                    result.verdicts.append(call(client.submit, local_model))
                     r2 = time.perf_counter()
                     sites.append(site)
-                    model = client.await_model_delta(
-                        round_index, model, timeout_s=await_global_s
+                    model = call(
+                        client.await_model_delta,
+                        round_index,
+                        model,
+                        timeout_s=await_global_s,
                     )
                     r3 = time.perf_counter()
                     # True streaming: every batch seen so far is
@@ -455,6 +543,9 @@ def run_site_worker_session(
                                 attrs={"round": round_index},
                                 parent=round_span,
                             )
+                    note_epoch()
+                    if round_hook is not None:
+                        round_hook(round_index, model)
             result.bytes_sent = client.transport.bytes_sent
             if tracer.enabled:
                 try:

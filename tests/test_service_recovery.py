@@ -1,0 +1,283 @@
+"""Crash-restart recovery and overload protection (ISSUE 10).
+
+The pinned guarantee: kill the server (event loop torn down, no
+shutdown grace) after round ``k`` of an N-round streaming socket
+session, restart it from the write-ahead journal on the same port, let
+the workers reconnect and finish — and every per-round label array plus
+the final global model is **bit-identical** to an uninterrupted
+in-process streaming run.  Around it: epoch surfacing, idempotent
+resubmission, snapshot-compaction equivalence, and the typed
+``overloaded`` shed path under a query storm.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import load_dataset
+from repro.distributed.site import ClientSite
+from repro.distributed.streaming import run_streaming_session
+from repro.service import ServiceClient, ServiceConfig, ServiceHandle
+from repro.service.recovery_smoke import run_overload_storm
+from repro.service.worker import run_site_worker_session
+
+N_SITES = 2
+N_ROUNDS = 3
+SEED = 0
+
+
+def _free_port() -> int:
+    """A port the OS just handed out — free to bind again immediately,
+    and stable across the kill/restart pair (the server must come back
+    on the address the workers are retrying)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _models_identical(model, oracle_model) -> bool:
+    if model is None:
+        return False
+    if model.eps_global != oracle_model.eps_global:
+        return False
+    if not np.array_equal(model.global_labels, oracle_model.global_labels):
+        return False
+    if len(model.representatives) != len(oracle_model.representatives):
+        return False
+    return all(
+        a.site_id == b.site_id
+        and a.local_cluster_id == b.local_cluster_id
+        and np.array_equal(a.point, b.point)
+        for a, b in zip(model.representatives, oracle_model.representatives)
+    )
+
+
+@pytest.fixture(scope="module")
+def stream_workload():
+    """Per-round batches + the in-process streaming oracle."""
+    data = load_dataset("A", cardinality=480, seed=SEED)
+    points = data.points
+    chunk = points.shape[0] // N_ROUNDS
+    batches = []
+    for round_index in range(N_ROUNDS):
+        block = points[round_index * chunk : (round_index + 1) * chunk]
+        batches.append([block[i::N_SITES] for i in range(N_SITES)])
+    oracle = run_streaming_session(
+        batches, eps_local=data.eps_local, min_pts_local=data.min_pts
+    )
+    return {"data": data, "batches": batches, "oracle": oracle}
+
+
+def _run_crash_session(
+    workload, journal_dir, *, kill_after_round=0, snapshot_bytes=4 * 1024 * 1024
+):
+    """An N-round session with an in-flight server kill + journal restart.
+
+    All workers rendezvous at the end of round ``kill_after_round``
+    (round committed, nothing in flight), worker 0 kills the server's
+    event loop and restarts it on the same port from the same journal
+    directory, and everyone resumes through the reconnect seam.
+    """
+    data = workload["data"]
+    config = ServiceConfig(
+        expected_sites=N_SITES,
+        metrics_port=None,
+        port=_free_port(),
+        journal_dir=str(journal_dir),
+        journal_snapshot_bytes=snapshot_bytes,
+    )
+    handles = [ServiceHandle.start(config)]
+    barrier = threading.Barrier(N_SITES, timeout=60)
+    restarted = threading.Event()
+    hook_errors: list[BaseException] = []
+
+    def make_hook(site_id: int):
+        def hook(round_index: int, model) -> None:
+            if round_index != kill_after_round:
+                return
+            try:
+                barrier.wait()
+                if site_id == 0:
+                    handles[-1].kill()
+                    handles.append(ServiceHandle.start(config))
+                    restarted.set()
+                else:
+                    assert restarted.wait(60), "restart never happened"
+            except BaseException as exc:
+                hook_errors.append(exc)
+                raise
+
+        return hook
+
+    results: dict[int, object] = {}
+
+    def work(site_id: int) -> None:
+        results[site_id] = run_site_worker_session(
+            config.host,
+            config.port,
+            site_id,
+            [workload["batches"][r][site_id] for r in range(N_ROUNDS)],
+            n_sites=N_SITES,
+            eps_local=data.eps_local,
+            min_pts_local=data.min_pts,
+            timeout_s=10.0,
+            max_reconnects=60,
+            round_hook=make_hook(site_id),
+        )
+
+    threads = [
+        threading.Thread(target=work, args=(site_id,))
+        for site_id in range(N_SITES)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with ServiceClient(config.host, config.port) as client:
+            health = client.health()
+            full_model = client.await_global_model(timeout_s=5.0)
+        gauges = handles[-1].service.metrics.to_dict()["gauges"]
+    finally:
+        for handle in handles:
+            handle.stop()
+    assert not hook_errors
+    return {
+        "results": results,
+        "health": health,
+        "full_model": full_model,
+        "gauges": gauges,
+    }
+
+
+@pytest.fixture(scope="module")
+def crash_session(stream_workload, tmp_path_factory):
+    """Kill after round 0 of 3, restart from the journal, finish."""
+    return _run_crash_session(
+        stream_workload, tmp_path_factory.mktemp("wal-crash")
+    )
+
+
+class TestCrashRestartBitIdentity:
+    def test_per_round_labels_match_oracle(self, stream_workload, crash_session):
+        """The ISSUE's pinned acceptance: every (round, site) label
+        array from the killed-and-recovered session is bit-identical to
+        the uninterrupted in-process oracle."""
+        oracle = stream_workload["oracle"]
+        results = crash_session["results"]
+        assert sorted(results) == list(range(N_SITES))
+        for site_id, result in results.items():
+            assert result.error == ""
+            assert result.verdicts == ["admitted"] * N_ROUNDS
+            for round_index in range(N_ROUNDS):
+                assert np.array_equal(
+                    result.labels[round_index],
+                    oracle.labels[round_index][site_id],
+                ), f"round {round_index}, site {site_id} labels diverge"
+
+    def test_final_model_matches_oracle(self, stream_workload, crash_session):
+        oracle = stream_workload["oracle"]
+        for result in crash_session["results"].values():
+            assert _models_identical(result.model, oracle.model)
+        assert _models_identical(crash_session["full_model"], oracle.model)
+
+    def test_workers_crossed_the_epoch_boundary(self, crash_session):
+        """Each worker saw both server generations and survived at least
+        one reconnect — the kill really severed live connections."""
+        for result in crash_session["results"].values():
+            assert result.epochs == [1, 2]
+            assert result.reconnects >= 1
+
+    def test_recovered_server_state(self, crash_session):
+        health = crash_session["health"]
+        assert health["epoch"] == 2
+        assert health["journal_enabled"] is True
+        # Round 0 had one admitted model per site to replay.
+        assert health["recovered_models"] == N_SITES
+        gauges = crash_session["gauges"]
+        assert gauges["service.epoch"] == 2.0
+        assert gauges["service.recovered_models"] == float(N_SITES)
+        assert gauges["service.recovered_rounds"] == 1.0
+        assert gauges["service.journal_records"] > 0
+        assert gauges["service.journal_bytes"] > 0
+        assert gauges["service.recovery_wall_seconds"] >= 0.0
+        assert gauges["service.journal_truncated_bytes"] == 0.0
+
+
+class TestSnapshotCompactionEquivalence:
+    def test_recovery_through_snapshot_is_bit_identical(
+        self, stream_workload, tmp_path_factory
+    ):
+        """With a tiny snapshot cap every commit compacts, so the
+        restart replays snapshot + log instead of a bare log — and the
+        outcome must not change by a bit."""
+        session = _run_crash_session(
+            stream_workload,
+            tmp_path_factory.mktemp("wal-compact"),
+            kill_after_round=1,
+            snapshot_bytes=64,
+        )
+        oracle = stream_workload["oracle"]
+        for site_id, result in session["results"].items():
+            assert result.verdicts == ["admitted"] * N_ROUNDS
+            for round_index in range(N_ROUNDS):
+                assert np.array_equal(
+                    result.labels[round_index],
+                    oracle.labels[round_index][site_id],
+                )
+            assert _models_identical(result.model, oracle.model)
+        assert session["gauges"]["service.journal_compactions"] >= 1.0
+        # Killing after round 1 replays both committed rounds.
+        assert session["health"]["recovered_models"] == 2 * N_SITES
+
+
+class TestIdempotentResubmission:
+    def test_duplicate_upload_reacknowledged_not_readmitted(
+        self, stream_workload, tmp_path
+    ):
+        """A resubmission after a lost ACK (the crash window) is
+        re-acknowledged ``admitted`` without double-admitting."""
+        data = stream_workload["data"]
+        config = ServiceConfig(
+            expected_sites=N_SITES, metrics_port=None, journal_dir=str(tmp_path)
+        )
+        with ServiceHandle.start(config) as handle:
+            site = ClientSite(
+                0,
+                stream_workload["batches"][0][0],
+                eps_local=data.eps_local,
+                min_pts_local=data.min_pts,
+            )
+            model = site.run_local_clustering()
+            with ServiceClient(handle.host, handle.port) as client:
+                assert client.open_round(0) == "round_open"
+                assert client.submit(model) == "admitted"
+                assert client.submit(model) == "admitted"
+                assert client.server_epoch == 1
+                health = client.health()
+            assert health["duplicate_uploads"] == 1
+            gauges = handle.service.metrics.to_dict()["gauges"]
+            assert gauges["service.duplicate_uploads"] == 1.0
+
+
+class TestOverloadProtection:
+    def test_storm_sheds_typed_and_every_query_lands(self, stream_workload):
+        """With the admission budget capped at one in-flight request, a
+        concurrent query storm must shed with *typed* ``overloaded``
+        replies carrying ``retry_after`` — never an untyped failure, a
+        hung client, or a dropped query."""
+        storm = run_overload_storm(
+            points=stream_workload["data"].points[:160]
+        )
+        metrics = storm["metrics"]
+        assert metrics["recovery.overload_typed_ok"] == 1.0
+        assert metrics["recovery.overload_shed_count"] > 0
+        detail = storm["detail"]
+        assert detail["untyped"] == 0
+        assert metrics["recovery.overload_queries_count"] == float(
+            detail["expected_queries"]
+        )

@@ -358,6 +358,88 @@ class TestCodecRoundTrips:
         )
 
 
+class TestStatusDurabilityExt:
+    """The 16-byte epoch/retry-after status extension (ISSUE 10)."""
+
+    def test_round_trip_both_fields(self):
+        payload = wire.encode_status(
+            "overloaded", "busy", epoch=3, retry_after_s=0.05
+        )
+        assert wire.decode_status_ext(payload) == (
+            "overloaded",
+            "busy",
+            3,
+            0.05,
+        )
+
+    def test_epoch_only(self):
+        payload = wire.encode_status("admitted", epoch=1)
+        assert wire.decode_status_ext(payload) == ("admitted", "", 1, None)
+
+    def test_retry_after_only(self):
+        payload = wire.encode_status("overloaded", retry_after_s=0.25)
+        assert wire.decode_status_ext(payload) == (
+            "overloaded",
+            "",
+            None,
+            0.25,
+        )
+
+    def test_bare_payload_decodes_without_ext(self):
+        payload = wire.encode_status("ok", "detail")
+        assert wire.decode_status_ext(payload) == ("ok", "detail", None, None)
+
+    def test_plain_decoder_tolerates_and_drops_ext(self):
+        """Pre-durability clients keep interoperating: decode_status on
+        an extended payload returns just the strings."""
+        payload = wire.encode_status("admitted", "d", epoch=5, retry_after_s=0.1)
+        assert wire.decode_status(payload) == ("admitted", "d")
+
+    @pytest.mark.parametrize("extra", [1, 8, 15, 17])
+    def test_wrong_trailing_byte_count_is_typed(self, extra):
+        payload = wire.encode_status("ok", "d") + b"\x00" * extra
+        with pytest.raises(wire.CodecError):
+            wire.decode_status_ext(payload)
+        with pytest.raises(wire.CodecError):
+            wire.decode_status(payload)
+
+    def test_epoch_zero_is_the_no_epoch_sentinel(self):
+        payload = wire.encode_status("ok", retry_after_s=0.5)
+        __, __, epoch, __ = wire.decode_status_ext(payload)
+        assert epoch is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        status=st.text(max_size=40),
+        detail=st.text(max_size=120),
+        epoch=st.integers(min_value=1, max_value=2**62),
+        retry=st.floats(
+            allow_nan=False, allow_infinity=False, min_value=0.0, max_value=60.0
+        ),
+    )
+    def test_ext_property(self, status, detail, epoch, retry):
+        payload = wire.encode_status(
+            status, detail, epoch=epoch, retry_after_s=retry
+        )
+        got = wire.decode_status_ext(payload)
+        assert got[0] == status and got[1] == detail
+        assert got[2] == epoch
+        assert got[3] == retry
+        assert wire.decode_status(payload) == (status, detail)
+
+
+class TestPeekLocalModelSite:
+    @settings(max_examples=40, deadline=None)
+    @given(model=local_models())
+    def test_peek_matches_full_decode(self, model):
+        payload = wire.encode_local_model(model)
+        assert wire.peek_local_model_site(payload) == model.site_id
+
+    def test_short_payload_returns_none(self):
+        assert wire.peek_local_model_site(b"") is None
+        assert wire.peek_local_model_site(b"\x01\x02") is None
+
+
 # ----------------------------------------------------------------------
 # streaming-session codecs (ROUND_OPEN / ROUND_COMMIT / MODEL_DELTA)
 # ----------------------------------------------------------------------
